@@ -1,0 +1,23 @@
+//! Fig. 11 reproduction: PER of the VVD variants (a) and Kalman variants (b).
+use vvd_bench::{bench_config, print_header};
+use vvd_estimation::Technique;
+use vvd_testbed::report::format_metric_table;
+use vvd_testbed::{evaluate::run_evaluation, Campaign};
+
+fn main() {
+    print_header("Figure 11", "PER of VVD prediction horizons and Kalman AR orders");
+    let mut cfg = bench_config();
+    cfg.n_combinations = cfg.n_combinations.min(2);
+    let campaign = Campaign::generate(&cfg);
+    let techniques = [
+        Technique::VvdFuture100ms,
+        Technique::VvdFuture33ms,
+        Technique::VvdCurrent,
+        Technique::KalmanAr1,
+        Technique::KalmanAr5,
+        Technique::KalmanAr20,
+    ];
+    let (_, summary) = run_evaluation(&campaign, &techniques);
+    println!("{}", format_metric_table("Fig. 11a — PER of VVD variants", &summary.per, &Technique::VVD_VARIANTS));
+    println!("{}", format_metric_table("Fig. 11b — PER of Kalman variants", &summary.per, &Technique::KALMAN_VARIANTS));
+}

@@ -1,0 +1,21 @@
+//! Fig. 12 reproduction: Packet Error Rate of all estimation techniques.
+use vvd_bench::{bench_config, print_header};
+use vvd_estimation::Technique;
+use vvd_testbed::report::format_metric_table;
+use vvd_testbed::{evaluate::run_evaluation, Campaign};
+
+fn main() {
+    print_header("Figure 12", "Packet Error Rate of all estimation techniques (box statistics over set combinations)");
+    let mut cfg = bench_config();
+    cfg.n_combinations = cfg.n_combinations.min(1);
+    let campaign = Campaign::generate(&cfg);
+    let (_, summary) = run_evaluation(&campaign, &Technique::FIGURE_12_ORDER);
+    println!(
+        "{}",
+        format_metric_table(
+            "Fig. 12 — Packet Error Rate",
+            &summary.per,
+            &Technique::FIGURE_12_ORDER
+        )
+    );
+}

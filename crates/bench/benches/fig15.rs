@@ -1,0 +1,21 @@
+//! Fig. 15 reproduction: packet-by-packet decoding success over time.
+use vvd_bench::{bench_config, print_header};
+use vvd_estimation::Technique;
+use vvd_testbed::report::format_time_series;
+use vvd_testbed::{combinations_for, evaluate_combination, Campaign};
+
+fn main() {
+    print_header("Figure 15", "time versus decoding performance (burst errors around LoS blockage)");
+    let mut cfg = bench_config();
+    cfg.n_combinations = 1;
+    let campaign = Campaign::generate(&cfg);
+    let combo = &combinations_for(cfg.n_sets, 1)[0];
+    let result = evaluate_combination(
+        &campaign,
+        combo,
+        &[Technique::GroundTruth, Technique::VvdCurrent],
+    );
+    let n = result.time_series.len().min(100);
+    println!("first {n} scored packets of test set {} ('#' success, '.' failure):\n", combo.test);
+    println!("{}", format_time_series(&result.time_series[..n]));
+}

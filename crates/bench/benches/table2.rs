@@ -1,0 +1,29 @@
+//! Table 2 reproduction: the train/validation/test set combinations and the
+//! number of packets in each test set.
+use vvd_bench::{bench_config, print_header};
+use vvd_testbed::{combinations_for, Campaign};
+
+fn main() {
+    print_header("Table 2", "set combinations used for cross-validated evaluation");
+    let cfg = bench_config();
+    let campaign = Campaign::generate(&cfg);
+    let combos = combinations_for(cfg.n_sets, cfg.n_combinations);
+    println!("{:<14} {:<40} {:>10} {:>6} {:>18}", "combination", "training sets", "validation", "test", "packets in test");
+    for c in &combos {
+        let training = c
+            .training
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>()
+            .join(",");
+        println!(
+            "{:<14} {:<40} {:>10} {:>6} {:>18}",
+            c.number,
+            training,
+            c.validation,
+            c.test,
+            campaign.set(c.test).packets.len()
+        );
+    }
+    println!("\n(the paper's full Table 2 is returned verbatim when the campaign has 15 sets — run with VVD_BENCH_PRESET=paper)");
+}

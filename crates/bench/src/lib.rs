@@ -1,0 +1,60 @@
+//! Shared helpers for the figure/table reproduction benches.
+//!
+//! Every `harness = false` bench target regenerates one table or figure of
+//! the paper.  The campaign scale is controlled by the `VVD_BENCH_PRESET`
+//! environment variable:
+//!
+//! * `tiny` (default) — a few minutes for the full `cargo bench` sweep;
+//!   shapes (orderings, rough factors) are preserved, absolute values are
+//!   noisier,
+//! * `quick` — the `EvalConfig::quick()` preset (tens of minutes),
+//! * `paper` — the full campaign dimensions (hours; intended for dedicated
+//!   runs of a single bench).
+
+use vvd_testbed::EvalConfig;
+
+/// Resolves the benchmark evaluation configuration from
+/// `VVD_BENCH_PRESET` (`tiny` | `quick` | `paper`), defaulting to `tiny`.
+pub fn bench_config() -> EvalConfig {
+    match std::env::var("VVD_BENCH_PRESET").as_deref() {
+        Ok("paper") => EvalConfig::paper(),
+        Ok("quick") => EvalConfig::quick(),
+        _ => tiny_config(),
+    }
+}
+
+/// The `tiny` preset: the smallest campaign that still exercises every code
+/// path of an experiment (3 sets, 60 packets/set, 2 combinations, reduced
+/// CNN).
+pub fn tiny_config() -> EvalConfig {
+    let mut cfg = EvalConfig::quick();
+    cfg.n_sets = 3;
+    cfg.packets_per_set = 60;
+    cfg.n_combinations = 2;
+    cfg.kalman_warmup_packets = 10;
+    cfg.max_vvd_training_samples = 120;
+    cfg.vvd.epochs = 8;
+    cfg
+}
+
+/// Prints the standard bench header naming the experiment and the preset.
+pub fn print_header(experiment: &str, description: &str) {
+    let preset = std::env::var("VVD_BENCH_PRESET").unwrap_or_else(|_| "tiny".to_string());
+    println!("================================================================");
+    println!("{experiment}: {description}");
+    println!("preset: {preset} (set VVD_BENCH_PRESET=quick|paper for larger runs)");
+    println!("================================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_config_is_smaller_than_quick() {
+        let tiny = tiny_config();
+        let quick = EvalConfig::quick();
+        assert!(tiny.packets_per_set <= quick.packets_per_set);
+        assert!(tiny.n_sets <= quick.n_sets);
+    }
+}

@@ -1,0 +1,138 @@
+//! Human blockage of multipath components.
+//!
+//! This module answers the question at the heart of the paper's hypotheses:
+//! given where the human stands, by how much is each multipath component
+//! attenuated?  A component is attenuated when the human cylinder comes
+//! close to any of its propagation segments; the attenuation is the product
+//! over segments (a person standing on the reflection point shadows both the
+//! incident and the reflected leg).
+
+use crate::human::Human;
+use crate::paths::MultipathComponent;
+
+/// Linear amplitude factor the human applies to one multipath component.
+///
+/// `1.0` means unobstructed; smaller values mean body shadowing.  The factor
+/// is the product of the per-segment transmission factors, where each
+/// segment uses the closest-approach clearance between the segment and the
+/// human cylinder axis (evaluated at the height the path crosses the
+/// person).
+pub fn blockage_factor(component: &MultipathComponent, human: &Human) -> f64 {
+    let mut factor = 1.0;
+    for seg in &component.segments {
+        let clearance = seg.horizontal_distance_to_axis(human.x, human.y);
+        let t = seg.closest_t_to_axis(human.x, human.y);
+        let crossing_height = seg.point_at(t).z;
+        factor *= human.transmission_factor(clearance, crossing_height);
+    }
+    factor
+}
+
+/// Convenience: `true` when the component is "meaningfully" shadowed
+/// (more than 3 dB of extra loss).
+pub fn is_blocked(component: &MultipathComponent, human: &Human) -> bool {
+    blockage_factor(component, human) < 10f64.powf(-3.0 / 20.0)
+}
+
+/// Returns the blockage factors for a whole set of components.
+pub fn blockage_factors(components: &[MultipathComponent], human: &Human) -> Vec<f64> {
+    components
+        .iter()
+        .map(|c| blockage_factor(c, human))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paths::enumerate_paths;
+    use crate::room::Room;
+
+    #[test]
+    fn human_on_los_blocks_los_only_mostly() {
+        let room = Room::laboratory();
+        let paths = enumerate_paths(&room);
+        // Stand exactly between TX and RX (both at y = 3.0).
+        let human = Human::at(4.0, 3.0);
+        let factors = blockage_factors(&paths, &human);
+        // LoS heavily attenuated.
+        assert!(factors[0] < 0.2, "LoS factor {}", factors[0]);
+        assert!(is_blocked(&paths[0], &human));
+        // North/south wall reflections bounce away from the centre line and
+        // should be (almost) clear.
+        let clear_count = factors[1..].iter().filter(|&&f| f > 0.9).count();
+        assert!(clear_count >= 2, "expected some unobstructed NLoS paths");
+    }
+
+    #[test]
+    fn human_in_a_corner_leaves_los_clear() {
+        let room = Room::laboratory();
+        let paths = enumerate_paths(&room);
+        let human = Human::at(2.0, 4.8);
+        let f = blockage_factor(&paths[0], &human);
+        assert!((f - 1.0).abs() < 1e-9, "LoS should be clear, factor {f}");
+        assert!(!is_blocked(&paths[0], &human));
+    }
+
+    #[test]
+    fn blocking_a_reflection_point_attenuates_that_component() {
+        let room = Room::laboratory();
+        let paths = enumerate_paths(&room);
+        // Find the north-wall reflection and stand near its reflection point.
+        let north = paths
+            .iter()
+            .find(|p| {
+                matches!(
+                    p.kind,
+                    crate::paths::PathKind::WallReflection(crate::geometry::Wall::North)
+                )
+            })
+            .unwrap();
+        let refl_point = north.segments[0].b;
+        // Stand just inside the room at the same x as the reflection point,
+        // one step away from the wall so the cylinder crosses both legs.
+        let human = Human::at(refl_point.x, room.depth - 0.3);
+        let f = blockage_factor(north, &human);
+        assert!(f < 0.5, "north reflection should be shadowed, factor {f}");
+        // The LoS is far away from that position and stays clear.
+        assert!(blockage_factor(&paths[0], &human) > 0.95);
+    }
+
+    #[test]
+    fn factors_are_in_unit_interval() {
+        let room = Room::laboratory();
+        let paths = enumerate_paths(&room);
+        for gx in 0..10 {
+            for gy in 0..8 {
+                let human = Human::at(
+                    0.5 + gx as f64 * 0.75,
+                    0.5 + gy as f64 * 0.65,
+                );
+                for f in blockage_factors(&paths, &human) {
+                    assert!((0.0..=1.0).contains(&f));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn moving_across_the_los_produces_smooth_transition() {
+        let room = Room::laboratory();
+        let paths = enumerate_paths(&room);
+        let los = &paths[0];
+        let mut prev: Option<f64> = None;
+        let mut max_step = 0.0f64;
+        // Walk across the LoS line in small steps.
+        for i in 0..=60 {
+            let y = 2.0 + i as f64 * (2.0 / 60.0);
+            let f = blockage_factor(los, &Human::at(4.0, y));
+            if let Some(p) = prev {
+                max_step = max_step.max((f - p).abs());
+            }
+            prev = Some(f);
+        }
+        // Smooth transition: no single 3.3 cm step jumps more than 0.4 in
+        // amplitude factor.
+        assert!(max_step < 0.4, "transition too abrupt: {max_step}");
+    }
+}

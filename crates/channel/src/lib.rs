@@ -1,0 +1,50 @@
+//! # vvd-channel
+//!
+//! Geometric indoor multipath channel simulator for the Veni Vidi Dixi
+//! reproduction.
+//!
+//! The paper's central causal assumption (its two hypotheses, Sec. 2.2) is
+//! that the positions of mobile objects in an indoor environment determine
+//! the amplitude and phase of the multipath components (MPCs) between a
+//! static transmitter and receiver.  This crate turns that assumption into a
+//! simulator:
+//!
+//! * a laboratory-like [`room::Room`] with a transmitter, a receiver, four
+//!   reflecting walls and a set of static metallic scatterers,
+//! * an explicit enumeration of MPCs — line of sight, first-order wall
+//!   reflections (image method) and scatterer bounces ([`paths`]),
+//! * a mobile [`human::Human`] modelled as a vertical cylinder that
+//!   attenuates every MPC whose path it intersects, with a smooth
+//!   transition so that near-misses produce partial shadowing
+//!   ([`blockage`]),
+//! * synthesis of the sample-spaced tapped-delay-line channel impulse
+//!   response from the MPCs ([`cir`]), including the diffuse residual and
+//!   the human-scattered component that keep the channel from being a
+//!   perfectly learnable function of the camera image,
+//! * per-packet impairments — crystal-induced mean phase offset and AWGN —
+//!   and application of the whole thing to a baseband waveform
+//!   ([`apply`]).
+//!
+//! The hardware that this replaces (Zolertia motes + USRP sniffer in a real
+//! laboratory) is discussed in `DESIGN.md`; the key property preserved is
+//! that the CIR is a deterministic-plus-small-noise function of the human
+//! position, which is exactly what VVD's CNN is asked to learn.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod apply;
+pub mod blockage;
+pub mod cir;
+pub mod geometry;
+pub mod human;
+pub mod noise;
+pub mod paths;
+pub mod room;
+
+pub use apply::{apply_channel, ChannelRealization};
+pub use cir::{CirConfig, CirSynthesizer};
+pub use geometry::Point3;
+pub use human::Human;
+pub use paths::{enumerate_paths, MultipathComponent};
+pub use room::{Room, Scatterer};

@@ -1,0 +1,95 @@
+//! Additive white Gaussian noise.
+//!
+//! The USRP capture in the paper contains thermal noise plus whatever
+//! interference survived the 8 MHz separation from the nearest 802.11
+//! channel; we model the sum as circularly-symmetric complex AWGN whose
+//! power is set relative to the *nominal* (unblocked) receive power so that
+//! body-shadowed packets automatically experience a lower effective SNR.
+
+use rand::Rng;
+use rand_distr::{Distribution, Normal};
+use vvd_dsp::{CVec, Complex};
+
+/// Per-component standard deviation for complex AWGN with the given total
+/// noise power (variance split evenly between real and imaginary parts).
+pub fn component_std_for_noise_power(noise_power: f64) -> f64 {
+    (noise_power / 2.0).max(0.0).sqrt()
+}
+
+/// Noise power needed for a target SNR (in dB) given a signal power.
+pub fn noise_power_for_snr(signal_power: f64, snr_db: f64) -> f64 {
+    signal_power / 10f64.powf(snr_db / 10.0)
+}
+
+/// Generates `len` samples of circularly-symmetric complex Gaussian noise
+/// with per-component standard deviation `component_std`.
+pub fn awgn<R: Rng + ?Sized>(len: usize, component_std: f64, rng: &mut R) -> CVec {
+    if component_std <= 0.0 {
+        return CVec::zeros(len);
+    }
+    let normal = Normal::new(0.0, component_std).expect("valid std");
+    CVec(
+        (0..len)
+            .map(|_| Complex::new(normal.sample(rng), normal.sample(rng)))
+            .collect(),
+    )
+}
+
+/// Adds AWGN of the given per-component standard deviation to a signal.
+pub fn add_awgn<R: Rng + ?Sized>(signal: &CVec, component_std: f64, rng: &mut R) -> CVec {
+    if component_std <= 0.0 {
+        return signal.clone();
+    }
+    signal.add(&awgn(signal.len(), component_std, rng))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn noise_power_matches_request() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let std = component_std_for_noise_power(0.5);
+        let n = awgn(200_000, std, &mut rng);
+        let measured = n.power();
+        assert!((measured - 0.5).abs() < 0.01, "measured {measured}");
+    }
+
+    #[test]
+    fn snr_calculation() {
+        let p = noise_power_for_snr(2.0, 10.0);
+        assert!((p - 0.2).abs() < 1e-12);
+        assert_eq!(noise_power_for_snr(1.0, 0.0), 1.0);
+    }
+
+    #[test]
+    fn zero_std_is_noiseless() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let sig = CVec::from_real(&[1.0, 2.0, 3.0]);
+        assert_eq!(add_awgn(&sig, 0.0, &mut rng), sig);
+        assert_eq!(awgn(5, 0.0, &mut rng), CVec::zeros(5));
+    }
+
+    #[test]
+    fn noise_is_zero_mean() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = awgn(100_000, 1.0, &mut rng);
+        let mean: Complex = n.iter().sum::<Complex>() / n.len() as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn measured_snr_matches_target() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let signal = CVec(vec![Complex::new(0.7, -0.7); 50_000]);
+        let target_snr_db = 12.0;
+        let np = noise_power_for_snr(signal.power(), target_snr_db);
+        let noisy = add_awgn(&signal, component_std_for_noise_power(np), &mut rng);
+        let noise_est = noisy.sub(&signal).power();
+        let snr_est = 10.0 * (signal.power() / noise_est).log10();
+        assert!((snr_est - target_snr_db).abs() < 0.2, "snr {snr_est}");
+    }
+}

@@ -1,0 +1,268 @@
+//! VVD model: training and inference.
+//!
+//! Ties together the Fig.-8 architecture, the Fig.-6 output packing, the
+//! Sec.-4 normalisation and the Nadam training loop with best-validation-
+//! epoch selection, and exposes a [`VvdModel::predict_cir`] that returns a
+//! denormalised [`FirFilter`] ready for the shared equalization pipeline.
+
+use crate::architecture::build_vvd_cnn;
+use crate::config::VvdConfig;
+use crate::dataset::VvdDataset;
+use crate::preprocess::CirNormalizer;
+use crate::variant::VvdVariant;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use vvd_dsp::FirFilter;
+use vvd_nn::{Nadam, Sequential, Tensor, TrainConfig, Trainer};
+use vvd_vision::DepthImage;
+
+/// Summary of a VVD training run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VvdTrainingReport {
+    /// Variant the model was trained for.
+    pub variant: VvdVariant,
+    /// Training loss per epoch.
+    pub train_loss: Vec<f32>,
+    /// Validation loss per epoch.
+    pub val_loss: Vec<f32>,
+    /// Epoch whose weights were kept.
+    pub best_epoch: usize,
+    /// Validation MSE (normalised units) of the kept epoch.
+    pub best_val_loss: f32,
+}
+
+/// A trained VVD model.
+pub struct VvdModel {
+    network: Sequential,
+    normalizer: CirNormalizer,
+    config: VvdConfig,
+    variant: VvdVariant,
+    image_height: usize,
+    image_width: usize,
+}
+
+impl VvdModel {
+    /// Trains a VVD model of the given variant on the training dataset,
+    /// using the validation dataset for model selection (Sec. 4).
+    ///
+    /// # Panics
+    /// Panics on an empty training set or inconsistent image dimensions.
+    pub fn train(
+        variant: VvdVariant,
+        config: &VvdConfig,
+        train: &VvdDataset,
+        validation: &VvdDataset,
+    ) -> (Self, VvdTrainingReport) {
+        assert!(!train.is_empty(), "VVD training set is empty");
+        let h = train.image_height();
+        let w = train.image_width();
+        assert_eq!(
+            train.channel_taps(),
+            config.channel_taps,
+            "dataset tap count does not match the configuration"
+        );
+
+        let normalizer = train.normalizer();
+        let train_x = train.input_tensor();
+        let train_y = train.target_tensor(&normalizer);
+        let (val_x, val_y) = if validation.is_empty() {
+            (Tensor::zeros(&[0, 1, h, w]), Tensor::zeros(&[0, config.output_units()]))
+        } else {
+            (
+                validation.input_tensor(),
+                validation.target_tensor(&normalizer),
+            )
+        };
+
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut network = build_vvd_cnn(h, w, config, &mut rng);
+        let mut optimizer = Nadam::new(config.learning_rate, config.lr_decay);
+        let trainer = Trainer::new(TrainConfig {
+            epochs: config.epochs,
+            batch_size: config.batch_size,
+            shuffle_seed: config.seed,
+            keep_best_validation_epoch: true,
+        });
+        let report = trainer.fit(&mut network, &mut optimizer, &train_x, &train_y, &val_x, &val_y);
+
+        let model = VvdModel {
+            network,
+            normalizer,
+            config: *config,
+            variant,
+            image_height: h,
+            image_width: w,
+        };
+        let report = VvdTrainingReport {
+            variant,
+            train_loss: report.train_loss,
+            val_loss: report.val_loss,
+            best_epoch: report.best_epoch,
+            best_val_loss: report.best_val_loss,
+        };
+        (model, report)
+    }
+
+    /// The prediction-horizon variant this model was trained for.
+    pub fn variant(&self) -> VvdVariant {
+        self.variant
+    }
+
+    /// The configuration the model was trained with.
+    pub fn config(&self) -> &VvdConfig {
+        &self.config
+    }
+
+    /// The CIR normalisation factor learned from the training set.
+    pub fn normalizer(&self) -> &CirNormalizer {
+        &self.normalizer
+    }
+
+    /// Predicts the complex channel impulse response for one preprocessed
+    /// depth image.
+    ///
+    /// # Panics
+    /// Panics if the image dimensions differ from the training images.
+    pub fn predict_cir(&mut self, image: &DepthImage) -> FirFilter {
+        assert_eq!(
+            (image.height(), image.width()),
+            (self.image_height, self.image_width),
+            "image dimensions do not match the trained model"
+        );
+        let x = Tensor::from_vec(
+            &[1, 1, self.image_height, self.image_width],
+            image.data().to_vec(),
+        );
+        let y = self.network.predict(&x);
+        self.normalizer.denormalize(y.item(0))
+    }
+
+    /// Predicts CIRs for a whole dataset (used by the evaluation harness and
+    /// the MSE metric).
+    pub fn predict_dataset(&mut self, dataset: &VvdDataset) -> Vec<FirFilter> {
+        dataset
+            .samples
+            .iter()
+            .map(|s| {
+                let x = Tensor::from_vec(
+                    &[1, 1, self.image_height, self.image_width],
+                    s.image.data().to_vec(),
+                );
+                let y = self.network.predict(&x);
+                self.normalizer.denormalize(y.item(0))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::VvdSample;
+    use vvd_dsp::Complex;
+
+    /// Builds a synthetic dataset in which the CIR is a simple deterministic
+    /// function of a "blob" position encoded in the image — a miniature
+    /// version of the real learning problem.
+    fn synthetic_dataset(n: usize, offset: usize) -> VvdDataset {
+        let mut ds = VvdDataset::new();
+        let (h, w) = (26, 30);
+        for k in 0..n {
+            let pos = (k * 7 + offset) % (w - 6);
+            let mut img = DepthImage::filled(w, h, 0.8);
+            for r in 8..16 {
+                for c in pos..pos + 6 {
+                    img.set(r, c, 0.2);
+                }
+            }
+            // CIR: main tap amplitude decreases as the blob approaches the
+            // centre (mimicking LoS blockage), phase rotates with position.
+            let centre_dist = (pos as f64 + 3.0 - w as f64 / 2.0).abs() / (w as f64 / 2.0);
+            let amp = 2e-3 * (0.3 + 0.7 * centre_dist);
+            let phase = 0.5 + centre_dist;
+            let mut taps = vec![Complex::ZERO; 11];
+            taps[5] = Complex::from_polar(amp, phase);
+            taps[6] = Complex::from_polar(amp * 0.4, phase - 0.8);
+            ds.push(VvdSample {
+                image: img,
+                target_cir: FirFilter::from_taps(&taps),
+            });
+        }
+        ds
+    }
+
+    fn tiny_config() -> VvdConfig {
+        let mut cfg = VvdConfig::quick();
+        cfg.conv_filters = 4;
+        cfg.dense_units = 32;
+        cfg.epochs = 80;
+        cfg.batch_size = 8;
+        cfg.learning_rate = 4e-3;
+        cfg
+    }
+
+    #[test]
+    fn training_learns_image_to_cir_mapping() {
+        let train = synthetic_dataset(60, 0);
+        let val = synthetic_dataset(12, 3);
+        let (mut model, report) =
+            VvdModel::train(VvdVariant::Current, &tiny_config(), &train, &val);
+        assert!(report.best_val_loss < report.val_loss[0],
+            "validation loss should improve: {} -> {}", report.val_loss[0], report.best_val_loss);
+
+        // Predictions on validation images should be closer to the target
+        // than a naive "mean CIR" predictor.
+        let predictions = model.predict_dataset(&val);
+        let mean_cir = {
+            let mut acc = vvd_dsp::CVec::zeros(11);
+            for s in &train.samples {
+                acc = acc.add(s.target_cir.taps());
+            }
+            FirFilter::new(acc.scale(1.0 / train.len() as f64))
+        };
+        let mut pred_err = 0.0;
+        let mut mean_err = 0.0;
+        for (p, s) in predictions.iter().zip(val.samples.iter()) {
+            pred_err += p.taps().squared_error(s.target_cir.taps());
+            mean_err += mean_cir.taps().squared_error(s.target_cir.taps());
+        }
+        assert!(
+            pred_err < mean_err,
+            "VVD ({pred_err:.3e}) should beat the mean predictor ({mean_err:.3e})"
+        );
+    }
+
+    #[test]
+    fn prediction_has_configured_tap_count_and_scale() {
+        let train = synthetic_dataset(30, 1);
+        let (mut model, _) = VvdModel::train(VvdVariant::Future33ms, &tiny_config(), &train, &VvdDataset::new());
+        assert_eq!(model.variant(), VvdVariant::Future33ms);
+        let cir = model.predict_cir(&train.samples[0].image);
+        assert_eq!(cir.len(), 11);
+        // Denormalised output is on the physical scale of the targets
+        // (~1e-3), not on the normalised scale (~1).
+        assert!(cir.taps().max_abs() < 0.1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_training_set_panics() {
+        let _ = VvdModel::train(
+            VvdVariant::Current,
+            &tiny_config(),
+            &VvdDataset::new(),
+            &VvdDataset::new(),
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn wrong_image_size_at_inference_panics() {
+        let train = synthetic_dataset(20, 0);
+        let (mut model, _) =
+            VvdModel::train(VvdVariant::Current, &tiny_config(), &train, &VvdDataset::new());
+        let wrong = DepthImage::filled(10, 10, 0.5);
+        let _ = model.predict_cir(&wrong);
+    }
+}

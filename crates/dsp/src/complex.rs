@@ -1,0 +1,352 @@
+//! A minimal complex scalar type.
+//!
+//! The whole reproduction works in double precision baseband samples, so a
+//! simple `{ re, im }` struct with the usual field arithmetic is sufficient.
+//! We implement it ourselves (rather than pulling in `num-complex`) to keep
+//! the substrate dependency-free and because the estimators only require a
+//! handful of operations: add/sub/mul/div, conjugation, magnitude and
+//! argument.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number in rectangular form with `f64` components.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Complex {
+    /// Real (in-phase) component.
+    pub re: f64,
+    /// Imaginary (quadrature) component.
+    pub im: f64,
+}
+
+impl Complex {
+    /// The additive identity `0 + 0j`.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+    /// The multiplicative identity `1 + 0j`.
+    pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+    /// The imaginary unit `0 + 1j`.
+    pub const I: Complex = Complex { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from rectangular coordinates.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// Creates a purely real complex number.
+    #[inline]
+    pub const fn from_real(re: f64) -> Self {
+        Complex { re, im: 0.0 }
+    }
+
+    /// Creates a complex number from polar coordinates `r * exp(j*theta)`.
+    #[inline]
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        Complex {
+            re: r * theta.cos(),
+            im: r * theta.sin(),
+        }
+    }
+
+    /// `exp(j*theta)`, a unit phasor.
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        Self::from_polar(1.0, theta)
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Complex {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// Squared magnitude `|z|^2 = re^2 + im^2`.
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude `|z|`.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Argument (phase angle) in radians, in `(-pi, pi]`.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Multiplicative inverse `1/z`.
+    ///
+    /// Returns `Complex::ZERO` divided-by-zero semantics are avoided by the
+    /// caller; for `z == 0` the result contains infinities/NaNs exactly as
+    /// naive division would.
+    #[inline]
+    pub fn inv(self) -> Self {
+        let d = self.norm_sqr();
+        Complex {
+            re: self.re / d,
+            im: -self.im / d,
+        }
+    }
+
+    /// Scales by a real factor.
+    #[inline]
+    pub fn scale(self, k: f64) -> Self {
+        Complex {
+            re: self.re * k,
+            im: self.im * k,
+        }
+    }
+
+    /// Complex exponential `exp(z)`.
+    #[inline]
+    pub fn exp(self) -> Self {
+        let r = self.re.exp();
+        Complex {
+            re: r * self.im.cos(),
+            im: r * self.im.sin(),
+        }
+    }
+
+    /// Principal square root.
+    pub fn sqrt(self) -> Self {
+        let r = self.abs();
+        let theta = self.arg();
+        Complex::from_polar(r.sqrt(), theta / 2.0)
+    }
+
+    /// Returns `true` if either component is NaN.
+    #[inline]
+    pub fn is_nan(self) -> bool {
+        self.re.is_nan() || self.im.is_nan()
+    }
+
+    /// Returns `true` if both components are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+}
+
+impl fmt::Display for Complex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{:.6}+{:.6}j", self.re, self.im)
+        } else {
+            write!(f, "{:.6}-{:.6}j", self.re, -self.im)
+        }
+    }
+}
+
+impl From<f64> for Complex {
+    fn from(re: f64) -> Self {
+        Complex::from_real(re)
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    #[inline]
+    fn add(self, rhs: Complex) -> Complex {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl AddAssign for Complex {
+    #[inline]
+    fn add_assign(&mut self, rhs: Complex) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    #[inline]
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl SubAssign for Complex {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Complex) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl MulAssign for Complex {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Complex) {
+        *self = *self * rhs;
+    }
+}
+
+impl Mul<f64> for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: f64) -> Complex {
+        self.scale(rhs)
+    }
+}
+
+impl Mul<Complex> for f64 {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: Complex) -> Complex {
+        rhs.scale(self)
+    }
+}
+
+impl Div for Complex {
+    type Output = Complex;
+    #[inline]
+    fn div(self, rhs: Complex) -> Complex {
+        self * rhs.inv()
+    }
+}
+
+impl DivAssign for Complex {
+    #[inline]
+    fn div_assign(&mut self, rhs: Complex) {
+        *self = *self / rhs;
+    }
+}
+
+impl Div<f64> for Complex {
+    type Output = Complex;
+    #[inline]
+    fn div(self, rhs: f64) -> Complex {
+        Complex::new(self.re / rhs, self.im / rhs)
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    #[inline]
+    fn neg(self) -> Complex {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+impl Sum for Complex {
+    fn sum<I: Iterator<Item = Complex>>(iter: I) -> Complex {
+        iter.fold(Complex::ZERO, |acc, z| acc + z)
+    }
+}
+
+impl<'a> Sum<&'a Complex> for Complex {
+    fn sum<I: Iterator<Item = &'a Complex>>(iter: I) -> Complex {
+        iter.fold(Complex::ZERO, |acc, z| acc + *z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-12;
+
+    fn close(a: Complex, b: Complex) -> bool {
+        (a - b).abs() < EPS
+    }
+
+    #[test]
+    fn addition_and_subtraction() {
+        let a = Complex::new(1.0, 2.0);
+        let b = Complex::new(-3.0, 0.5);
+        assert!(close(a + b, Complex::new(-2.0, 2.5)));
+        assert!(close(a - b, Complex::new(4.0, 1.5)));
+        assert!(close((a + b) - b, a));
+    }
+
+    #[test]
+    fn multiplication_matches_expansion() {
+        let a = Complex::new(2.0, 3.0);
+        let b = Complex::new(4.0, -1.0);
+        // (2+3j)(4-1j) = 8 - 2j + 12j - 3j^2 = 11 + 10j
+        assert!(close(a * b, Complex::new(11.0, 10.0)));
+    }
+
+    #[test]
+    fn division_inverts_multiplication() {
+        let a = Complex::new(2.5, -1.5);
+        let b = Complex::new(0.7, 0.3);
+        assert!(close((a * b) / b, a));
+    }
+
+    #[test]
+    fn conjugate_and_norm() {
+        let a = Complex::new(3.0, 4.0);
+        assert_eq!(a.abs(), 5.0);
+        assert_eq!(a.norm_sqr(), 25.0);
+        assert!(close(a * a.conj(), Complex::from_real(25.0)));
+    }
+
+    #[test]
+    fn polar_roundtrip() {
+        let z = Complex::from_polar(2.0, 0.7);
+        assert!((z.abs() - 2.0).abs() < EPS);
+        assert!((z.arg() - 0.7).abs() < EPS);
+    }
+
+    #[test]
+    fn cis_is_unit_magnitude() {
+        for k in 0..16 {
+            let theta = k as f64 * std::f64::consts::PI / 8.0;
+            assert!((Complex::cis(theta).abs() - 1.0).abs() < EPS);
+        }
+    }
+
+    #[test]
+    fn inverse_gives_one() {
+        let z = Complex::new(-1.25, 0.5);
+        assert!(close(z * z.inv(), Complex::ONE));
+    }
+
+    #[test]
+    fn exp_of_imaginary_is_cis() {
+        let theta = 1.234;
+        assert!(close(Complex::new(0.0, theta).exp(), Complex::cis(theta)));
+    }
+
+    #[test]
+    fn sqrt_squares_back() {
+        let z = Complex::new(-3.0, 4.0);
+        let s = z.sqrt();
+        assert!(close(s * s, z));
+    }
+
+    #[test]
+    fn sum_iterator() {
+        let v = vec![Complex::new(1.0, 1.0); 4];
+        let s: Complex = v.iter().sum();
+        assert!(close(s, Complex::new(4.0, 4.0)));
+    }
+
+    #[test]
+    fn display_formats_sign() {
+        assert_eq!(format!("{}", Complex::new(1.0, -2.0)), "1.000000-2.000000j");
+        assert_eq!(format!("{}", Complex::new(1.0, 2.0)), "1.000000+2.000000j");
+    }
+}

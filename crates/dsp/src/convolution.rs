@@ -1,0 +1,156 @@
+//! Linear convolution and convolution-matrix construction.
+//!
+//! The least-squares channel estimator of the paper (Eq. 4) is built on the
+//! convolution matrix `Xᵏ` of the known reference samples (Eq. 5): a
+//! `(N + M − 1) × N` Toeplitz matrix whose columns are shifted copies of the
+//! reference signal.  The same construction, applied to an estimated channel
+//! `ĥ`, yields the matrix `Hᵏ` used to design the zero-forcing equalizer
+//! (Eq. 6–7).  This module provides that builder plus plain linear
+//! convolution used by the channel simulator and the equalizer.
+
+use crate::cmatrix::CMatrix;
+use crate::complex::Complex;
+use crate::cvec::CVec;
+
+/// Builds the `(M + N − 1) × N` convolution (Toeplitz) matrix of the
+/// reference signal `x` for an `N`-tap FIR estimate, exactly as in Eq. 5 of
+/// the paper.
+///
+/// `M = x.len()` is the number of reference samples. Column `j` contains `x`
+/// delayed by `j` samples. Multiplying this matrix by an `N`-tap channel
+/// vector yields the full linear convolution `x * h`.
+///
+/// # Panics
+/// Panics if `x` is empty or `n_taps == 0`.
+pub fn convolution_matrix(x: &[Complex], n_taps: usize) -> CMatrix {
+    assert!(!x.is_empty(), "convolution_matrix: empty reference signal");
+    assert!(n_taps > 0, "convolution_matrix: zero taps requested");
+    let m = x.len();
+    let rows = m + n_taps - 1;
+    let mut out = CMatrix::zeros(rows, n_taps);
+    for (i, &xi) in x.iter().enumerate() {
+        for j in 0..n_taps {
+            out[(i + j, j)] = xi;
+        }
+    }
+    out
+}
+
+/// Full linear convolution of `x` and `h`, returning `x.len() + h.len() - 1`
+/// samples.
+pub fn convolve_full(x: &[Complex], h: &[Complex]) -> CVec {
+    if x.is_empty() || h.is_empty() {
+        return CVec::zeros(0);
+    }
+    let n = x.len() + h.len() - 1;
+    let mut out = CVec::zeros(n);
+    for (i, &xi) in x.iter().enumerate() {
+        if xi == Complex::ZERO {
+            continue;
+        }
+        for (j, &hj) in h.iter().enumerate() {
+            out[i + j] += xi * hj;
+        }
+    }
+    out
+}
+
+/// "Same-length" convolution: convolves `x` with `h` and returns exactly
+/// `x.len()` samples starting at the given `delay` offset into the full
+/// convolution.
+///
+/// This models what a receiver sees after a channel with `delay` pre-cursor
+/// samples: the output is aligned so that `out[k]` corresponds to `x[k]`
+/// passed through the tap at index `delay`.
+pub fn convolve(x: &[Complex], h: &[Complex], delay: usize) -> CVec {
+    let full = convolve_full(x, h);
+    let mut out = CVec::zeros(x.len());
+    for k in 0..x.len() {
+        let idx = k + delay;
+        if idx < full.len() {
+            out[k] = full[idx];
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(re: f64, im: f64) -> Complex {
+        Complex::new(re, im)
+    }
+
+    #[test]
+    fn matrix_shape_matches_eq5() {
+        // M = 3 reference samples, N = 3 taps -> (3+3-1) x 3 = 5 x 3.
+        let x = [c(1.0, 0.0), c(2.0, 0.0), c(3.0, 0.0)];
+        let m = convolution_matrix(&x, 3);
+        assert_eq!(m.rows(), 5);
+        assert_eq!(m.cols(), 3);
+        // First column is x followed by zeros; diagonal structure as in Eq. 5.
+        assert_eq!(m[(0, 0)], c(1.0, 0.0));
+        assert_eq!(m[(1, 0)], c(2.0, 0.0));
+        assert_eq!(m[(2, 0)], c(3.0, 0.0));
+        assert_eq!(m[(0, 1)], Complex::ZERO);
+        assert_eq!(m[(1, 1)], c(1.0, 0.0));
+        assert_eq!(m[(4, 2)], c(3.0, 0.0));
+        assert_eq!(m[(0, 2)], Complex::ZERO);
+    }
+
+    #[test]
+    fn matrix_times_taps_equals_convolution() {
+        let x = [c(1.0, 0.5), c(-2.0, 1.0), c(0.25, -0.75), c(3.0, 0.0)];
+        let h = [c(0.5, 0.0), c(0.0, 1.0), c(-1.0, 0.25)];
+        let m = convolution_matrix(&x, h.len());
+        let via_matrix = m.matvec(&CVec(h.to_vec()));
+        let direct = convolve_full(&x, &h);
+        assert_eq!(via_matrix.len(), direct.len());
+        assert!(via_matrix.squared_error(&direct) < 1e-24);
+    }
+
+    #[test]
+    fn convolution_with_unit_impulse_is_identity() {
+        let x = [c(1.0, 1.0), c(2.0, -1.0), c(3.0, 0.5)];
+        let h = [Complex::ONE];
+        let y = convolve_full(&x, &h);
+        assert_eq!(y.as_slice(), &x);
+    }
+
+    #[test]
+    fn convolution_with_delayed_impulse_shifts() {
+        let x = [c(1.0, 0.0), c(2.0, 0.0)];
+        let h = [Complex::ZERO, Complex::ZERO, Complex::ONE];
+        let y = convolve_full(&x, &h);
+        assert_eq!(y.len(), 4);
+        assert_eq!(y[0], Complex::ZERO);
+        assert_eq!(y[1], Complex::ZERO);
+        assert_eq!(y[2], c(1.0, 0.0));
+        assert_eq!(y[3], c(2.0, 0.0));
+    }
+
+    #[test]
+    fn convolution_is_commutative() {
+        let x = [c(1.0, 0.5), c(-2.0, 1.0), c(0.25, -0.75)];
+        let h = [c(0.5, 0.0), c(0.0, 1.0)];
+        let a = convolve_full(&x, &h);
+        let b = convolve_full(&h, &x);
+        assert!(a.squared_error(&b) < 1e-24);
+    }
+
+    #[test]
+    fn same_length_convolution_aligns_on_delay() {
+        let x = [c(1.0, 0.0), c(2.0, 0.0), c(3.0, 0.0)];
+        let h = [Complex::ZERO, Complex::ONE]; // pure one-sample delay
+        let y = convolve(&x, &h, 1);
+        // Aligned on the delayed tap, the output should equal the input.
+        assert!(y.squared_error(&CVec(x.to_vec())) < 1e-24);
+    }
+
+    #[test]
+    fn empty_inputs_yield_empty_output() {
+        assert_eq!(convolve_full(&[], &[Complex::ONE]).len(), 0);
+        assert_eq!(convolve_full(&[Complex::ONE], &[]).len(), 0);
+    }
+}

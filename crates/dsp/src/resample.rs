@@ -1,0 +1,116 @@
+//! Sample-rate conversion helpers.
+//!
+//! The measurement setup in the paper samples at 10 MHz on the USRP and
+//! downsamples to 8 MHz in GNU Radio; the PHY itself runs at 2 Mchip/s so the
+//! receiver works with an integer number of samples per chip.  The
+//! reproduction keeps everything at an integer samples-per-chip ratio, so
+//! only integer-factor decimation/expansion is required.
+
+use crate::complex::Complex;
+use crate::cvec::CVec;
+
+/// Keeps every `factor`-th sample starting at `phase`.
+///
+/// # Panics
+/// Panics if `factor == 0` or `phase >= factor`.
+pub fn decimate(x: &[Complex], factor: usize, phase: usize) -> CVec {
+    assert!(factor > 0, "decimate: zero factor");
+    assert!(phase < factor, "decimate: phase out of range");
+    CVec(x.iter().skip(phase).step_by(factor).copied().collect())
+}
+
+/// Zero-stuffing expansion by an integer factor: inserts `factor - 1` zeros
+/// after every input sample.
+///
+/// # Panics
+/// Panics if `factor == 0`.
+pub fn expand(x: &[Complex], factor: usize) -> CVec {
+    assert!(factor > 0, "expand: zero factor");
+    let mut out = CVec::zeros(x.len() * factor);
+    for (i, &v) in x.iter().enumerate() {
+        out[i * factor] = v;
+    }
+    out
+}
+
+/// Repeats each sample `factor` times (sample-and-hold interpolation).
+///
+/// Used to hold a chip value over all baseband samples of the chip before
+/// pulse shaping.
+pub fn hold(x: &[Complex], factor: usize) -> CVec {
+    assert!(factor > 0, "hold: zero factor");
+    let mut out = CVec::zeros(x.len() * factor);
+    for (i, &v) in x.iter().enumerate() {
+        for k in 0..factor {
+            out[i * factor + k] = v;
+        }
+    }
+    out
+}
+
+/// Averages consecutive groups of `factor` samples (a simple anti-alias
+/// decimator used by the depth-image downsampling pipeline as well).
+pub fn average_decimate(x: &[Complex], factor: usize) -> CVec {
+    assert!(factor > 0, "average_decimate: zero factor");
+    let n = x.len() / factor;
+    let mut out = CVec::zeros(n);
+    for i in 0..n {
+        let mut acc = Complex::ZERO;
+        for k in 0..factor {
+            acc += x[i * factor + k];
+        }
+        out[i] = acc / factor as f64;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp(n: usize) -> Vec<Complex> {
+        (0..n).map(|i| Complex::new(i as f64, -(i as f64))).collect()
+    }
+
+    #[test]
+    fn decimate_picks_every_kth() {
+        let x = ramp(10);
+        let y = decimate(&x, 3, 0);
+        assert_eq!(y.len(), 4);
+        assert_eq!(y[1].re, 3.0);
+        let y2 = decimate(&x, 3, 2);
+        assert_eq!(y2[0].re, 2.0);
+    }
+
+    #[test]
+    fn expand_then_decimate_is_identity() {
+        let x = ramp(7);
+        let y = decimate(&expand(&x, 4), 4, 0);
+        assert_eq!(y.as_slice(), &x[..]);
+    }
+
+    #[test]
+    fn hold_then_average_decimate_is_identity() {
+        let x = ramp(5);
+        let y = average_decimate(&hold(&x, 4), 4);
+        for (a, b) in y.iter().zip(x.iter()) {
+            assert!((*a - *b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn hold_repeats_values() {
+        let x = ramp(2);
+        let y = hold(&x, 3);
+        assert_eq!(y.len(), 6);
+        assert_eq!(y[0], y[2]);
+        assert_eq!(y[3], y[5]);
+        assert_ne!(y[2], y[3]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_factor_panics() {
+        let _ = decimate(&ramp(4), 0, 0);
+    }
+}

@@ -1,0 +1,137 @@
+//! Autoregressive model fitting via the Yule–Walker equations (Eq. 12–14).
+//!
+//! For the Kalman baselines the paper fits an AR(p) process to each channel
+//! tap using the autocorrelation coefficients of the perfect channel
+//! estimates from the training sets, then drives a per-tap Kalman filter
+//! with the resulting state-transition matrix.
+
+use vvd_dsp::correlation::autocorrelation_coefficients;
+use vvd_dsp::solve::{solve_linear, SolveError};
+use vvd_dsp::{CMatrix, CVec, Complex};
+
+/// Fits AR(p) coefficients `φ₁..φ_p` to a (complex) tap sequence with the
+/// Yule–Walker equations: `R φ = r`.
+///
+/// Returns the AR coefficient vector.  When the tap sequence has (near) zero
+/// energy or the autocorrelation matrix is singular the fit falls back to a
+/// persistence model (`φ₁ = 1`, rest 0), which keeps downstream Kalman
+/// filters well-defined for degenerate training data.
+pub fn fit_ar_coefficients(tap_sequence: &[Complex], order: usize) -> CVec {
+    assert!(order >= 1, "AR order must be at least 1");
+    let fallback = || {
+        let mut phi = CVec::zeros(order);
+        phi[0] = Complex::ONE;
+        phi
+    };
+    if tap_sequence.len() < order + 2 {
+        return fallback();
+    }
+    let r = autocorrelation_coefficients(tap_sequence, order);
+    if r[0].abs() == 0.0 {
+        return fallback();
+    }
+    match solve_yule_walker(&r, order) {
+        Ok(phi) => phi,
+        Err(_) => fallback(),
+    }
+}
+
+/// Solves the Yule–Walker system given autocorrelation coefficients
+/// `r[0..=order]` (with `r[0] = 1`).
+fn solve_yule_walker(r: &CVec, order: usize) -> Result<CVec, SolveError> {
+    // R is the Hermitian Toeplitz matrix of coefficients r[0..order-1].
+    let mut big_r = CMatrix::zeros(order, order);
+    for i in 0..order {
+        for j in 0..order {
+            let lag = i as isize - j as isize;
+            let v = if lag >= 0 {
+                r[lag as usize]
+            } else {
+                r[(-lag) as usize].conj()
+            };
+            big_r[(i, j)] = v;
+        }
+    }
+    let rhs = CVec((1..=order).map(|k| r[k]).collect());
+    solve_linear(&big_r, &rhs)
+}
+
+/// One-step-ahead AR prediction `ĥ[k] = Σ φ_i h[k-i]` from the most recent
+/// `order` observations (`history[0]` is the newest).
+pub fn ar_predict(phi: &CVec, history: &[Complex]) -> Complex {
+    let mut acc = Complex::ZERO;
+    for (i, &coef) in phi.iter().enumerate() {
+        if i < history.len() {
+            acc += coef * history[i];
+        }
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Generates a synthetic AR(1) sequence h[k] = a*h[k-1] + w[k].
+    fn ar1_sequence(a: Complex, n: usize) -> Vec<Complex> {
+        let mut seq = Vec::with_capacity(n);
+        let mut h = Complex::new(1.0, 0.5);
+        for k in 0..n {
+            // Small deterministic "innovation" to keep the test reproducible.
+            let w = Complex::new(((k * 37 % 11) as f64 - 5.0) * 1e-3, ((k * 13 % 7) as f64 - 3.0) * 1e-3);
+            h = a * h + w;
+            seq.push(h);
+        }
+        seq
+    }
+
+    #[test]
+    fn recovers_ar1_coefficient() {
+        let a = Complex::new(0.9, 0.05);
+        let seq = ar1_sequence(a, 400);
+        let phi = fit_ar_coefficients(&seq, 1);
+        assert!(
+            (phi[0] - a).abs() < 0.08,
+            "estimated {} vs true {a}",
+            phi[0]
+        );
+    }
+
+    #[test]
+    fn higher_order_fit_keeps_first_coefficient_dominant() {
+        let a = Complex::new(0.85, 0.0);
+        let seq = ar1_sequence(a, 400);
+        let phi = fit_ar_coefficients(&seq, 5);
+        assert_eq!(phi.len(), 5);
+        assert!(phi[0].abs() > phi[2].abs());
+        assert!(phi[0].abs() > phi[4].abs());
+    }
+
+    #[test]
+    fn degenerate_sequences_fall_back_to_persistence() {
+        let zeros = vec![Complex::ZERO; 50];
+        let phi = fit_ar_coefficients(&zeros, 3);
+        assert_eq!(phi[0], Complex::ONE);
+        assert_eq!(phi[1], Complex::ZERO);
+
+        let tiny = vec![Complex::new(1.0, 0.0); 3];
+        let phi_short = fit_ar_coefficients(&tiny, 5);
+        assert_eq!(phi_short[0], Complex::ONE);
+    }
+
+    #[test]
+    fn prediction_of_constant_sequence_is_the_constant() {
+        let seq = vec![Complex::new(0.7, -0.2); 100];
+        let phi = fit_ar_coefficients(&seq, 1);
+        let pred = ar_predict(&phi, &[Complex::new(0.7, -0.2)]);
+        assert!((pred - Complex::new(0.7, -0.2)).abs() < 0.05);
+    }
+
+    #[test]
+    fn prediction_handles_short_history() {
+        let phi = CVec(vec![Complex::new(0.5, 0.0), Complex::new(0.3, 0.0)]);
+        // Only one history sample available: second term ignored.
+        let pred = ar_predict(&phi, &[Complex::new(2.0, 0.0)]);
+        assert!((pred - Complex::new(1.0, 0.0)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,252 @@
+//! Kalman-filtering based channel estimation (paper Appendix).
+//!
+//! Each channel tap is modelled as an independent AR(p) process (the WSSUS
+//! assumption lets the taps fade independently); the AR coefficients come
+//! from the Yule–Walker fit on the training sets and the Kalman filter
+//! predicts the next packet's tap value from the perfect estimates of the
+//! previous packets.  The estimator is "semi-blind": the prediction used for
+//! decoding packet `k` never looks at packet `k` itself.
+
+use crate::ar::fit_ar_coefficients;
+use vvd_dsp::solve::invert;
+use vvd_dsp::{CMatrix, CVec, Complex, FirFilter};
+
+/// Kalman filter tracking a single channel tap with an AR(p) state model.
+#[derive(Debug, Clone)]
+pub struct KalmanTapFilter {
+    order: usize,
+    /// Companion-form state transition matrix built from the AR coefficients.
+    phi: CMatrix,
+    /// State estimate `[h[k], h[k-1], ..., h[k-p+1]]`.
+    state: CVec,
+    /// Error covariance.
+    cov: CMatrix,
+    /// Process noise covariance.
+    q: CMatrix,
+    /// Observation noise covariance (small: observations are the perfect
+    /// channel estimates, cf. the paper's footnote 13).
+    u: CMatrix,
+    /// Recent observations, newest first, used to form the observed state.
+    history: Vec<Complex>,
+}
+
+impl KalmanTapFilter {
+    /// Builds a tap filter from AR coefficients, the innovation variance of
+    /// the AR fit and the (small) observation noise variance.
+    pub fn new(phi_coeffs: &CVec, innovation_variance: f64, observation_variance: f64) -> Self {
+        let p = phi_coeffs.len();
+        assert!(p >= 1);
+        let mut phi = CMatrix::zeros(p, p);
+        for (j, &c) in phi_coeffs.iter().enumerate() {
+            phi[(0, j)] = c;
+        }
+        for i in 1..p {
+            phi[(i, i - 1)] = Complex::ONE;
+        }
+        let mut q = CMatrix::zeros(p, p);
+        q[(0, 0)] = Complex::from_real(innovation_variance.max(1e-18));
+        let u = CMatrix::identity(p).scale(observation_variance.max(1e-18));
+        KalmanTapFilter {
+            order: p,
+            phi,
+            state: CVec::zeros(p),
+            cov: CMatrix::identity(p),
+            q,
+            u,
+            history: Vec::new(),
+        }
+    }
+
+    /// The filter's current one-step-ahead prediction of the tap value.
+    pub fn predicted(&self) -> Complex {
+        self.state[0]
+    }
+
+    /// Incorporates the observed (perfect-estimate) tap value for the current
+    /// packet and advances the prediction to the next packet.
+    pub fn observe(&mut self, observed: Complex) {
+        // Observed state vector: newest observation plus previous ones.
+        self.history.insert(0, observed);
+        self.history.truncate(self.order);
+        let mut z = CVec::zeros(self.order);
+        for (i, &h) in self.history.iter().enumerate() {
+            z[i] = h;
+        }
+
+        // Update step: K = P (P + U)^-1 ; x = x + K (z - x) ; P = (I - K) P.
+        let gain = match invert(&self.cov.add(&self.u)) {
+            Ok(inv) => self.cov.matmul(&inv),
+            Err(_) => CMatrix::identity(self.order),
+        };
+        let innovation = z.sub(&self.state);
+        self.state = self.state.add(&gain.matvec(&innovation));
+        let identity = CMatrix::identity(self.order);
+        self.cov = identity.sub(&gain).matmul(&self.cov);
+
+        // Prediction step: x = Φ x ; P = Φ P Φᴴ + Q.
+        self.state = self.phi.matvec(&self.state);
+        self.cov = self
+            .phi
+            .matmul(&self.cov)
+            .matmul(&self.phi.hermitian())
+            .add(&self.q);
+    }
+}
+
+/// Kalman channel estimator: one [`KalmanTapFilter`] per channel tap.
+#[derive(Debug, Clone)]
+pub struct KalmanChannelEstimator {
+    taps: Vec<KalmanTapFilter>,
+    order: usize,
+}
+
+impl KalmanChannelEstimator {
+    /// Fits AR(p) models to every tap of the training CIR sequence and
+    /// builds the per-tap Kalman filters.
+    ///
+    /// `training_cirs` is the sequence of perfect channel estimates from the
+    /// training sets (chronological order); all must share the same tap
+    /// count.
+    ///
+    /// # Panics
+    /// Panics when the training sequence is empty.
+    pub fn fit(training_cirs: &[FirFilter], order: usize) -> Self {
+        assert!(!training_cirs.is_empty(), "empty Kalman training sequence");
+        let n_taps = training_cirs[0].len();
+        let mut taps = Vec::with_capacity(n_taps);
+        for l in 0..n_taps {
+            let sequence: Vec<Complex> = training_cirs.iter().map(|h| h.taps()[l]).collect();
+            let phi = fit_ar_coefficients(&sequence, order);
+            // Innovation variance: residual power of the one-step AR predictor.
+            let mut residual = 0.0;
+            let mut count = 0usize;
+            for k in order..sequence.len() {
+                let mut pred = Complex::ZERO;
+                for (i, &c) in phi.iter().enumerate() {
+                    pred += c * sequence[k - 1 - i];
+                }
+                residual += (sequence[k] - pred).norm_sqr();
+                count += 1;
+            }
+            let innovation_var = if count > 0 { residual / count as f64 } else { 1e-12 };
+            let tap_power =
+                sequence.iter().map(|v| v.norm_sqr()).sum::<f64>() / sequence.len() as f64;
+            let observation_var = (tap_power * 1e-4).max(1e-18);
+            taps.push(KalmanTapFilter::new(&phi, innovation_var, observation_var));
+        }
+        KalmanChannelEstimator { taps, order }
+    }
+
+    /// AR model order of this estimator.
+    pub fn order(&self) -> usize {
+        self.order
+    }
+
+    /// The blind prediction of the current packet's channel (made from past
+    /// packets only).
+    pub fn predicted_cir(&self) -> FirFilter {
+        FirFilter::new(CVec(self.taps.iter().map(|t| t.predicted()).collect()))
+    }
+
+    /// Feeds the perfect channel estimate of the just-received packet into
+    /// the filters and advances the prediction to the next packet.
+    pub fn observe(&mut self, perfect_cir: &FirFilter) {
+        assert_eq!(
+            perfect_cir.len(),
+            self.taps.len(),
+            "CIR tap count mismatch"
+        );
+        for (filter, &tap) in self.taps.iter_mut().zip(perfect_cir.taps().iter()) {
+            filter.observe(tap);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds a slowly varying synthetic CIR sequence: each tap follows an
+    /// AR(1) around a mean, mimicking block-fading with memory.
+    fn synthetic_cir_sequence(n: usize, n_taps: usize) -> Vec<FirFilter> {
+        let mut cirs = Vec::with_capacity(n);
+        let mut values: Vec<Complex> = (0..n_taps)
+            .map(|l| Complex::from_polar(1.0 / (l + 1) as f64, l as f64 * 0.7))
+            .collect();
+        for k in 0..n {
+            for (l, v) in values.iter_mut().enumerate() {
+                let drift = Complex::new(
+                    ((k * 31 + l * 7) % 13) as f64 * 2e-3 - 1.2e-2,
+                    ((k * 17 + l * 3) % 11) as f64 * 2e-3 - 1e-2,
+                );
+                *v = *v * 0.97 + drift;
+            }
+            cirs.push(FirFilter::new(CVec(values.clone())));
+        }
+        cirs
+    }
+
+    #[test]
+    fn prediction_tracks_slowly_varying_channel() {
+        let cirs = synthetic_cir_sequence(300, 4);
+        let (train, test) = cirs.split_at(200);
+        let mut kalman = KalmanChannelEstimator::fit(train, 1);
+        // Warm up on the training tail.
+        for cir in &train[150..] {
+            kalman.observe(cir);
+        }
+        let mut mse_pred = 0.0;
+        let mut mse_stale = 0.0;
+        let stale = train.last().unwrap().clone();
+        for cir in test {
+            let pred = kalman.predicted_cir();
+            mse_pred += pred.taps().squared_error(cir.taps());
+            mse_stale += stale.taps().squared_error(cir.taps());
+            kalman.observe(cir);
+        }
+        assert!(
+            mse_pred < mse_stale,
+            "Kalman ({mse_pred}) should beat a stale estimate ({mse_stale})"
+        );
+    }
+
+    #[test]
+    fn different_orders_produce_filters() {
+        let cirs = synthetic_cir_sequence(120, 3);
+        for order in [1usize, 5, 20] {
+            let k = KalmanChannelEstimator::fit(&cirs, order);
+            assert_eq!(k.order(), order);
+            assert_eq!(k.predicted_cir().len(), 3);
+        }
+    }
+
+    #[test]
+    fn observing_constant_channel_converges_to_it() {
+        let constant = FirFilter::from_taps(&[
+            Complex::new(0.5, 0.2),
+            Complex::new(0.1, -0.3),
+        ]);
+        let train: Vec<FirFilter> = std::iter::repeat(constant.clone()).take(50).collect();
+        let mut kalman = KalmanChannelEstimator::fit(&train, 1);
+        for _ in 0..30 {
+            kalman.observe(&constant);
+        }
+        let pred = kalman.predicted_cir();
+        let err = pred.taps().squared_error(constant.taps()) / constant.energy();
+        assert!(err < 0.02, "prediction error ratio {err}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_training_panics() {
+        let _ = KalmanChannelEstimator::fit(&[], 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn tap_count_mismatch_panics() {
+        let cirs = synthetic_cir_sequence(20, 3);
+        let mut kalman = KalmanChannelEstimator::fit(&cirs, 1);
+        kalman.observe(&FirFilter::from_taps(&[Complex::ONE; 5]));
+    }
+}

@@ -1,0 +1,49 @@
+//! # vvd-estimation
+//!
+//! Wireless channel estimation, equalization and reliability metrics for the
+//! Veni Vidi Dixi reproduction.
+//!
+//! The paper compares fourteen estimation techniques that all share one
+//! decoding pipeline — least-squares FIR channel estimation (Eq. 4),
+//! zero-forcing equalization (Eq. 6–7), mean-phase alignment (Eq. 8) — and
+//! differ only in *where the channel estimate comes from*.  This crate
+//! provides those shared pieces:
+//!
+//! * [`ls`] — the linear least-squares FIR estimator used for the perfect
+//!   (ground-truth), preamble-based and training-set estimates,
+//! * [`zf`] — zero-forcing equalizer design and application with
+//!   configurable length and cursor position,
+//! * [`phase`] — mean-phase-offset alignment between an externally supplied
+//!   (blind) estimate and the received block,
+//! * [`ar`] / [`kalman`] — Yule–Walker AR fitting and the per-tap Kalman
+//!   filter used by the Kalman AR(p) baselines,
+//! * [`decode`] — the one-call pipeline "estimate → align → equalize →
+//!   despread → check FCS" shared by every technique,
+//! * [`metrics`] — packet error rate, chip error rate and the Eq.-9 MSE,
+//! * [`techniques`] — the canonical list of technique names used in the
+//!   paper's figures.
+//!
+//! The orchestration of *which* estimate is fed to the pipeline for each
+//! packet (previous estimates, Kalman predictions, VVD outputs, combined
+//! fall-backs) lives in `vvd-testbed`, which composes these primitives.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod ar;
+pub mod decode;
+pub mod kalman;
+pub mod ls;
+pub mod metrics;
+pub mod phase;
+pub mod techniques;
+pub mod zf;
+
+pub use ar::fit_ar_coefficients;
+pub use decode::{decode_with_estimate, EqualizerConfig};
+pub use kalman::KalmanChannelEstimator;
+pub use ls::{ls_estimate, perfect_estimate, preamble_estimate};
+pub use metrics::{chip_error_rate, mean_squared_error, packet_error_rate};
+pub use phase::align_mean_phase;
+pub use techniques::Technique;
+pub use zf::ZfEqualizer;

@@ -1,0 +1,112 @@
+//! Reliability and accuracy metrics (Sec. 5.5).
+//!
+//! * **Packet error rate** — erroneous packets / transmitted packets,
+//! * **Chip error rate** — erroneous chips / transmitted chips (computed on
+//!   the equalized signal before despreading),
+//! * **Mean squared error** — Eq. 9, the per-tap squared distance between an
+//!   estimate and the perfect (ground-truth) channel estimate.
+
+use vvd_dsp::FirFilter;
+use vvd_phy::DecodeOutcome;
+
+/// Packet error rate over a set of decode outcomes (0 for an empty set).
+pub fn packet_error_rate(outcomes: &[DecodeOutcome]) -> f64 {
+    if outcomes.is_empty() {
+        return 0.0;
+    }
+    outcomes.iter().filter(|o| o.is_packet_error()).count() as f64 / outcomes.len() as f64
+}
+
+/// Chip error rate over a set of decode outcomes: total erroneous chips over
+/// total transmitted chips (0 for an empty set).
+pub fn chip_error_rate(outcomes: &[DecodeOutcome]) -> f64 {
+    let total: usize = outcomes.iter().map(|o| o.chip_count).sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let errors: usize = outcomes.iter().map(|o| o.chip_errors).sum();
+    errors as f64 / total as f64
+}
+
+/// Mean squared error between a sequence of estimates and the corresponding
+/// perfect estimates (Eq. 9): the squared tap differences summed over real
+/// and imaginary parts, averaged over taps and packets.
+///
+/// # Panics
+/// Panics if the two sequences differ in length or any pair differs in tap
+/// count.
+pub fn mean_squared_error(estimates: &[FirFilter], ground_truth: &[FirFilter]) -> f64 {
+    assert_eq!(
+        estimates.len(),
+        ground_truth.len(),
+        "MSE requires matching sequences"
+    );
+    if estimates.is_empty() {
+        return 0.0;
+    }
+    let mut acc = 0.0;
+    let mut taps_total = 0usize;
+    for (est, truth) in estimates.iter().zip(ground_truth.iter()) {
+        assert_eq!(est.len(), truth.len(), "MSE requires matching tap counts");
+        acc += est.taps().squared_error(truth.taps());
+        taps_total += truth.len();
+    }
+    acc / taps_total as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vvd_dsp::Complex;
+
+    fn outcome(crc_ok: bool, chip_errors: usize) -> DecodeOutcome {
+        DecodeOutcome {
+            crc_ok,
+            chip_errors,
+            chip_count: 100,
+            symbol_errors: 0,
+        }
+    }
+
+    #[test]
+    fn per_counts_failed_packets() {
+        let outcomes = vec![outcome(true, 0), outcome(false, 10), outcome(true, 2), outcome(false, 50)];
+        assert_eq!(packet_error_rate(&outcomes), 0.5);
+        assert_eq!(packet_error_rate(&[]), 0.0);
+    }
+
+    #[test]
+    fn cer_is_total_chip_errors_over_total_chips() {
+        let outcomes = vec![outcome(true, 1), outcome(false, 9)];
+        assert!((chip_error_rate(&outcomes) - 0.05).abs() < 1e-12);
+        assert_eq!(chip_error_rate(&[]), 0.0);
+    }
+
+    #[test]
+    fn mse_matches_eq9_for_known_values() {
+        let truth = vec![FirFilter::from_taps(&[Complex::new(1.0, 0.0), Complex::new(0.0, 1.0)])];
+        let est = vec![FirFilter::from_taps(&[Complex::new(1.0, 0.5), Complex::new(0.0, 1.0)])];
+        // One tap off by 0.5 in imaginary part: squared error 0.25 over 2 taps.
+        assert!((mean_squared_error(&est, &truth) - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_estimates_have_zero_mse() {
+        let truth: Vec<FirFilter> = (0..5)
+            .map(|k| FirFilter::from_taps(&[Complex::new(k as f64, -(k as f64))]))
+            .collect();
+        assert_eq!(mean_squared_error(&truth, &truth), 0.0);
+    }
+
+    #[test]
+    fn empty_sequences_give_zero() {
+        assert_eq!(mean_squared_error(&[], &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_sequence_lengths_panic() {
+        let a = vec![FirFilter::identity()];
+        let _ = mean_squared_error(&a, &[]);
+    }
+}

@@ -1,0 +1,92 @@
+//! Mean phase-offset alignment between channel estimates (Eq. 8).
+//!
+//! Blind estimates (previous packet, Kalman prediction, VVD output) are
+//! expressed in the phase reference of *their* source, while the received
+//! block carries the current packet's crystal-induced phase offset.  The
+//! paper aligns them by the correlation method of Eq. 8 using the known
+//! parts of the received signal (footnote 4); this module provides that
+//! alignment at the FIR-filter level.
+
+use vvd_dsp::correlation::mean_phase_offset;
+use vvd_dsp::{Complex, FirFilter};
+
+/// Rotates `estimate` so that its mean phase matches `reference`
+/// (`reference` is typically a rough preamble-based LS estimate of the
+/// current packet).
+///
+/// Returns the rotated estimate together with the applied rotation angle.
+pub fn align_mean_phase(estimate: &FirFilter, reference: &FirFilter) -> (FirFilter, f64) {
+    assert_eq!(
+        estimate.len(),
+        reference.len(),
+        "phase alignment requires equal tap counts"
+    );
+    // θ = arg{ h_ref · h_estᴴ }: rotating the estimate by θ aligns it with
+    // the reference in the mean-phase sense.
+    let theta = mean_phase_offset(reference.taps(), estimate.taps());
+    (estimate.rotated(Complex::cis(theta)), theta)
+}
+
+/// Phase-aligned mean squared error between two estimates: the MSE after
+/// removing the common mean phase rotation.  Used by the hypothesis test
+/// (Fig. 5), where the constellation comparison is done "after the mean
+/// phase shift is corrected".
+pub fn phase_aligned_mse(a: &FirFilter, b: &FirFilter) -> f64 {
+    let (aligned, _) = align_mean_phase(a, b);
+    aligned.taps().squared_error(b.taps()) / a.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vvd_dsp::Complex;
+
+    fn c(re: f64, im: f64) -> Complex {
+        Complex::new(re, im)
+    }
+
+    fn channel() -> FirFilter {
+        FirFilter::from_taps(&[c(0.02, 0.0), c(0.8, 0.3), c(0.2, -0.4), c(0.05, 0.1)])
+    }
+
+    #[test]
+    fn alignment_recovers_pure_rotation() {
+        let h = channel();
+        for &theta in &[-2.7f64, -1.0, 0.0, 0.8, 2.3] {
+            let rotated = h.rotated(Complex::cis(theta));
+            let (aligned, applied) = align_mean_phase(&rotated, &h);
+            assert!(aligned.taps().squared_error(h.taps()) < 1e-24);
+            // The applied rotation undoes the original one (mod 2π).
+            let diff = (applied + theta).rem_euclid(2.0 * std::f64::consts::PI);
+            assert!(diff < 1e-9 || (2.0 * std::f64::consts::PI - diff) < 1e-9);
+        }
+    }
+
+    #[test]
+    fn alignment_is_noop_for_already_aligned() {
+        let h = channel();
+        let (aligned, theta) = align_mean_phase(&h, &h);
+        assert!(theta.abs() < 1e-12);
+        assert_eq!(aligned, h);
+    }
+
+    #[test]
+    fn phase_aligned_mse_ignores_common_rotation_but_sees_shape_changes() {
+        let h = channel();
+        let rotated = h.rotated(Complex::cis(1.3));
+        assert!(phase_aligned_mse(&rotated, &h) < 1e-24);
+
+        let mut different = h.taps().clone();
+        different[1] = different[1] + c(0.3, -0.3);
+        let different = FirFilter::new(different);
+        assert!(phase_aligned_mse(&different, &h) > 1e-3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_lengths_panic() {
+        let a = FirFilter::from_taps(&[Complex::ONE; 3]);
+        let b = FirFilter::from_taps(&[Complex::ONE; 4]);
+        let _ = align_mean_phase(&a, &b);
+    }
+}

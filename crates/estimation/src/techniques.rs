@@ -1,0 +1,206 @@
+//! The canonical list of channel estimation techniques compared in the
+//! paper (Sec. 5).
+//!
+//! The enum is the single source of truth for technique names and for which
+//! techniques appear in which figure; the evaluation harness in
+//! `vvd-testbed` iterates over these values.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A channel estimation technique from the paper's comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Technique {
+    /// IEEE 802.15.4 standard decoding: no estimation, no equalization.
+    StandardDecoding,
+    /// Perfect channel estimation from the whole received signal
+    /// (impractical baseline / ground truth).
+    GroundTruth,
+    /// LS estimate from the synchronisation header, only when the preamble
+    /// is detected.
+    PreambleBased,
+    /// Preamble-based estimation with an always-detected preamble (genie).
+    PreambleBasedGenie,
+    /// Perfect estimate of the packet received 100 ms earlier.
+    Previous100ms,
+    /// Perfect estimate of the packet received 500 ms earlier.
+    Previous500ms,
+    /// Kalman filter over an AR(1) tap model.
+    KalmanAr1,
+    /// Kalman filter over an AR(5) tap model.
+    KalmanAr5,
+    /// Kalman filter over an AR(20) tap model.
+    KalmanAr20,
+    /// VVD predicting the current channel from the current depth image.
+    VvdCurrent,
+    /// VVD predicting the channel 33.3 ms into the future.
+    VvdFuture33ms,
+    /// VVD predicting the channel 100 ms into the future.
+    VvdFuture100ms,
+    /// Preamble-based when the preamble is detected, VVD-Current otherwise.
+    PreambleVvdCombined,
+    /// Preamble-based when the preamble is detected, Kalman AR(20) otherwise.
+    PreambleKalmanCombined,
+}
+
+impl Technique {
+    /// Every technique implemented in the reproduction.
+    pub const ALL: [Technique; 14] = [
+        Technique::StandardDecoding,
+        Technique::GroundTruth,
+        Technique::PreambleBased,
+        Technique::PreambleBasedGenie,
+        Technique::Previous100ms,
+        Technique::Previous500ms,
+        Technique::KalmanAr1,
+        Technique::KalmanAr5,
+        Technique::KalmanAr20,
+        Technique::VvdCurrent,
+        Technique::VvdFuture33ms,
+        Technique::VvdFuture100ms,
+        Technique::PreambleVvdCombined,
+        Technique::PreambleKalmanCombined,
+    ];
+
+    /// The ten techniques shown in Figures 12–14, in the paper's plotting
+    /// order (worst-to-best along the x axis).
+    pub const FIGURE_12_ORDER: [Technique; 10] = [
+        Technique::StandardDecoding,
+        Technique::PreambleBased,
+        Technique::Previous500ms,
+        Technique::Previous100ms,
+        Technique::KalmanAr20,
+        Technique::VvdCurrent,
+        Technique::PreambleKalmanCombined,
+        Technique::PreambleVvdCombined,
+        Technique::PreambleBasedGenie,
+        Technique::GroundTruth,
+    ];
+
+    /// The VVD variants compared in Fig. 11a.
+    pub const VVD_VARIANTS: [Technique; 3] = [
+        Technique::VvdFuture100ms,
+        Technique::VvdFuture33ms,
+        Technique::VvdCurrent,
+    ];
+
+    /// The Kalman variants compared in Fig. 11b.
+    pub const KALMAN_VARIANTS: [Technique; 3] = [
+        Technique::KalmanAr1,
+        Technique::KalmanAr5,
+        Technique::KalmanAr20,
+    ];
+
+    /// `true` when the technique is blind, i.e. it never looks at the
+    /// received signal it is decoding (Sec. 5.5, footnote 10).
+    pub fn is_blind(&self) -> bool {
+        matches!(
+            self,
+            Technique::Previous100ms
+                | Technique::Previous500ms
+                | Technique::KalmanAr1
+                | Technique::KalmanAr5
+                | Technique::KalmanAr20
+                | Technique::VvdCurrent
+                | Technique::VvdFuture33ms
+                | Technique::VvdFuture100ms
+        )
+    }
+
+    /// `true` when the technique requires the preamble of the current packet
+    /// to be detected in order to produce an estimate.
+    pub fn requires_preamble_detection(&self) -> bool {
+        matches!(self, Technique::PreambleBased)
+    }
+
+    /// `true` when the technique uses camera images.
+    pub fn uses_camera(&self) -> bool {
+        matches!(
+            self,
+            Technique::VvdCurrent
+                | Technique::VvdFuture33ms
+                | Technique::VvdFuture100ms
+                | Technique::PreambleVvdCombined
+        )
+    }
+
+    /// The short label used in the paper's figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Technique::StandardDecoding => "Standard Decoding",
+            Technique::GroundTruth => "Ground Truth",
+            Technique::PreambleBased => "Preamble Based",
+            Technique::PreambleBasedGenie => "Preamble Based-Genie",
+            Technique::Previous100ms => "100ms Previous",
+            Technique::Previous500ms => "500ms Previous",
+            Technique::KalmanAr1 => "Kalman AR(1)",
+            Technique::KalmanAr5 => "Kalman AR(5)",
+            Technique::KalmanAr20 => "Kalman AR(20)",
+            Technique::VvdCurrent => "VVD-Current",
+            Technique::VvdFuture33ms => "VVD-33.3ms Future",
+            Technique::VvdFuture100ms => "VVD-100ms Future",
+            Technique::PreambleVvdCombined => "Preamble-VVD Combined",
+            Technique::PreambleKalmanCombined => "Preamble-Kalman Combined",
+        }
+    }
+}
+
+impl fmt::Display for Technique {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn all_techniques_are_distinct_and_labelled() {
+        let labels: HashSet<&str> = Technique::ALL.iter().map(|t| t.label()).collect();
+        assert_eq!(labels.len(), Technique::ALL.len());
+    }
+
+    #[test]
+    fn figure12_set_is_a_subset_of_all() {
+        for t in Technique::FIGURE_12_ORDER {
+            assert!(Technique::ALL.contains(&t));
+        }
+        assert_eq!(Technique::FIGURE_12_ORDER.len(), 10);
+    }
+
+    #[test]
+    fn blind_classification_matches_the_paper() {
+        assert!(Technique::VvdCurrent.is_blind());
+        assert!(Technique::KalmanAr20.is_blind());
+        assert!(Technique::Previous100ms.is_blind());
+        assert!(!Technique::PreambleBased.is_blind());
+        assert!(!Technique::GroundTruth.is_blind());
+        assert!(!Technique::StandardDecoding.is_blind());
+    }
+
+    #[test]
+    fn only_preamble_based_requires_detection() {
+        let requiring: Vec<Technique> = Technique::ALL
+            .iter()
+            .copied()
+            .filter(|t| t.requires_preamble_detection())
+            .collect();
+        assert_eq!(requiring, vec![Technique::PreambleBased]);
+    }
+
+    #[test]
+    fn camera_usage_matches_vvd_family() {
+        assert!(Technique::VvdCurrent.uses_camera());
+        assert!(Technique::PreambleVvdCombined.uses_camera());
+        assert!(!Technique::PreambleKalmanCombined.uses_camera());
+        assert!(!Technique::GroundTruth.uses_camera());
+    }
+
+    #[test]
+    fn display_uses_paper_labels() {
+        assert_eq!(Technique::VvdFuture33ms.to_string(), "VVD-33.3ms Future");
+        assert_eq!(Technique::PreambleBasedGenie.to_string(), "Preamble Based-Genie");
+    }
+}

@@ -1,0 +1,57 @@
+//! Weight initialisation.
+//!
+//! Glorot (Xavier) uniform initialisation, the Keras default that the
+//! paper's model inherits, plus He initialisation for ReLU-heavy stacks.
+
+use rand::Rng;
+use rand_distr::{Distribution, Normal, Uniform};
+
+/// Glorot/Xavier uniform initialisation: `U(-limit, limit)` with
+/// `limit = sqrt(6 / (fan_in + fan_out))`.
+pub fn glorot_uniform<R: Rng + ?Sized>(fan_in: usize, fan_out: usize, n: usize, rng: &mut R) -> Vec<f32> {
+    let limit = (6.0 / (fan_in + fan_out).max(1) as f64).sqrt();
+    let dist = Uniform::new_inclusive(-limit, limit);
+    (0..n).map(|_| dist.sample(rng) as f32).collect()
+}
+
+/// He normal initialisation: `N(0, sqrt(2 / fan_in))`.
+pub fn he_normal<R: Rng + ?Sized>(fan_in: usize, n: usize, rng: &mut R) -> Vec<f32> {
+    let std = (2.0 / fan_in.max(1) as f64).sqrt();
+    let dist = Normal::new(0.0, std).expect("valid std");
+    (0..n).map(|_| dist.sample(rng) as f32).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn glorot_respects_limit() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let w = glorot_uniform(100, 50, 10_000, &mut rng);
+        let limit = (6.0f64 / 150.0).sqrt() as f32;
+        assert!(w.iter().all(|x| x.abs() <= limit + 1e-6));
+        // Roughly zero mean.
+        let mean: f32 = w.iter().sum::<f32>() / w.len() as f32;
+        assert!(mean.abs() < 0.01);
+    }
+
+    #[test]
+    fn he_normal_has_expected_std() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let w = he_normal(50, 50_000, &mut rng);
+        let mean: f32 = w.iter().sum::<f32>() / w.len() as f32;
+        let var: f32 = w.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / w.len() as f32;
+        let expected = 2.0 / 50.0;
+        assert!((var - expected as f32).abs() < 0.005, "var {var}");
+    }
+
+    #[test]
+    fn different_seeds_give_different_weights() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(glorot_uniform(4, 4, 16, &mut a), glorot_uniform(4, 4, 16, &mut b));
+    }
+}

@@ -1,0 +1,90 @@
+//! Activation functions.
+//!
+//! The paper uses ReLU after every convolution and after the first dense
+//! layer (Sec. 4).
+
+use crate::layers::Layer;
+use crate::tensor::Tensor;
+
+/// Rectified linear unit applied element-wise.
+pub struct Relu {
+    cached_mask: Vec<bool>,
+    cached_shape: Vec<usize>,
+}
+
+impl Relu {
+    /// Creates a ReLU layer.
+    pub fn new() -> Self {
+        Relu {
+            cached_mask: Vec::new(),
+            cached_shape: Vec::new(),
+        }
+    }
+}
+
+impl Default for Relu {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Layer for Relu {
+    fn forward(&mut self, input: &Tensor, _training: bool) -> Tensor {
+        self.cached_mask = input.data().iter().map(|&v| v > 0.0).collect();
+        self.cached_shape = input.shape().to_vec();
+        Tensor::from_vec(
+            input.shape(),
+            input.data().iter().map(|&v| v.max(0.0)).collect(),
+        )
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        assert_eq!(grad_output.len(), self.cached_mask.len());
+        Tensor::from_vec(
+            &self.cached_shape,
+            grad_output
+                .data()
+                .iter()
+                .zip(self.cached_mask.iter())
+                .map(|(&g, &m)| if m { g } else { 0.0 })
+                .collect(),
+        )
+    }
+
+    fn name(&self) -> &'static str {
+        "ReLU"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_clamps_negatives() {
+        let mut relu = Relu::new();
+        let x = Tensor::from_vec(&[1, 4], vec![-1.0, 0.0, 0.5, 2.0]);
+        let y = relu.forward(&x, true);
+        assert_eq!(y.data(), &[0.0, 0.0, 0.5, 2.0]);
+    }
+
+    #[test]
+    fn backward_masks_gradient() {
+        let mut relu = Relu::new();
+        let x = Tensor::from_vec(&[1, 4], vec![-1.0, 3.0, -0.5, 2.0]);
+        let _ = relu.forward(&x, true);
+        let g = Tensor::from_vec(&[1, 4], vec![1.0, 1.0, 1.0, 1.0]);
+        let gi = relu.backward(&g);
+        assert_eq!(gi.data(), &[0.0, 1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn zero_input_has_zero_gradient() {
+        // The subgradient at exactly zero is taken as 0.
+        let mut relu = Relu::new();
+        let x = Tensor::from_vec(&[1, 1], vec![0.0]);
+        let _ = relu.forward(&x, true);
+        let gi = relu.backward(&Tensor::from_vec(&[1, 1], vec![7.0]));
+        assert_eq!(gi.data(), &[0.0]);
+    }
+}

@@ -1,0 +1,302 @@
+//! 2-D convolution (valid padding, stride 1) via im2col + GEMM.
+//!
+//! The paper's CNN (Fig. 8) stacks 3 × 3 convolutions with ReLU activations
+//! and pooling; Keras' default "valid" padding is used, so each convolution
+//! shrinks the spatial size by `kernel - 1`.
+
+use crate::init::glorot_uniform;
+use crate::layers::Layer;
+use crate::param::Parameter;
+use crate::tensor::{matmul, matmul_at, matmul_bt, Tensor};
+use rand::Rng;
+
+/// A 2-D convolution layer with square kernels, stride 1 and valid padding.
+pub struct Conv2d {
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    /// Weight stored as `[out_channels, in_channels * kernel * kernel]`.
+    weight: Parameter,
+    /// Bias stored as `[out_channels]`.
+    bias: Parameter,
+    cached_input: Option<Tensor>,
+    cached_cols: Vec<Vec<f32>>,
+}
+
+impl Conv2d {
+    /// Creates a convolution layer with Glorot-uniform weights.
+    pub fn new<R: Rng + ?Sized>(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        rng: &mut R,
+    ) -> Self {
+        assert!(kernel >= 1, "kernel must be at least 1");
+        let fan_in = in_channels * kernel * kernel;
+        let fan_out = out_channels * kernel * kernel;
+        let weight = Parameter::new(glorot_uniform(
+            fan_in,
+            fan_out,
+            out_channels * fan_in,
+            rng,
+        ));
+        let bias = Parameter::new(vec![0.0; out_channels]);
+        Conv2d {
+            in_channels,
+            out_channels,
+            kernel,
+            weight,
+            bias,
+            cached_input: None,
+            cached_cols: Vec::new(),
+        }
+    }
+
+    /// Output spatial size for an input spatial size (valid padding).
+    pub fn output_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        (h + 1 - self.kernel, w + 1 - self.kernel)
+    }
+
+    /// Number of trainable scalars.
+    pub fn parameter_count(&self) -> usize {
+        self.weight.len() + self.bias.len()
+    }
+
+    fn im2col(&self, item: &[f32], h: usize, w: usize) -> Vec<f32> {
+        let (oh, ow) = self.output_hw(h, w);
+        let k = self.kernel;
+        let patch = self.in_channels * k * k;
+        let mut col = vec![0.0f32; patch * oh * ow];
+        // col is (patch, oh*ow) row-major.
+        for c in 0..self.in_channels {
+            let channel = &item[c * h * w..(c + 1) * h * w];
+            for ky in 0..k {
+                for kx in 0..k {
+                    let row_idx = (c * k * k + ky * k + kx) * (oh * ow);
+                    for oy in 0..oh {
+                        let src_row = &channel[(oy + ky) * w + kx..(oy + ky) * w + kx + ow];
+                        let dst = &mut col[row_idx + oy * ow..row_idx + oy * ow + ow];
+                        dst.copy_from_slice(src_row);
+                    }
+                }
+            }
+        }
+        col
+    }
+
+    fn col2im(&self, col: &[f32], h: usize, w: usize) -> Vec<f32> {
+        let (oh, ow) = self.output_hw(h, w);
+        let k = self.kernel;
+        let mut out = vec![0.0f32; self.in_channels * h * w];
+        for c in 0..self.in_channels {
+            for ky in 0..k {
+                for kx in 0..k {
+                    let row_idx = (c * k * k + ky * k + kx) * (oh * ow);
+                    for oy in 0..oh {
+                        for ox in 0..ow {
+                            out[c * h * w + (oy + ky) * w + (ox + kx)] +=
+                                col[row_idx + oy * ow + ox];
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, input: &Tensor, _training: bool) -> Tensor {
+        let shape = input.shape();
+        assert_eq!(shape.len(), 4, "Conv2d expects [N, C, H, W]");
+        assert_eq!(shape[1], self.in_channels, "Conv2d channel mismatch");
+        let (n, h, w) = (shape[0], shape[2], shape[3]);
+        let (oh, ow) = self.output_hw(h, w);
+        let patch = self.in_channels * self.kernel * self.kernel;
+        let mut out = Tensor::zeros(&[n, self.out_channels, oh, ow]);
+        self.cached_cols.clear();
+        for i in 0..n {
+            let col = self.im2col(input.item(i), h, w);
+            // (out_channels x patch) * (patch x oh*ow)
+            let mut y = matmul(&self.weight.value, &col, self.out_channels, patch, oh * ow);
+            for oc in 0..self.out_channels {
+                let b = self.bias.value[oc];
+                for v in &mut y[oc * oh * ow..(oc + 1) * oh * ow] {
+                    *v += b;
+                }
+            }
+            out.item_mut(i).copy_from_slice(&y);
+            self.cached_cols.push(col);
+        }
+        self.cached_input = Some(input.clone());
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let input = self
+            .cached_input
+            .as_ref()
+            .expect("backward called before forward");
+        let shape = input.shape();
+        let (n, h, w) = (shape[0], shape[2], shape[3]);
+        let (oh, ow) = self.output_hw(h, w);
+        let patch = self.in_channels * self.kernel * self.kernel;
+        let mut grad_input = Tensor::zeros(&[n, self.in_channels, h, w]);
+        for i in 0..n {
+            let g = grad_output.item(i); // (out_channels x oh*ow)
+            let col = &self.cached_cols[i]; // (patch x oh*ow)
+
+            // dW += g * col^T : (out_channels x patch)
+            let dw = matmul_bt(g, col, self.out_channels, oh * ow, patch);
+            for (acc, v) in self.weight.grad.iter_mut().zip(dw.iter()) {
+                *acc += v;
+            }
+            // db += row sums of g
+            for oc in 0..self.out_channels {
+                let s: f32 = g[oc * oh * ow..(oc + 1) * oh * ow].iter().sum();
+                self.bias.grad[oc] += s;
+            }
+            // dcol = W^T * g : (patch x oh*ow); weight stored (out_channels x patch).
+            let dcol = matmul_at(&self.weight.value, g, patch, self.out_channels, oh * ow);
+            let dinput = self.col2im(&dcol, h, w);
+            grad_input.item_mut(i).copy_from_slice(&dinput);
+        }
+        grad_input
+    }
+
+    fn parameters(&mut self) -> Vec<&mut Parameter> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn name(&self) -> &'static str {
+        "Conv2d"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn layer(in_c: usize, out_c: usize, k: usize) -> Conv2d {
+        let mut rng = StdRng::seed_from_u64(0);
+        Conv2d::new(in_c, out_c, k, &mut rng)
+    }
+
+    #[test]
+    fn output_shape_valid_padding() {
+        let mut conv = layer(1, 2, 3);
+        let x = Tensor::zeros(&[1, 1, 5, 7]);
+        let y = conv.forward(&x, true);
+        assert_eq!(y.shape(), &[1, 2, 3, 5]);
+    }
+
+    #[test]
+    fn identity_kernel_reproduces_input() {
+        let mut conv = layer(1, 1, 1);
+        conv.weight.value = vec![1.0];
+        conv.bias.value = vec![0.0];
+        let x = Tensor::from_vec(&[1, 1, 2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let y = conv.forward(&x, true);
+        assert_eq!(y.data(), x.data());
+    }
+
+    #[test]
+    fn known_3x3_convolution_result() {
+        let mut conv = layer(1, 1, 3);
+        conv.weight.value = vec![0.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 0.0]; // centre tap
+        conv.bias.value = vec![0.5];
+        let x = Tensor::from_vec(
+            &[1, 1, 3, 3],
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0],
+        );
+        let y = conv.forward(&x, true);
+        assert_eq!(y.shape(), &[1, 1, 1, 1]);
+        assert!((y.data()[0] - 5.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bias_gradient_is_sum_of_output_grad() {
+        let mut conv = layer(1, 2, 3);
+        let x = Tensor::from_vec(&[1, 1, 4, 4], (0..16).map(|i| i as f32 * 0.1).collect());
+        let y = conv.forward(&x, true);
+        let g = Tensor::from_vec(y.shape(), vec![1.0; y.len()]);
+        let _ = conv.backward(&g);
+        // Each output map is 2x2 = 4 elements of ones.
+        assert!((conv.bias.grad[0] - 4.0).abs() < 1e-5);
+        assert!((conv.bias.grad[1] - 4.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gradient_check_weights() {
+        // Numerical gradient check on a tiny convolution.
+        let mut conv = layer(1, 1, 2);
+        let x = Tensor::from_vec(&[1, 1, 3, 3], vec![0.1, -0.2, 0.3, 0.4, 0.5, -0.6, 0.7, 0.8, 0.9]);
+        // Loss = sum of outputs.
+        let y = conv.forward(&x, true);
+        let g = Tensor::from_vec(y.shape(), vec![1.0; y.len()]);
+        let _ = conv.backward(&g);
+        let analytic = conv.weight.grad.clone();
+        let eps = 1e-3f32;
+        for idx in 0..conv.weight.len() {
+            let orig = conv.weight.value[idx];
+            conv.weight.value[idx] = orig + eps;
+            let y_plus: f32 = conv.forward(&x, true).data().iter().sum();
+            conv.weight.value[idx] = orig - eps;
+            let y_minus: f32 = conv.forward(&x, true).data().iter().sum();
+            conv.weight.value[idx] = orig;
+            let numeric = (y_plus - y_minus) / (2.0 * eps);
+            assert!(
+                (numeric - analytic[idx]).abs() < 1e-2,
+                "weight {idx}: numeric {numeric} vs analytic {}",
+                analytic[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn gradient_check_input() {
+        let mut conv = layer(1, 1, 2);
+        let x_data = vec![0.3, -0.1, 0.2, 0.5, -0.4, 0.6, 0.1, 0.0, -0.2];
+        let x = Tensor::from_vec(&[1, 1, 3, 3], x_data.clone());
+        let y = conv.forward(&x, true);
+        let g = Tensor::from_vec(y.shape(), vec![1.0; y.len()]);
+        let grad_input = conv.backward(&g);
+        let eps = 1e-3f32;
+        for idx in 0..x_data.len() {
+            let mut plus = x_data.clone();
+            plus[idx] += eps;
+            let mut minus = x_data.clone();
+            minus[idx] -= eps;
+            let yp: f32 = conv
+                .forward(&Tensor::from_vec(&[1, 1, 3, 3], plus), true)
+                .data()
+                .iter()
+                .sum();
+            let ym: f32 = conv
+                .forward(&Tensor::from_vec(&[1, 1, 3, 3], minus), true)
+                .data()
+                .iter()
+                .sum();
+            let numeric = (yp - ym) / (2.0 * eps);
+            assert!(
+                (numeric - grad_input.data()[idx]).abs() < 1e-2,
+                "input {idx}: numeric {numeric} vs analytic {}",
+                grad_input.data()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn multi_channel_shapes() {
+        let mut conv = layer(3, 5, 3);
+        let x = Tensor::zeros(&[2, 3, 10, 12]);
+        let y = conv.forward(&x, true);
+        assert_eq!(y.shape(), &[2, 5, 8, 10]);
+        assert_eq!(conv.parameter_count(), 5 * 3 * 9 + 5);
+        let g = Tensor::zeros(y.shape());
+        let gi = conv.backward(&g);
+        assert_eq!(gi.shape(), x.shape());
+    }
+}

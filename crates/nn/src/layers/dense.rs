@@ -1,0 +1,213 @@
+//! Fully connected (dense) layer.
+
+use crate::init::glorot_uniform;
+use crate::layers::Layer;
+use crate::param::Parameter;
+use crate::tensor::{matmul, matmul_at, matmul_bt, Tensor};
+use rand::Rng;
+
+/// A fully connected layer `y = x Wᵀ + b`.
+pub struct Dense {
+    in_features: usize,
+    out_features: usize,
+    /// Weight stored row-major as `[out_features, in_features]`.
+    weight: Parameter,
+    /// Bias stored as `[out_features]`.
+    bias: Parameter,
+    cached_input: Option<Tensor>,
+}
+
+impl Dense {
+    /// Creates a dense layer with Glorot-uniform weights and zero bias.
+    pub fn new<R: Rng + ?Sized>(in_features: usize, out_features: usize, rng: &mut R) -> Self {
+        let weight = Parameter::new(glorot_uniform(
+            in_features,
+            out_features,
+            in_features * out_features,
+            rng,
+        ));
+        let bias = Parameter::new(vec![0.0; out_features]);
+        Dense {
+            in_features,
+            out_features,
+            weight,
+            bias,
+            cached_input: None,
+        }
+    }
+
+    /// Number of input features.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Number of output features.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+
+    /// Number of trainable scalars.
+    pub fn parameter_count(&self) -> usize {
+        self.weight.len() + self.bias.len()
+    }
+}
+
+impl Layer for Dense {
+    fn forward(&mut self, input: &Tensor, _training: bool) -> Tensor {
+        let n = input.batch_size();
+        assert_eq!(
+            input.item_len(),
+            self.in_features,
+            "Dense input feature mismatch"
+        );
+        // y (n x out) = x (n x in) * W^T, W stored (out x in).
+        let mut y = matmul_bt(
+            input.data(),
+            &self.weight.value,
+            n,
+            self.in_features,
+            self.out_features,
+        );
+        for row in 0..n {
+            for (o, b) in self.bias.value.iter().enumerate() {
+                y[row * self.out_features + o] += b;
+            }
+        }
+        self.cached_input = Some(input.clone());
+        Tensor::from_vec(&[n, self.out_features], y)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let input = self
+            .cached_input
+            .as_ref()
+            .expect("backward called before forward");
+        let n = input.batch_size();
+        // dW (out x in) = g^T (out x n) * x (n x in)
+        let dw = matmul_at(
+            grad_output.data(),
+            input.data(),
+            self.out_features,
+            n,
+            self.in_features,
+        );
+        for (acc, v) in self.weight.grad.iter_mut().zip(dw.iter()) {
+            *acc += v;
+        }
+        // db = column sums of g
+        for row in 0..n {
+            for o in 0..self.out_features {
+                self.bias.grad[o] += grad_output.data()[row * self.out_features + o];
+            }
+        }
+        // dx (n x in) = g (n x out) * W (out x in)
+        let dx = matmul(
+            grad_output.data(),
+            &self.weight.value,
+            n,
+            self.out_features,
+            self.in_features,
+        );
+        Tensor::from_vec(&[n, self.in_features], dx)
+    }
+
+    fn parameters(&mut self) -> Vec<&mut Parameter> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn name(&self) -> &'static str {
+        "Dense"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn layer(inf: usize, outf: usize) -> Dense {
+        let mut rng = StdRng::seed_from_u64(3);
+        Dense::new(inf, outf, &mut rng)
+    }
+
+    #[test]
+    fn forward_matches_manual_computation() {
+        let mut d = layer(2, 3);
+        d.weight.value = vec![1.0, 0.0, 0.0, 1.0, 1.0, -1.0]; // rows: [1,0],[0,1],[1,-1]
+        d.bias.value = vec![0.1, 0.2, 0.3];
+        let x = Tensor::from_vec(&[1, 2], vec![2.0, 5.0]);
+        let y = d.forward(&x, true);
+        assert_eq!(y.shape(), &[1, 3]);
+        let out = y.data();
+        assert!((out[0] - 2.1).abs() < 1e-6);
+        assert!((out[1] - 5.2).abs() < 1e-6);
+        assert!((out[2] - (-2.7)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gradient_check() {
+        let mut d = layer(3, 2);
+        let x_data = vec![0.5, -0.3, 0.8, 0.1, 0.7, -0.9];
+        let x = Tensor::from_vec(&[2, 3], x_data.clone());
+        let y = d.forward(&x, true);
+        let g = Tensor::from_vec(y.shape(), vec![1.0; y.len()]);
+        let grad_input = d.backward(&g);
+        let analytic_w = d.weight.grad.clone();
+
+        let eps = 1e-3f32;
+        // Check weight gradients numerically.
+        for idx in 0..d.weight.len() {
+            let orig = d.weight.value[idx];
+            d.weight.value[idx] = orig + eps;
+            let yp: f32 = d.forward(&x, true).data().iter().sum();
+            d.weight.value[idx] = orig - eps;
+            let ym: f32 = d.forward(&x, true).data().iter().sum();
+            d.weight.value[idx] = orig;
+            let numeric = (yp - ym) / (2.0 * eps);
+            assert!(
+                (numeric - analytic_w[idx]).abs() < 1e-2,
+                "weight {idx}: {numeric} vs {}",
+                analytic_w[idx]
+            );
+        }
+        // Check input gradients numerically.
+        for idx in 0..x_data.len() {
+            let mut plus = x_data.clone();
+            plus[idx] += eps;
+            let mut minus = x_data.clone();
+            minus[idx] -= eps;
+            let yp: f32 = d.forward(&Tensor::from_vec(&[2, 3], plus), true).data().iter().sum();
+            let ym: f32 = d
+                .forward(&Tensor::from_vec(&[2, 3], minus), true)
+                .data()
+                .iter()
+                .sum();
+            let numeric = (yp - ym) / (2.0 * eps);
+            assert!(
+                (numeric - grad_input.data()[idx]).abs() < 1e-2,
+                "input {idx}: {numeric} vs {}",
+                grad_input.data()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn bias_gradient_accumulates_over_batch() {
+        let mut d = layer(2, 2);
+        let x = Tensor::from_vec(&[3, 2], vec![1.0; 6]);
+        let y = d.forward(&x, true);
+        let g = Tensor::from_vec(y.shape(), vec![1.0; y.len()]);
+        let _ = d.backward(&g);
+        assert!((d.bias.grad[0] - 3.0).abs() < 1e-6);
+        assert!((d.bias.grad[1] - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn parameter_count() {
+        let d = layer(10, 4);
+        assert_eq!(d.parameter_count(), 44);
+        assert_eq!(d.in_features(), 10);
+        assert_eq!(d.out_features(), 4);
+    }
+}

@@ -1,0 +1,111 @@
+//! Inverted dropout.
+//!
+//! Not used by the default Fig.-8 architecture but provided for
+//! regularisation experiments on larger synthetic campaigns.
+
+use crate::layers::Layer;
+use crate::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Inverted dropout: during training each activation is zeroed with
+/// probability `p` and the survivors are scaled by `1 / (1 - p)`; at
+/// inference the layer is the identity.
+pub struct Dropout {
+    p: f32,
+    rng: StdRng,
+    cached_mask: Vec<f32>,
+}
+
+impl Dropout {
+    /// Creates a dropout layer with drop probability `p` and a deterministic
+    /// seed (training reproducibility matters for the evaluation harness).
+    pub fn new(p: f32, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&p), "drop probability must be in [0, 1)");
+        Dropout {
+            p,
+            rng: StdRng::seed_from_u64(seed),
+            cached_mask: Vec::new(),
+        }
+    }
+}
+
+impl Layer for Dropout {
+    fn forward(&mut self, input: &Tensor, training: bool) -> Tensor {
+        if !training || self.p == 0.0 {
+            self.cached_mask = vec![1.0; input.len()];
+            return input.clone();
+        }
+        let keep = 1.0 - self.p;
+        self.cached_mask = (0..input.len())
+            .map(|_| {
+                if self.rng.gen::<f32>() < self.p {
+                    0.0
+                } else {
+                    1.0 / keep
+                }
+            })
+            .collect();
+        Tensor::from_vec(
+            input.shape(),
+            input
+                .data()
+                .iter()
+                .zip(self.cached_mask.iter())
+                .map(|(v, m)| v * m)
+                .collect(),
+        )
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        Tensor::from_vec(
+            grad_output.shape(),
+            grad_output
+                .data()
+                .iter()
+                .zip(self.cached_mask.iter())
+                .map(|(g, m)| g * m)
+                .collect(),
+        )
+    }
+
+    fn name(&self) -> &'static str {
+        "Dropout"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inference_is_identity() {
+        let mut d = Dropout::new(0.5, 1);
+        let x = Tensor::from_vec(&[1, 4], vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(d.forward(&x, false), x);
+    }
+
+    #[test]
+    fn training_drops_roughly_p_fraction() {
+        let mut d = Dropout::new(0.3, 2);
+        let x = Tensor::from_vec(&[1, 10_000], vec![1.0; 10_000]);
+        let y = d.forward(&x, true);
+        let dropped = y.data().iter().filter(|&&v| v == 0.0).count();
+        let frac = dropped as f32 / 10_000.0;
+        assert!((frac - 0.3).abs() < 0.03, "dropped fraction {frac}");
+        // Survivors are scaled so the expectation is preserved.
+        assert!((y.mean() - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn backward_uses_same_mask() {
+        let mut d = Dropout::new(0.5, 3);
+        let x = Tensor::from_vec(&[1, 8], vec![1.0; 8]);
+        let y = d.forward(&x, true);
+        let g = Tensor::from_vec(&[1, 8], vec![1.0; 8]);
+        let gi = d.backward(&g);
+        for (a, b) in y.data().iter().zip(gi.data().iter()) {
+            assert_eq!(a, b);
+        }
+    }
+}

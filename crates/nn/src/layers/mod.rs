@@ -1,0 +1,50 @@
+//! Neural-network layers.
+//!
+//! Every layer implements [`Layer`]: a forward pass that caches whatever it
+//! needs for the backward pass, a backward pass that accumulates parameter
+//! gradients and returns the gradient with respect to its input, and access
+//! to its trainable [`Parameter`]s for the optimizer.
+//!
+//! Image tensors follow the `[batch, channels, height, width]` convention;
+//! fully-connected tensors are `[batch, features]`.
+
+mod activation;
+mod batchnorm;
+mod conv2d;
+mod dense;
+mod dropout;
+mod flatten;
+mod pool;
+
+pub use activation::Relu;
+pub use batchnorm::BatchNorm2d;
+pub use conv2d::Conv2d;
+pub use dense::Dense;
+pub use dropout::Dropout;
+pub use flatten::Flatten;
+pub use pool::{AvgPool2d, MaxPool2d};
+
+use crate::param::Parameter;
+use crate::tensor::Tensor;
+
+/// A differentiable network layer.
+pub trait Layer {
+    /// Computes the layer output for a batch.  `training` toggles
+    /// behaviour that differs between training and inference (dropout,
+    /// batch-norm statistics).
+    fn forward(&mut self, input: &Tensor, training: bool) -> Tensor;
+
+    /// Propagates the gradient of the loss with respect to the layer output
+    /// back to the layer input, accumulating parameter gradients on the way.
+    ///
+    /// Must be called after a corresponding `forward` call.
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor;
+
+    /// The layer's trainable parameters (empty for stateless layers).
+    fn parameters(&mut self) -> Vec<&mut Parameter> {
+        Vec::new()
+    }
+
+    /// Human-readable layer name for summaries.
+    fn name(&self) -> &'static str;
+}

@@ -1,0 +1,228 @@
+//! Average and max pooling (square windows, stride = window size).
+//!
+//! The paper uses 2 × 2 *average* pooling throughout and notes that max
+//! pooling performed slightly worse (Sec. 4); both are provided so the
+//! ablation bench can reproduce that comparison.
+
+use crate::layers::Layer;
+use crate::tensor::Tensor;
+
+/// 2-D average pooling with a square window and matching stride.
+pub struct AvgPool2d {
+    window: usize,
+    cached_shape: Vec<usize>,
+}
+
+impl AvgPool2d {
+    /// Creates an average pooling layer with the given window size.
+    pub fn new(window: usize) -> Self {
+        assert!(window >= 1);
+        AvgPool2d {
+            window,
+            cached_shape: Vec::new(),
+        }
+    }
+
+    fn out_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        (h / self.window, w / self.window)
+    }
+}
+
+impl Layer for AvgPool2d {
+    fn forward(&mut self, input: &Tensor, _training: bool) -> Tensor {
+        let shape = input.shape();
+        assert_eq!(shape.len(), 4, "AvgPool2d expects [N, C, H, W]");
+        let (n, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
+        let (oh, ow) = self.out_hw(h, w);
+        let mut out = Tensor::zeros(&[n, c, oh, ow]);
+        let win2 = (self.window * self.window) as f32;
+        for i in 0..n {
+            let item = input.item(i);
+            let out_item = out.item_mut(i);
+            for ch in 0..c {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = 0.0f32;
+                        for dy in 0..self.window {
+                            for dx in 0..self.window {
+                                acc += item
+                                    [ch * h * w + (oy * self.window + dy) * w + ox * self.window + dx];
+                            }
+                        }
+                        out_item[ch * oh * ow + oy * ow + ox] = acc / win2;
+                    }
+                }
+            }
+        }
+        self.cached_shape = shape.to_vec();
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let shape = &self.cached_shape;
+        let (n, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
+        let (oh, ow) = self.out_hw(h, w);
+        let mut grad_input = Tensor::zeros(&[n, c, h, w]);
+        let win2 = (self.window * self.window) as f32;
+        for i in 0..n {
+            let g = grad_output.item(i);
+            let gi = grad_input.item_mut(i);
+            for ch in 0..c {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let v = g[ch * oh * ow + oy * ow + ox] / win2;
+                        for dy in 0..self.window {
+                            for dx in 0..self.window {
+                                gi[ch * h * w + (oy * self.window + dy) * w + ox * self.window + dx] += v;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        grad_input
+    }
+
+    fn name(&self) -> &'static str {
+        "AvgPool2d"
+    }
+}
+
+/// 2-D max pooling with a square window and matching stride.
+pub struct MaxPool2d {
+    window: usize,
+    cached_shape: Vec<usize>,
+    cached_argmax: Vec<usize>,
+}
+
+impl MaxPool2d {
+    /// Creates a max pooling layer with the given window size.
+    pub fn new(window: usize) -> Self {
+        assert!(window >= 1);
+        MaxPool2d {
+            window,
+            cached_shape: Vec::new(),
+            cached_argmax: Vec::new(),
+        }
+    }
+
+    fn out_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        (h / self.window, w / self.window)
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn forward(&mut self, input: &Tensor, _training: bool) -> Tensor {
+        let shape = input.shape();
+        assert_eq!(shape.len(), 4, "MaxPool2d expects [N, C, H, W]");
+        let (n, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
+        let (oh, ow) = self.out_hw(h, w);
+        let mut out = Tensor::zeros(&[n, c, oh, ow]);
+        self.cached_argmax = vec![0; n * c * oh * ow];
+        for i in 0..n {
+            let item = input.item(i);
+            let out_item = out.item_mut(i);
+            for ch in 0..c {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_idx = 0usize;
+                        for dy in 0..self.window {
+                            for dx in 0..self.window {
+                                let idx = ch * h * w
+                                    + (oy * self.window + dy) * w
+                                    + ox * self.window
+                                    + dx;
+                                if item[idx] > best {
+                                    best = item[idx];
+                                    best_idx = idx;
+                                }
+                            }
+                        }
+                        let out_idx = ch * oh * ow + oy * ow + ox;
+                        out_item[out_idx] = best;
+                        self.cached_argmax[i * c * oh * ow + out_idx] = best_idx;
+                    }
+                }
+            }
+        }
+        self.cached_shape = shape.to_vec();
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let shape = &self.cached_shape;
+        let (n, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
+        let (oh, ow) = self.out_hw(h, w);
+        let mut grad_input = Tensor::zeros(&[n, c, h, w]);
+        for i in 0..n {
+            let g = grad_output.item(i);
+            let gi = grad_input.item_mut(i);
+            for idx in 0..c * oh * ow {
+                let src = self.cached_argmax[i * c * oh * ow + idx];
+                gi[src] += g[idx];
+            }
+        }
+        grad_input
+    }
+
+    fn name(&self) -> &'static str {
+        "MaxPool2d"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::Layer;
+
+    #[test]
+    fn avg_pool_averages_blocks() {
+        let mut pool = AvgPool2d::new(2);
+        let x = Tensor::from_vec(&[1, 1, 2, 4], vec![1.0, 3.0, 5.0, 7.0, 2.0, 4.0, 6.0, 8.0]);
+        let y = pool.forward(&x, true);
+        assert_eq!(y.shape(), &[1, 1, 1, 2]);
+        assert_eq!(y.data(), &[2.5, 6.5]);
+    }
+
+    #[test]
+    fn avg_pool_backward_distributes_evenly() {
+        let mut pool = AvgPool2d::new(2);
+        let x = Tensor::zeros(&[1, 1, 2, 2]);
+        let _ = pool.forward(&x, true);
+        let g = Tensor::from_vec(&[1, 1, 1, 1], vec![4.0]);
+        let gi = pool.backward(&g);
+        assert_eq!(gi.data(), &[1.0, 1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn max_pool_picks_maximum_and_routes_gradient() {
+        let mut pool = MaxPool2d::new(2);
+        let x = Tensor::from_vec(&[1, 1, 2, 2], vec![1.0, 9.0, 3.0, 2.0]);
+        let y = pool.forward(&x, true);
+        assert_eq!(y.data(), &[9.0]);
+        let g = Tensor::from_vec(&[1, 1, 1, 1], vec![5.0]);
+        let gi = pool.backward(&g);
+        assert_eq!(gi.data(), &[0.0, 5.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn odd_sizes_are_truncated() {
+        let mut pool = AvgPool2d::new(2);
+        let x = Tensor::zeros(&[1, 2, 5, 7]);
+        let y = pool.forward(&x, true);
+        assert_eq!(y.shape(), &[1, 2, 2, 3]);
+        // Backward still produces a full-size gradient (zeros at truncated
+        // edges).
+        let gi = pool.backward(&Tensor::zeros(y.shape()));
+        assert_eq!(gi.shape(), x.shape());
+    }
+
+    #[test]
+    fn avg_and_max_agree_on_constant_input() {
+        let x = Tensor::from_vec(&[1, 1, 4, 4], vec![0.7; 16]);
+        let mut avg = AvgPool2d::new(2);
+        let mut max = MaxPool2d::new(2);
+        assert_eq!(avg.forward(&x, true).data(), max.forward(&x, true).data());
+    }
+}

@@ -1,0 +1,89 @@
+//! Loss functions.
+//!
+//! The paper trains and model-selects with mean squared error between the
+//! predicted and the (normalised) perfect channel impulse response.
+
+use crate::tensor::Tensor;
+
+/// Mean squared error and its gradient with respect to the prediction.
+///
+/// Returns `(loss, grad)` where the loss is averaged over every element of
+/// the batch and the gradient has the prediction's shape.
+pub fn mse(prediction: &Tensor, target: &Tensor) -> (f32, Tensor) {
+    assert_eq!(
+        prediction.shape(),
+        target.shape(),
+        "MSE shape mismatch: {:?} vs {:?}",
+        prediction.shape(),
+        target.shape()
+    );
+    let n = prediction.len().max(1) as f32;
+    let mut loss = 0.0f32;
+    let mut grad = vec![0.0f32; prediction.len()];
+    for (i, (p, t)) in prediction
+        .data()
+        .iter()
+        .zip(target.data().iter())
+        .enumerate()
+    {
+        let d = p - t;
+        loss += d * d;
+        grad[i] = 2.0 * d / n;
+    }
+    (loss / n, Tensor::from_vec(prediction.shape(), grad))
+}
+
+/// Mean squared error only (no gradient), for validation-set evaluation.
+pub fn mse_value(prediction: &Tensor, target: &Tensor) -> f32 {
+    mse(prediction, target).0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction_has_zero_loss() {
+        let p = Tensor::from_vec(&[2, 3], vec![1.0, -2.0, 0.5, 0.0, 3.0, -1.0]);
+        let (loss, grad) = mse(&p, &p);
+        assert_eq!(loss, 0.0);
+        assert!(grad.data().iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    fn known_value() {
+        let p = Tensor::from_vec(&[1, 2], vec![1.0, 2.0]);
+        let t = Tensor::from_vec(&[1, 2], vec![0.0, 0.0]);
+        let (loss, grad) = mse(&p, &t);
+        assert!((loss - 2.5).abs() < 1e-6);
+        assert!((grad.data()[0] - 1.0).abs() < 1e-6);
+        assert!((grad.data()[1] - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gradient_matches_numerical_derivative() {
+        let p_data = vec![0.3, -0.7, 1.2, 0.0];
+        let t = Tensor::from_vec(&[2, 2], vec![0.1, 0.1, 0.1, 0.1]);
+        let p = Tensor::from_vec(&[2, 2], p_data.clone());
+        let (_, grad) = mse(&p, &t);
+        let eps = 1e-3f32;
+        for i in 0..4 {
+            let mut plus = p_data.clone();
+            plus[i] += eps;
+            let mut minus = p_data.clone();
+            minus[i] -= eps;
+            let lp = mse_value(&Tensor::from_vec(&[2, 2], plus), &t);
+            let lm = mse_value(&Tensor::from_vec(&[2, 2], minus), &t);
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!((numeric - grad.data()[i]).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn shape_mismatch_panics() {
+        let p = Tensor::zeros(&[1, 2]);
+        let t = Tensor::zeros(&[2, 1]);
+        let _ = mse(&p, &t);
+    }
+}

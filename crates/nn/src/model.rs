@@ -1,0 +1,221 @@
+//! Sequential model container.
+
+use crate::layers::Layer;
+use crate::optim::Optimizer;
+use crate::tensor::Tensor;
+
+/// A stack of layers executed in order.
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Sequential {
+    /// Creates an empty model.
+    pub fn new() -> Self {
+        Sequential { layers: Vec::new() }
+    }
+
+    /// Appends a layer (builder style).
+    pub fn add<L: Layer + 'static>(mut self, layer: L) -> Self {
+        self.layers.push(Box::new(layer));
+        self
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// `true` when the model has no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Layer names in order (for summaries and tests).
+    pub fn layer_names(&self) -> Vec<&'static str> {
+        self.layers.iter().map(|l| l.name()).collect()
+    }
+
+    /// Total number of trainable scalars.
+    pub fn parameter_count(&mut self) -> usize {
+        self.layers
+            .iter_mut()
+            .flat_map(|l| l.parameters())
+            .map(|p| p.len())
+            .sum()
+    }
+
+    /// Forward pass through every layer.
+    pub fn forward(&mut self, input: &Tensor, training: bool) -> Tensor {
+        let mut x = input.clone();
+        for layer in self.layers.iter_mut() {
+            x = layer.forward(&x, training);
+        }
+        x
+    }
+
+    /// Inference helper (no training-mode behaviour).
+    pub fn predict(&mut self, input: &Tensor) -> Tensor {
+        self.forward(input, false)
+    }
+
+    /// Backward pass: propagates the loss gradient through every layer,
+    /// accumulating parameter gradients.
+    pub fn backward(&mut self, grad_output: &Tensor) {
+        let mut g = grad_output.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g);
+        }
+    }
+
+    /// Clears every parameter gradient.
+    pub fn zero_grad(&mut self) {
+        for layer in self.layers.iter_mut() {
+            for p in layer.parameters() {
+                p.zero_grad();
+            }
+        }
+    }
+
+    /// Applies one optimizer update to every parameter and advances the
+    /// optimizer step counter.
+    pub fn step<O: Optimizer>(&mut self, optimizer: &mut O) {
+        for layer in self.layers.iter_mut() {
+            for p in layer.parameters() {
+                optimizer.update(p);
+            }
+        }
+        optimizer.advance();
+    }
+
+    /// Snapshot of every parameter value (used to keep the best-validation
+    /// epoch, as the paper does).
+    pub fn state(&mut self) -> Vec<Vec<f32>> {
+        self.layers
+            .iter_mut()
+            .flat_map(|l| l.parameters())
+            .map(|p| p.value.clone())
+            .collect()
+    }
+
+    /// Restores a snapshot produced by [`Sequential::state`].
+    ///
+    /// # Panics
+    /// Panics if the snapshot does not match the model's parameter layout.
+    pub fn load_state(&mut self, state: &[Vec<f32>]) {
+        let params: Vec<&mut crate::param::Parameter> = self
+            .layers
+            .iter_mut()
+            .flat_map(|l| l.parameters())
+            .collect();
+        assert_eq!(params.len(), state.len(), "state layout mismatch");
+        for (p, s) in params.into_iter().zip(state.iter()) {
+            assert_eq!(p.len(), s.len(), "parameter size mismatch");
+            p.value.copy_from_slice(s);
+        }
+    }
+}
+
+impl Default for Sequential {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Dense, Relu};
+    use crate::loss::mse;
+    use crate::optim::Sgd;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_model(seed: u64) -> Sequential {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Sequential::new()
+            .add(Dense::new(2, 8, &mut rng))
+            .add(Relu::new())
+            .add(Dense::new(8, 1, &mut rng))
+    }
+
+    #[test]
+    fn model_structure_helpers() {
+        let mut m = tiny_model(0);
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.layer_names(), vec!["Dense", "ReLU", "Dense"]);
+        assert_eq!(m.parameter_count(), 2 * 8 + 8 + 8 + 1);
+    }
+
+    #[test]
+    fn training_reduces_loss_on_toy_regression() {
+        // Learn y = x0 + 2*x1 on a small grid.
+        let mut m = tiny_model(1);
+        let mut opt = Sgd::new(0.05, 0.9);
+        let xs: Vec<Vec<f32>> = (0..16)
+            .map(|i| vec![(i % 4) as f32 / 4.0, (i / 4) as f32 / 4.0])
+            .collect();
+        let ys: Vec<Vec<f32>> = xs.iter().map(|v| vec![v[0] + 2.0 * v[1]]).collect();
+        let x = Tensor::stack(&xs, &[2]);
+        let y = Tensor::stack(&ys, &[1]);
+
+        let initial_loss = mse(&m.forward(&x, false), &y).0;
+        for _ in 0..300 {
+            m.zero_grad();
+            let pred = m.forward(&x, true);
+            let (_, grad) = mse(&pred, &y);
+            m.backward(&grad);
+            m.step(&mut opt);
+        }
+        let final_loss = mse(&m.forward(&x, false), &y).0;
+        assert!(
+            final_loss < initial_loss * 0.05,
+            "loss did not drop enough: {initial_loss} -> {final_loss}"
+        );
+    }
+
+    #[test]
+    fn state_roundtrip_restores_predictions() {
+        let mut m = tiny_model(2);
+        let x = Tensor::from_vec(&[1, 2], vec![0.3, -0.4]);
+        let before = m.predict(&x);
+        let snapshot = m.state();
+
+        // Perturb the weights by "training" on garbage.
+        let mut opt = Sgd::new(0.5, 0.0);
+        for _ in 0..10 {
+            m.zero_grad();
+            let pred = m.forward(&x, true);
+            let (_, grad) = mse(&pred, &Tensor::from_vec(&[1, 1], vec![100.0]));
+            m.backward(&grad);
+            m.step(&mut opt);
+        }
+        assert!((m.predict(&x).data()[0] - before.data()[0]).abs() > 1e-3);
+
+        m.load_state(&snapshot);
+        let after = m.predict(&x);
+        assert_eq!(after.data(), before.data());
+    }
+
+    #[test]
+    fn zero_grad_clears_all_gradients() {
+        let mut m = tiny_model(3);
+        let x = Tensor::from_vec(&[1, 2], vec![1.0, 1.0]);
+        let pred = m.forward(&x, true);
+        let (_, grad) = mse(&pred, &Tensor::from_vec(&[1, 1], vec![0.0]));
+        m.backward(&grad);
+        let any_nonzero = m
+            .layers
+            .iter_mut()
+            .flat_map(|l| l.parameters())
+            .any(|p| p.grad_norm() > 0.0);
+        assert!(any_nonzero);
+        m.zero_grad();
+        let all_zero = m
+            .layers
+            .iter_mut()
+            .flat_map(|l| l.parameters())
+            .all(|p| p.grad_norm() == 0.0);
+        assert!(all_zero);
+    }
+}

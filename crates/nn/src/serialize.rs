@@ -1,0 +1,123 @@
+//! Model-weight serialisation.
+//!
+//! The paper publishes its trained Keras model alongside the dataset; the
+//! reproduction offers the same ability by snapshotting a model's parameter
+//! state to JSON (self-describing, diff-able, no extra dependencies beyond
+//! `serde_json`).
+
+use crate::model::Sequential;
+use serde::{Deserialize, Serialize};
+
+/// A serialisable snapshot of a model's trainable parameters together with a
+/// free-form architecture tag used to detect mismatched loads.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelCheckpoint {
+    /// Identifier of the architecture the weights belong to.
+    pub architecture: String,
+    /// Flattened parameter values in layer order.
+    pub parameters: Vec<Vec<f32>>,
+}
+
+impl ModelCheckpoint {
+    /// Captures the current weights of a model.
+    pub fn capture(architecture: &str, model: &mut Sequential) -> Self {
+        ModelCheckpoint {
+            architecture: architecture.to_string(),
+            parameters: model.state(),
+        }
+    }
+
+    /// Restores the weights into a freshly-built model of the same
+    /// architecture.
+    ///
+    /// # Errors
+    /// Returns an error string if the architecture tag or the parameter
+    /// layout does not match.
+    pub fn restore(&self, architecture: &str, model: &mut Sequential) -> Result<(), String> {
+        if self.architecture != architecture {
+            return Err(format!(
+                "checkpoint architecture '{}' does not match '{architecture}'",
+                self.architecture
+            ));
+        }
+        let current = model.state();
+        if current.len() != self.parameters.len()
+            || current
+                .iter()
+                .zip(self.parameters.iter())
+                .any(|(a, b)| a.len() != b.len())
+        {
+            return Err("checkpoint parameter layout does not match the model".to_string());
+        }
+        model.load_state(&self.parameters);
+        Ok(())
+    }
+
+    /// Serialises the checkpoint to a JSON string.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("checkpoint serialisation cannot fail")
+    }
+
+    /// Parses a checkpoint from JSON.
+    ///
+    /// # Errors
+    /// Returns the underlying `serde_json` error message on malformed input.
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        serde_json::from_str(json).map_err(|e| e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Dense, Relu};
+    use crate::tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn model(seed: u64) -> Sequential {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Sequential::new()
+            .add(Dense::new(3, 5, &mut rng))
+            .add(Relu::new())
+            .add(Dense::new(5, 2, &mut rng))
+    }
+
+    #[test]
+    fn json_roundtrip_restores_predictions() {
+        let mut original = model(0);
+        let x = Tensor::from_vec(&[1, 3], vec![0.1, -0.2, 0.7]);
+        let expected = original.predict(&x);
+
+        let checkpoint = ModelCheckpoint::capture("mlp-3-5-2", &mut original);
+        let json = checkpoint.to_json();
+        let parsed = ModelCheckpoint::from_json(&json).unwrap();
+
+        let mut restored = model(99); // different random init
+        assert_ne!(restored.predict(&x).data(), expected.data());
+        parsed.restore("mlp-3-5-2", &mut restored).unwrap();
+        assert_eq!(restored.predict(&x).data(), expected.data());
+    }
+
+    #[test]
+    fn architecture_mismatch_is_rejected() {
+        let mut m = model(1);
+        let checkpoint = ModelCheckpoint::capture("arch-a", &mut m);
+        let mut other = model(2);
+        assert!(checkpoint.restore("arch-b", &mut other).is_err());
+    }
+
+    #[test]
+    fn layout_mismatch_is_rejected() {
+        let mut m = model(1);
+        let checkpoint = ModelCheckpoint::capture("arch", &mut m);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut different = Sequential::new().add(Dense::new(3, 4, &mut rng));
+        assert!(checkpoint.restore("arch", &mut different).is_err());
+    }
+
+    #[test]
+    fn malformed_json_is_an_error() {
+        assert!(ModelCheckpoint::from_json("not json").is_err());
+    }
+}

@@ -1,0 +1,126 @@
+//! Transmit chain: frame → symbols → chips → baseband waveform.
+//!
+//! [`ModulatedFrame`] bundles everything the rest of the pipeline needs to
+//! know about one transmission: the frame content, the spread chip stream,
+//! the clean baseband waveform and the reference segments used by the
+//! channel estimators (the whole waveform for the "perfect"/ground-truth
+//! estimate, the synchronisation header for the preamble-based estimate).
+
+use crate::config::PhyConfig;
+use crate::frame::Frame;
+use crate::oqpsk::modulate_chips;
+use crate::symbols::symbols_to_chips;
+use vvd_dsp::{Complex, CVec};
+
+/// A frame together with its spread chips and clean baseband waveform.
+#[derive(Debug, Clone)]
+pub struct ModulatedFrame {
+    /// The PHY configuration used for modulation.
+    pub config: PhyConfig,
+    /// The transmitted frame.
+    pub frame: Frame,
+    /// Antipodal (±1) chip stream of the whole PPDU.
+    pub chips: Vec<f64>,
+    /// Clean complex baseband waveform of the whole PPDU.
+    pub waveform: CVec,
+}
+
+/// Modulates a frame into its baseband waveform under the given PHY
+/// configuration.
+pub fn modulate_frame(cfg: &PhyConfig, frame: &Frame) -> ModulatedFrame {
+    let symbols = frame.ppdu_symbols();
+    let chips = symbols_to_chips(&symbols);
+    let waveform = modulate_chips(&chips, cfg.samples_per_chip);
+    ModulatedFrame {
+        config: *cfg,
+        frame: frame.clone(),
+        chips,
+        waveform,
+    }
+}
+
+impl ModulatedFrame {
+    /// The clean waveform samples of the synchronisation header (preamble +
+    /// SFD) — the part of the signal a real receiver knows a priori and the
+    /// reference for preamble-based channel estimation.
+    pub fn shr_waveform(&self) -> &[Complex] {
+        let n = self
+            .config
+            .shr_samples()
+            .min(self.waveform.len());
+        &self.waveform.as_slice()[..n]
+    }
+
+    /// The full clean waveform — the reference for the paper's "perfect"
+    /// (ground-truth) channel estimation, which assumes the whole transmitted
+    /// signal is known.
+    pub fn full_waveform(&self) -> &[Complex] {
+        self.waveform.as_slice()
+    }
+
+    /// The chip stream of the PSDU only (the 8128 chips the paper's CER
+    /// metric is computed over for 127-octet PSDUs).
+    pub fn psdu_chips(&self) -> &[f64] {
+        let start = (self.config.shr_symbols() + self.config.phr_symbols())
+            * crate::config::CHIPS_PER_SYMBOL;
+        &self.chips[start..]
+    }
+
+    /// Index of the first PSDU chip within the PPDU chip stream.
+    pub fn psdu_chip_offset(&self) -> usize {
+        (self.config.shr_symbols() + self.config.phr_symbols()) * crate::config::CHIPS_PER_SYMBOL
+    }
+
+    /// Total number of chips in the PPDU.
+    pub fn n_chips(&self) -> usize {
+        self.chips.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::PsduBuilder;
+    use crate::oqpsk::waveform_len;
+
+    #[test]
+    fn waveform_dimensions_match_config() {
+        let cfg = PhyConfig::short_packets(16);
+        let frame = PsduBuilder::new(&cfg).build(42);
+        let tx = modulate_frame(&cfg, &frame);
+        assert_eq!(tx.n_chips(), cfg.total_chips());
+        assert_eq!(
+            tx.waveform.len(),
+            waveform_len(cfg.total_chips(), cfg.samples_per_chip)
+        );
+        assert_eq!(tx.shr_waveform().len(), cfg.shr_samples());
+    }
+
+    #[test]
+    fn psdu_chip_slice_has_expected_length() {
+        let cfg = PhyConfig::default();
+        let frame = PsduBuilder::new(&cfg).build(0);
+        let tx = modulate_frame(&cfg, &frame);
+        assert_eq!(tx.psdu_chips().len(), 8128);
+        assert_eq!(tx.psdu_chip_offset() + 8128, tx.n_chips());
+    }
+
+    #[test]
+    fn shr_waveform_is_prefix_of_full_waveform() {
+        let cfg = PhyConfig::short_packets(8);
+        let frame = PsduBuilder::new(&cfg).build(5);
+        let tx = modulate_frame(&cfg, &frame);
+        let shr = tx.shr_waveform();
+        assert_eq!(shr, &tx.full_waveform()[..shr.len()]);
+    }
+
+    #[test]
+    fn different_sequence_numbers_share_the_same_shr() {
+        let cfg = PhyConfig::short_packets(8);
+        let b = PsduBuilder::new(&cfg);
+        let t1 = modulate_frame(&cfg, &b.build(1));
+        let t2 = modulate_frame(&cfg, &b.build(2));
+        assert_eq!(t1.shr_waveform(), t2.shr_waveform());
+        assert_ne!(t1.full_waveform(), t2.full_waveform());
+    }
+}

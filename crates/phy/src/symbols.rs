@@ -1,0 +1,119 @@
+//! Bit ⇄ symbol ⇄ chip mapping.
+//!
+//! The 802.15.4 bit-to-symbol mapping groups each octet into two 4-bit data
+//! symbols, least-significant nibble first, and each symbol into 32 chips
+//! (see [`crate::pn`]).  The helpers here convert whole octet strings to and
+//! from symbol and chip streams; they are shared by the modulator, the
+//! despreader and the chip-error-rate metric.
+
+use crate::config::CHIPS_PER_SYMBOL;
+use crate::pn::{chip_sequence_bipolar, best_matching_symbol};
+
+/// Splits octets into 4-bit data symbols, low nibble first (per standard).
+pub fn octets_to_symbols(octets: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(octets.len() * 2);
+    for &o in octets {
+        out.push(o & 0x0F);
+        out.push(o >> 4);
+    }
+    out
+}
+
+/// Reassembles octets from a symbol stream (low nibble first).
+///
+/// A trailing unpaired symbol is dropped.
+pub fn symbols_to_octets(symbols: &[u8]) -> Vec<u8> {
+    symbols
+        .chunks_exact(2)
+        .map(|pair| (pair[0] & 0x0F) | ((pair[1] & 0x0F) << 4))
+        .collect()
+}
+
+/// Spreads a symbol stream into antipodal chips (`±1.0`).
+pub fn symbols_to_chips(symbols: &[u8]) -> Vec<f64> {
+    let mut out = Vec::with_capacity(symbols.len() * CHIPS_PER_SYMBOL);
+    for &s in symbols {
+        out.extend_from_slice(&chip_sequence_bipolar(s));
+    }
+    out
+}
+
+/// Despreads a soft chip stream back into symbols by maximum-correlation
+/// detection over each 32-chip block.  Trailing partial blocks are ignored.
+pub fn chips_to_symbols(soft_chips: &[f64]) -> Vec<u8> {
+    soft_chips
+        .chunks_exact(CHIPS_PER_SYMBOL)
+        .map(best_matching_symbol)
+        .collect()
+}
+
+/// Counts differing chips between a reference (±1) chip stream and hard
+/// decisions on a received soft chip stream.  Streams are compared up to the
+/// shorter length.
+pub fn count_chip_errors(reference: &[f64], received_soft: &[f64]) -> usize {
+    reference
+        .iter()
+        .zip(received_soft.iter())
+        .filter(|(r, s)| (r.signum() - s.signum()).abs() > f64::EPSILON)
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn octet_symbol_roundtrip() {
+        let octets: Vec<u8> = (0u8..=255).collect();
+        let symbols = octets_to_symbols(&octets);
+        assert_eq!(symbols.len(), 512);
+        assert_eq!(symbols_to_octets(&symbols), octets);
+    }
+
+    #[test]
+    fn nibble_order_is_low_first() {
+        let symbols = octets_to_symbols(&[0xA7]);
+        assert_eq!(symbols, vec![0x7, 0xA]);
+    }
+
+    #[test]
+    fn chip_roundtrip_without_noise() {
+        let octets = b"hello 802.15.4";
+        let symbols = octets_to_symbols(octets);
+        let chips = symbols_to_chips(&symbols);
+        assert_eq!(chips.len(), symbols.len() * 32);
+        let back = chips_to_symbols(&chips);
+        assert_eq!(back, symbols);
+        assert_eq!(symbols_to_octets(&back), octets.to_vec());
+    }
+
+    #[test]
+    fn chip_roundtrip_with_attenuation_and_errors() {
+        let symbols = octets_to_symbols(&[0x3C, 0x5A, 0xF0]);
+        let mut chips = symbols_to_chips(&symbols);
+        // Attenuate and flip a few chips per symbol.
+        for c in chips.iter_mut() {
+            *c *= 0.05;
+        }
+        for idx in [3usize, 40, 41, 70, 100, 130, 150, 170] {
+            chips[idx] = -chips[idx];
+        }
+        assert_eq!(chips_to_symbols(&chips), symbols);
+    }
+
+    #[test]
+    fn chip_error_counting() {
+        let reference = symbols_to_chips(&[0x1, 0x2]);
+        let mut received = reference.clone();
+        received[0] = -received[0];
+        received[33] = -received[33];
+        received[40] *= 0.3; // attenuation only, not an error
+        assert_eq!(count_chip_errors(&reference, &received), 2);
+    }
+
+    #[test]
+    fn partial_blocks_are_ignored() {
+        let chips = vec![1.0; 40];
+        assert_eq!(chips_to_symbols(&chips).len(), 1);
+    }
+}

@@ -1,0 +1,200 @@
+//! Estimate-aging experiments (Figs. 16 and 17).
+//!
+//! "In order to validate the instantaneous value of the information we have
+//! used an old channel estimation to either compare the difference with the
+//! recent channel estimation or to decode a recent packet." — the sweep
+//! varies the age of the estimate from 0 (original) to 20 s and reports MSE
+//! and PER for the Preamble-Genie estimate and for VVD.
+
+use crate::campaign::Campaign;
+use crate::combinations::SetCombination;
+use crate::evaluate::build_vvd_dataset;
+use vvd_core::{VvdModel, VvdVariant};
+use vvd_dsp::FirFilter;
+use vvd_estimation::decode::decode_with_estimate;
+use vvd_estimation::ls::preamble_estimate;
+use vvd_estimation::metrics::{mean_squared_error, packet_error_rate};
+use vvd_estimation::phase::align_mean_phase;
+use vvd_estimation::{EqualizerConfig, Technique};
+use vvd_phy::Receiver;
+
+/// The ages swept in Figs. 16–17, in seconds (0 = "Original").
+pub const PAPER_AGES_S: [f64; 8] = [0.0, 0.1, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0];
+
+/// Result of the aging sweep for one technique.
+#[derive(Debug, Clone)]
+pub struct AgingCurve {
+    /// Technique the curve belongs to (Preamble-Genie or VVD-Current).
+    pub technique: Technique,
+    /// Ages in seconds (first entry 0 = original).
+    pub ages_s: Vec<f64>,
+    /// MSE against the current perfect estimate, per age (Fig. 16).
+    pub mse: Vec<f64>,
+    /// Packet error rate when decoding with the aged estimate (Fig. 17).
+    pub per: Vec<f64>,
+}
+
+/// Runs the aging sweep on one combination's test set.
+///
+/// For age `Δ`, packet `k` (at time `t`) is decoded with the estimate derived
+/// from the packet/frame at time `t − Δ`; packets whose history does not
+/// reach back far enough are skipped so every age uses the same packets.
+pub fn aging_sweep(
+    campaign: &Campaign,
+    combination: &SetCombination,
+    ages_s: &[f64],
+    techniques: &[Technique],
+) -> Vec<AgingCurve> {
+    let cfg = &campaign.config;
+    let receiver = Receiver::new(cfg.phy);
+    let eq = cfg.equalizer;
+    let eq_no_phase = EqualizerConfig {
+        align_phase: false,
+        ..eq
+    };
+    let test_set = campaign.set(combination.test);
+    let packet_period = cfg.packet_period_s();
+    let frame_period = cfg.frame_period_s();
+
+    let max_age = ages_s.iter().cloned().fold(0.0f64, f64::max);
+    let max_lag_packets = (max_age / packet_period).round() as usize;
+
+    // Train a VVD-Current model if requested.
+    let mut vvd_model: Option<VvdModel> = if techniques.contains(&Technique::VvdCurrent) {
+        let train = build_vvd_dataset(
+            campaign,
+            &combination.training,
+            VvdVariant::Current,
+            cfg.max_vvd_training_samples,
+        );
+        let validation = build_vvd_dataset(
+            campaign,
+            &[combination.validation],
+            VvdVariant::Current,
+            if cfg.max_vvd_training_samples > 0 {
+                cfg.max_vvd_training_samples / 4
+            } else {
+                0
+            },
+        );
+        Some(VvdModel::train(VvdVariant::Current, &cfg.vvd, &train, &validation).0)
+    } else {
+        None
+    };
+
+    let mut curves: Vec<AgingCurve> = techniques
+        .iter()
+        .map(|&t| AgingCurve {
+            technique: t,
+            ages_s: ages_s.to_vec(),
+            mse: Vec::with_capacity(ages_s.len()),
+            per: Vec::with_capacity(ages_s.len()),
+        })
+        .collect();
+
+    for &age in ages_s {
+        let lag_packets = (age / packet_period).round() as usize;
+        let lag_frames = (age / frame_period).round() as usize;
+
+        for (ci, &technique) in techniques.iter().enumerate() {
+            let mut estimates = Vec::new();
+            let mut truths = Vec::new();
+            let mut outcomes = Vec::new();
+
+            for (k, record) in test_set.packets.iter().enumerate() {
+                if k < max_lag_packets || k < cfg.kalman_warmup_packets {
+                    continue;
+                }
+                let (tx, received) = campaign.received_waveform(combination.test, record.index);
+                let estimate: Option<FirFilter> = match technique {
+                    Technique::PreambleBasedGenie => {
+                        let old = &test_set.packets[k - lag_packets];
+                        let (old_tx, old_received) =
+                            campaign.received_waveform(combination.test, old.index);
+                        preamble_estimate(&old_tx, old_received.as_slice(), eq.channel_taps).ok()
+                    }
+                    Technique::VvdCurrent => vvd_model.as_mut().and_then(|model| {
+                        (record.frame_index >= lag_frames).then(|| {
+                            let frame = &test_set.frames[record.frame_index - lag_frames];
+                            model.predict_cir(&frame.image)
+                        })
+                    }),
+                    _ => None,
+                };
+                let Some(estimate) = estimate else { continue };
+
+                // Aged estimates always need the Eq.-8 phase alignment since
+                // the crystal phase of the current packet differs.
+                let config = if lag_packets == 0 && technique == Technique::PreambleBasedGenie {
+                    &eq_no_phase
+                } else {
+                    &eq
+                };
+                let outcome =
+                    decode_with_estimate(&receiver, &tx, received.as_slice(), &estimate, config);
+                outcomes.push(outcome);
+
+                let aligned = if config.align_phase {
+                    match preamble_estimate(&tx, received.as_slice(), eq.channel_taps) {
+                        Ok(reference) => align_mean_phase(&estimate, &reference).0,
+                        Err(_) => estimate.clone(),
+                    }
+                } else {
+                    estimate.clone()
+                };
+                estimates.push(aligned);
+                truths.push(record.perfect_cir.clone());
+            }
+
+            let mse = if estimates.is_empty() {
+                0.0
+            } else {
+                mean_squared_error(&estimates, &truths)
+            };
+            curves[ci].mse.push(mse);
+            curves[ci].per.push(packet_error_rate(&outcomes));
+        }
+    }
+    curves
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::combinations::combinations_for;
+    use crate::config::EvalConfig;
+
+    #[test]
+    fn preamble_genie_mse_grows_with_age() {
+        let mut cfg = EvalConfig::smoke();
+        cfg.packets_per_set = 60;
+        cfg.kalman_warmup_packets = 2;
+        let campaign = Campaign::generate(&cfg);
+        let combos = combinations_for(cfg.n_sets, 1);
+        let curves = aging_sweep(
+            &campaign,
+            &combos[0],
+            &[0.0, 0.5, 2.0],
+            &[Technique::PreambleBasedGenie],
+        );
+        assert_eq!(curves.len(), 1);
+        let c = &curves[0];
+        assert_eq!(c.mse.len(), 3);
+        // A 2-second-old estimate must be worse (in MSE) than the fresh one.
+        assert!(
+            c.mse[2] > c.mse[0],
+            "aged MSE {} should exceed fresh MSE {}",
+            c.mse[2],
+            c.mse[0]
+        );
+        // PER values are valid rates.
+        assert!(c.per.iter().all(|p| (0.0..=1.0).contains(p)));
+    }
+
+    #[test]
+    fn paper_age_grid_matches_figure_16() {
+        assert_eq!(PAPER_AGES_S.len(), 8);
+        assert_eq!(PAPER_AGES_S[0], 0.0);
+        assert_eq!(PAPER_AGES_S[7], 20.0);
+    }
+}

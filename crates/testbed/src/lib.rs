@@ -1,0 +1,47 @@
+//! # vvd-testbed
+//!
+//! Measurement-campaign simulator and evaluation harness for the Veni Vidi
+//! Dixi reproduction.
+//!
+//! The original paper evaluates on a hardware trace: 22,704 IEEE 802.15.4
+//! packets captured with a USRP sniffer in a laboratory while a single
+//! human moves, synchronised (via an LED blink) with the frames of a ZED
+//! depth camera, split into 15 measurement sets and evaluated over the 15
+//! train/validation/test combinations of Table 2.  This crate rebuilds that
+//! campaign on top of the simulators in the other crates and reproduces the
+//! paper's experiments:
+//!
+//! * [`mobility`] — random-waypoint movement of the single human inside the
+//!   movement area of Fig. 2,
+//! * [`campaign`] — per-packet channel realisations, per-frame depth
+//!   images, packet↔frame association and the perfect (ground-truth) LS
+//!   estimates,
+//! * [`combinations`] — Table 2 (the 15 set combinations) plus generated
+//!   equivalents for reduced campaign sizes,
+//! * [`evaluate`] — the per-combination comparison of all estimation
+//!   techniques (PER / CER / MSE, Figs. 11–14), the packet-by-packet time
+//!   series of Fig. 15 and the box-plot aggregation over combinations,
+//! * [`aging`] — the estimate-aging sweeps of Figs. 16–17,
+//! * [`hypothesis`] — the Sec.-3.1 hypothesis test behind Fig. 5,
+//! * [`report`] — plain-text tables/series used by the `vvd-bench`
+//!   reproduction harnesses,
+//! * [`config`] — the `quick`/`paper` evaluation presets that scale the
+//!   campaign to the available compute.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod aging;
+pub mod campaign;
+pub mod combinations;
+pub mod config;
+pub mod evaluate;
+pub mod hypothesis;
+pub mod mobility;
+pub mod report;
+
+pub use campaign::{Campaign, FrameRecord, MeasurementSet, PacketRecord};
+pub use combinations::{combinations_for, SetCombination};
+pub use config::EvalConfig;
+pub use evaluate::{evaluate_combination, CombinationResult, EvaluationSummary, TechniqueMetrics};
+pub use mobility::RandomWaypoint;

@@ -1,0 +1,138 @@
+//! Plain-text reporting helpers used by the figure/table reproduction
+//! benches.
+//!
+//! Every harness in `vvd-bench` prints the same rows/series the paper
+//! reports; these helpers keep the formatting consistent.
+
+use crate::evaluate::{CombinationResult, EvaluationSummary, TimePoint};
+use vvd_dsp::stats::BoxStats;
+use vvd_estimation::Technique;
+
+/// Formats one box-statistics row: `label  min q1 median q3 max mean`.
+pub fn format_box_row(label: &str, stats: &BoxStats) -> String {
+    format!(
+        "{label:<28} {:>10.4e} {:>10.4e} {:>10.4e} {:>10.4e} {:>10.4e} {:>10.4e}",
+        stats.min, stats.q1, stats.median, stats.q3, stats.max, stats.mean
+    )
+}
+
+/// Formats a metric table (PER / CER / MSE) for the given techniques in the
+/// given order, skipping techniques without data.
+pub fn format_metric_table(
+    title: &str,
+    summary_metric: &std::collections::BTreeMap<String, BoxStats>,
+    order: &[Technique],
+) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{title}\n{:<28} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}\n",
+        "technique", "min", "q1", "median", "q3", "max", "mean"
+    ));
+    for technique in order {
+        if let Some(stats) = summary_metric.get(technique.label()) {
+            out.push_str(&format_box_row(technique.label(), stats));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Formats the Fig.-15 success/fail time series: one character per packet,
+/// `#` = success, `.` = failure, with the VVD row above the ground-truth row.
+pub fn format_time_series(points: &[TimePoint]) -> String {
+    let vvd: String = points
+        .iter()
+        .map(|p| if p.vvd_success { '#' } else { '.' })
+        .collect();
+    let gt: String = points
+        .iter()
+        .map(|p| if p.ground_truth_success { '#' } else { '.' })
+        .collect();
+    let blocked: String = points
+        .iter()
+        .map(|p| if p.los_blocked { 'B' } else { ' ' })
+        .collect();
+    format!(
+        "VVD-Current : {vvd}\nGround Truth: {gt}\nLoS blocked : {blocked}\n"
+    )
+}
+
+/// Formats the per-combination PER of one technique (one row per
+/// combination), useful for Fig.-11 style outputs.
+pub fn format_per_combination(results: &[CombinationResult], technique: Technique) -> String {
+    let mut out = format!("{}\n", technique.label());
+    for r in results {
+        if let Some(m) = r.metric(technique) {
+            out.push_str(&format!(
+                "  combination {:>2} (test set {:>2}): PER {:.4}  CER {:.4}  packets {}\n",
+                r.combination.number, r.combination.test, m.per, m.cer, m.packets
+            ));
+        }
+    }
+    out
+}
+
+/// Formats the whole evaluation summary (PER, CER, MSE tables) in the
+/// paper's Fig.-12/13/14 order.
+pub fn format_summary(summary: &EvaluationSummary, order: &[Technique]) -> String {
+    let mut out = String::new();
+    out.push_str(&format_metric_table("Packet Error Rate (Fig. 12)", &summary.per, order));
+    out.push('\n');
+    out.push_str(&format_metric_table("Chip Error Rate (Fig. 13)", &summary.cer, order));
+    out.push('\n');
+    out.push_str(&format_metric_table("Mean Squared Error (Fig. 14)", &summary.mse, order));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn box_row_contains_all_fields() {
+        let stats = BoxStats::from_samples(&[0.1, 0.2, 0.3]);
+        let row = format_box_row("Test", &stats);
+        assert!(row.starts_with("Test"));
+        assert!(row.contains("2.0000e-1"));
+    }
+
+    #[test]
+    fn metric_table_respects_order_and_skips_missing() {
+        let mut metric = BTreeMap::new();
+        metric.insert(
+            Technique::GroundTruth.label().to_string(),
+            BoxStats::from_samples(&[0.01]),
+        );
+        let table = format_metric_table(
+            "PER",
+            &metric,
+            &[Technique::StandardDecoding, Technique::GroundTruth],
+        );
+        assert!(table.contains("Ground Truth"));
+        assert!(!table.contains("Standard Decoding"));
+        assert!(table.starts_with("PER"));
+    }
+
+    #[test]
+    fn time_series_marks_success_and_failure() {
+        let points = vec![
+            TimePoint {
+                time_s: 0.0,
+                vvd_success: true,
+                ground_truth_success: true,
+                los_blocked: false,
+            },
+            TimePoint {
+                time_s: 0.1,
+                vvd_success: false,
+                ground_truth_success: true,
+                los_blocked: true,
+            },
+        ];
+        let s = format_time_series(&points);
+        assert!(s.contains("VVD-Current : #."));
+        assert!(s.contains("Ground Truth: ##"));
+        assert!(s.contains("LoS blocked :  B"));
+    }
+}

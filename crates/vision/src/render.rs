@@ -1,0 +1,95 @@
+//! Depth rendering: one ray per pixel, nearest hit distance.
+
+use crate::camera::PinholeCamera;
+use crate::image::DepthImage;
+use crate::scene::Scene;
+
+/// Renders a depth image of the scene from the camera's viewpoint.
+///
+/// Each pixel stores the Euclidean distance (metres) from the camera centre
+/// to the nearest surface along the pixel ray, clamped to the scene's
+/// `max_depth` — the same convention a stereo depth camera produces after
+/// its internal disparity-to-depth conversion.
+pub fn render_depth(scene: &Scene, camera: &PinholeCamera) -> DepthImage {
+    let mut img = DepthImage::filled(camera.width, camera.height, scene.max_depth as f32);
+    for row in 0..camera.height {
+        for col in 0..camera.width {
+            let ray = camera.ray_for_pixel(row, col);
+            let depth = scene.trace(&ray);
+            img.set(row, col, depth as f32);
+        }
+    }
+    img
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scene::{Aabb, Plane, Vec3, VerticalCylinder};
+
+    fn lab_scene_with_human(x: f64, y: f64) -> Scene {
+        let mut scene = Scene {
+            planes: vec![Plane::Z(0.0), Plane::Y(6.0), Plane::X(0.0), Plane::X(8.0)],
+            boxes: vec![Aabb::from_footprint(2.0, 5.2, 0.35, 1.4)],
+            cylinders: Vec::new(),
+            max_depth: 12.0,
+        };
+        scene.cylinders.push(VerticalCylinder {
+            x,
+            y,
+            radius: 0.25,
+            z_min: 0.0,
+            z_max: 1.8,
+        });
+        scene
+    }
+
+    fn camera() -> PinholeCamera {
+        PinholeCamera::surveillance(Vec3::new(4.0, 0.3, 2.6), Vec3::new(4.0, 3.5, 1.0))
+    }
+
+    #[test]
+    fn render_produces_expected_dimensions_and_finite_depths() {
+        let img = render_depth(&lab_scene_with_human(4.0, 3.0), &camera());
+        assert_eq!(img.width(), 108);
+        assert_eq!(img.height(), 72);
+        assert!(img.min() > 0.0);
+        assert!(img.max() <= 12.0);
+    }
+
+    #[test]
+    fn human_appears_as_closer_pixels() {
+        let cam = camera();
+        let empty = render_depth(&lab_scene_with_human(-50.0, -50.0), &cam);
+        let with_human = render_depth(&lab_scene_with_human(4.0, 2.0), &cam);
+        // Somewhere in the image the depth must be significantly smaller.
+        let mut closer_pixels = 0usize;
+        for r in 0..cam.height {
+            for c in 0..cam.width {
+                if with_human.get(r, c) + 0.3 < empty.get(r, c) {
+                    closer_pixels += 1;
+                }
+            }
+        }
+        assert!(
+            closer_pixels > 30,
+            "human not visible: only {closer_pixels} closer pixels"
+        );
+    }
+
+    #[test]
+    fn moving_human_changes_the_image() {
+        let cam = camera();
+        let a = render_depth(&lab_scene_with_human(3.0, 2.5), &cam);
+        let b = render_depth(&lab_scene_with_human(5.0, 2.5), &cam);
+        assert!(a.mean_abs_diff(&b) > 0.005);
+    }
+
+    #[test]
+    fn same_position_renders_identically() {
+        let cam = camera();
+        let a = render_depth(&lab_scene_with_human(3.3, 2.8), &cam);
+        let b = render_depth(&lab_scene_with_human(3.3, 2.8), &cam);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,93 @@
+//! Factory-monitoring scenario: sporadic safety-critical sensor traffic.
+//!
+//! The paper motivates VVD with industrial deployments in which
+//! battery-powered sensors transmit *sporadically*, so time-series
+//! estimators starve for pilot updates while a surveillance camera keeps
+//! observing the environment.  This example emulates that situation: the
+//! sensor only transmits every Nth packet slot, so the freshest "previous"
+//! estimate is N × 100 ms old, while VVD always has a current depth frame.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example factory_monitoring
+//! ```
+
+use vvd::dsp::FirFilter;
+use vvd::estimation::decode::decode_with_estimate;
+use vvd::estimation::ls::preamble_estimate;
+use vvd::estimation::metrics::packet_error_rate;
+use vvd::estimation::EqualizerConfig;
+use vvd::phy::Receiver;
+use vvd::testbed::{combinations_for, Campaign, EvalConfig};
+use vvd_core::{VvdModel, VvdVariant};
+use vvd_testbed::evaluate::build_vvd_dataset;
+
+fn main() {
+    let mut config = EvalConfig::quick();
+    config.n_sets = 3;
+    config.packets_per_set = 80;
+    config.kalman_warmup_packets = 0;
+    config.max_vvd_training_samples = 120;
+    config.vvd.epochs = 8;
+
+    println!("Generating campaign and training VVD-Current...");
+    let campaign = Campaign::generate(&config);
+    let combination = &combinations_for(config.n_sets, 1)[0];
+    let train = build_vvd_dataset(&campaign, &combination.training, VvdVariant::Current, 120);
+    let validation = build_vvd_dataset(&campaign, &[combination.validation], VvdVariant::Current, 30);
+    let (mut vvd, _) = VvdModel::train(VvdVariant::Current, &config.vvd, &train, &validation);
+
+    let receiver = Receiver::new(config.phy);
+    let eq = config.equalizer;
+    let eq_no_phase = EqualizerConfig { align_phase: false, ..eq };
+    let test_set = campaign.set(combination.test);
+
+    // Sporadic duty cycles: the sensor transmits every `gap` slots, so the
+    // newest prior packet available to "previous estimate" decoding is
+    // `gap * 100 ms` old.
+    println!("\nsporadic traffic: PER of stale-pilot decoding vs VVD (camera always fresh)\n");
+    println!("{:>12} {:>18} {:>12}", "gap [ms]", "previous-estimate", "VVD-Current");
+    for gap in [1usize, 5, 10, 20, 40] {
+        let mut stale_outcomes = Vec::new();
+        let mut vvd_outcomes = Vec::new();
+        for (k, record) in test_set.packets.iter().enumerate() {
+            if k < gap || k % gap != 0 {
+                continue;
+            }
+            let (tx, received) = campaign.received_waveform(combination.test, record.index);
+
+            // Previous-estimate decoding: the newest available pilot is gap packets old.
+            let stale: FirFilter = test_set.packets[k - gap].perfect_cir.clone();
+            stale_outcomes.push(decode_with_estimate(&receiver, &tx, received.as_slice(), &stale, &eq));
+
+            // VVD decoding from the frame synchronised with this packet.
+            let frame = &test_set.frames[record.frame_index];
+            let estimate = vvd.predict_cir(&frame.image);
+            vvd_outcomes.push(decode_with_estimate(&receiver, &tx, received.as_slice(), &estimate, &eq));
+        }
+        println!(
+            "{:>12} {:>18.4} {:>12.4}",
+            gap * 100,
+            packet_error_rate(&stale_outcomes),
+            packet_error_rate(&vvd_outcomes)
+        );
+    }
+
+    // Reference point: pilot-aided decoding when the preamble is detected.
+    let mut preamble_outcomes = Vec::new();
+    for record in &test_set.packets {
+        let (tx, received) = campaign.received_waveform(combination.test, record.index);
+        if record.preamble_detected {
+            if let Ok(est) = preamble_estimate(&tx, received.as_slice(), eq.channel_taps) {
+                preamble_outcomes.push(decode_with_estimate(
+                    &receiver, &tx, received.as_slice(), &est, &eq_no_phase,
+                ));
+            }
+        }
+    }
+    println!(
+        "\npilot-aided reference (detected preambles only): PER {:.4} over {} packets",
+        packet_error_rate(&preamble_outcomes),
+        preamble_outcomes.len()
+    );
+}

@@ -1,0 +1,39 @@
+//! Hypothesis test (Sec. 3.1 / Figs. 4–5): do camera-observable placements
+//! determine the multipath components?
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example hypothesis_test
+//! ```
+
+use vvd::testbed::EvalConfig;
+use vvd_testbed::hypothesis::run_hypothesis_test;
+
+fn main() {
+    let config = EvalConfig::quick();
+    let test = run_hypothesis_test(&config);
+    let (control, displaced, repeat) = test.tap_amplitudes();
+
+    println!("Channel tap amplitudes (Fig. 5a)\n");
+    println!(
+        "{:>4} {:>14} {:>14} {:>14}",
+        "tap", "control", "displaced", "repeat(aligned)"
+    );
+    for (i, ((c, d), r)) in control.iter().zip(&displaced).zip(&repeat).enumerate() {
+        println!("{:>4} {:>14.4e} {:>14.4e} {:>14.4e}", i + 1, c, d, r);
+    }
+
+    println!("\nPhase-aligned MSE against the control estimate (Fig. 5b):");
+    println!("  same placement, later time : {:.4e}", test.control_vs_repeat_mse);
+    println!("  displaced placement        : {:.4e}", test.control_vs_displaced_mse);
+
+    if test.hypotheses_hold() {
+        println!(
+            "\nHypotheses confirmed: displacement changes the MPCs (hypothesis 1), while a \
+             repeated placement reproduces them up to a mean phase shift (hypothesis 2).\n\
+             Camera images therefore carry the information needed for channel estimation."
+        );
+    } else {
+        println!("\nHypotheses NOT confirmed on this configuration — inspect the channel model parameters.");
+    }
+}

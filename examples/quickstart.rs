@@ -1,0 +1,70 @@
+//! Quickstart: train VVD on a small simulated campaign and compare it with
+//! the classical estimation techniques on one test set.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use vvd::estimation::Technique;
+use vvd::testbed::{
+    combinations_for, evaluate_combination, Campaign, EvalConfig,
+};
+
+fn main() {
+    // A laptop-scale campaign: 3 measurement sets, 60 packets each.
+    let mut config = EvalConfig::quick();
+    config.n_sets = 3;
+    config.packets_per_set = 60;
+    config.n_combinations = 1;
+    config.kalman_warmup_packets = 10;
+    config.max_vvd_training_samples = 90;
+    config.vvd.epochs = 8;
+
+    println!("Generating the measurement campaign (packets, frames, channel realisations)...");
+    let campaign = Campaign::generate(&config);
+    println!(
+        "  {} sets, {} packets, {} depth frames\n",
+        campaign.sets.len(),
+        campaign.total_packets(),
+        campaign.sets.iter().map(|s| s.frames.len()).sum::<usize>()
+    );
+
+    let techniques = [
+        Technique::StandardDecoding,
+        Technique::GroundTruth,
+        Technique::PreambleBasedGenie,
+        Technique::Previous100ms,
+        Technique::KalmanAr5,
+        Technique::VvdCurrent,
+        Technique::PreambleVvdCombined,
+    ];
+
+    println!("Training VVD and evaluating {} techniques on the test set...", techniques.len());
+    let combination = &combinations_for(config.n_sets, 1)[0];
+    let result = evaluate_combination(&campaign, combination, &techniques);
+
+    println!(
+        "\n{:<28} {:>8} {:>8} {:>12} {:>8}",
+        "technique", "PER", "CER", "MSE", "packets"
+    );
+    for technique in techniques {
+        if let Some(m) = result.metric(technique) {
+            println!(
+                "{:<28} {:>8.4} {:>8.4} {:>12} {:>8}",
+                technique.label(),
+                m.per,
+                m.cer,
+                m.mse.map_or("-".to_string(), |v| format!("{v:.3e}")),
+                m.packets
+            );
+        }
+    }
+
+    for report in &result.vvd_reports {
+        println!(
+            "\n{}: best validation MSE {:.4e} at epoch {}",
+            report.variant, report.best_val_loss, report.best_epoch
+        );
+    }
+}

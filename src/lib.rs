@@ -1,0 +1,27 @@
+//! # vvd — Veni Vidi Dixi reproduction façade
+//!
+//! This crate re-exports the public API of every subsystem of the
+//! reproduction so that examples, integration tests and downstream users can
+//! depend on a single crate:
+//!
+//! * [`dsp`] — complex arithmetic, linear algebra and DSP primitives,
+//! * [`phy`] — the IEEE 802.15.4 O-QPSK DSSS physical layer,
+//! * [`channel`] — the geometric indoor multipath channel simulator,
+//! * [`vision`] — the depth-camera simulator and image preprocessing,
+//! * [`nn`] — the from-scratch CNN library,
+//! * [`estimation`] — channel estimation, equalization and metrics,
+//! * [`core`] — the VVD algorithm (depth image → CIR CNN),
+//! * [`testbed`] — the measurement-campaign simulator and the evaluation
+//!   harness reproducing the paper's figures and tables.
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` for the system
+//! inventory and the per-experiment index.
+
+pub use vvd_channel as channel;
+pub use vvd_core as core;
+pub use vvd_dsp as dsp;
+pub use vvd_estimation as estimation;
+pub use vvd_nn as nn;
+pub use vvd_phy as phy;
+pub use vvd_testbed as testbed;
+pub use vvd_vision as vision;

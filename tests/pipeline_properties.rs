@@ -1,0 +1,135 @@
+//! Property-based tests on the core invariants of the reproduction.
+
+use proptest::prelude::*;
+use vvd::dsp::{convolve_full, least_squares, convolution_matrix, CVec, Complex, FirFilter};
+use vvd::estimation::phase::align_mean_phase;
+use vvd::estimation::zf::ZfEqualizer;
+use vvd::phy::crc::{append_fcs, check_fcs};
+use vvd::phy::pn::{best_matching_symbol, chip_sequence_bipolar};
+use vvd::phy::symbols::{octets_to_symbols, symbols_to_chips, symbols_to_octets};
+use vvd::phy::{modulate_frame, PhyConfig, PsduBuilder, Receiver};
+
+/// Strategy for a non-degenerate complex channel of 2..=11 taps whose
+/// dominant tap is not vanishingly small.
+fn channel_strategy() -> impl Strategy<Value = FirFilter> {
+    (
+        2usize..=11,
+        proptest::collection::vec((-1.0f64..1.0, -1.0f64..1.0), 11),
+    )
+        .prop_map(|(n, raw)| {
+            let mut taps: Vec<Complex> = raw[..n]
+                .iter()
+                .map(|&(re, im)| Complex::new(re * 0.3, im * 0.3))
+                .collect();
+            // Force a clear dominant tap so the channel is invertible.
+            let dominant = n / 2;
+            taps[dominant] = Complex::new(1.0, 0.4);
+            FirFilter::from_taps(&taps)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// LS estimation on a clean convolution recovers the channel that
+    /// generated it, for arbitrary channels and reference signals.
+    #[test]
+    fn ls_estimation_recovers_arbitrary_channels(
+        channel in channel_strategy(),
+        reference in proptest::collection::vec((-1.0f64..1.0, -1.0f64..1.0), 64..128),
+    ) {
+        let reference: Vec<Complex> = reference.iter().map(|&(re, im)| Complex::new(re, im)).collect();
+        // Skip degenerate all-tiny references.
+        prop_assume!(reference.iter().map(|z| z.norm_sqr()).sum::<f64>() > 1.0);
+        let received = convolve_full(&reference, channel.taps().as_slice());
+        let x = convolution_matrix(&reference, channel.len());
+        let estimate = least_squares(&x, &received).unwrap();
+        let err = CVec(estimate.to_vec()).squared_error(channel.taps());
+        prop_assert!(err < 1e-12, "estimation error {err}");
+    }
+
+    /// The ZF equalizer inverts every channel drawn from the strategy: the
+    /// cascade of channel and equalizer concentrates its energy on the
+    /// design delay.
+    #[test]
+    fn zf_equalizer_concentrates_cascade_energy(channel in channel_strategy()) {
+        let eq = ZfEqualizer::design(&channel, 31).unwrap();
+        prop_assert!(eq.residual_isi(&channel) < 0.2, "residual ISI {}", eq.residual_isi(&channel));
+    }
+
+    /// Mean-phase alignment undoes any common rotation of a channel
+    /// estimate.
+    #[test]
+    fn phase_alignment_is_rotation_invariant(
+        channel in channel_strategy(),
+        theta in -3.14f64..3.14,
+    ) {
+        let rotated = channel.rotated(Complex::cis(theta));
+        let (aligned, _) = align_mean_phase(&rotated, &channel);
+        let err = aligned.taps().squared_error(channel.taps()) / channel.energy();
+        prop_assert!(err < 1e-18, "alignment error {err}");
+    }
+
+    /// The FCS detects any single corrupted octet.
+    #[test]
+    fn crc_detects_single_octet_corruption(
+        payload in proptest::collection::vec(any::<u8>(), 4..64),
+        corrupt_index in any::<prop::sample::Index>(),
+        corruption in 1u8..=255,
+    ) {
+        let psdu = append_fcs(&payload);
+        prop_assert!(check_fcs(&psdu));
+        let mut corrupted = psdu.clone();
+        let idx = corrupt_index.index(corrupted.len());
+        corrupted[idx] ^= corruption;
+        prop_assert!(!check_fcs(&corrupted));
+    }
+
+    /// Bit → symbol → chip → symbol → bit roundtrips for arbitrary payloads,
+    /// even with per-chip attenuation.
+    #[test]
+    fn spreading_roundtrip_is_lossless(
+        octets in proptest::collection::vec(any::<u8>(), 1..64),
+        gain in 0.01f64..2.0,
+    ) {
+        let symbols = octets_to_symbols(&octets);
+        let chips: Vec<f64> = symbols_to_chips(&symbols).iter().map(|c| c * gain).collect();
+        let recovered: Vec<u8> = chips
+            .chunks_exact(32)
+            .map(best_matching_symbol)
+            .collect();
+        prop_assert_eq!(&recovered, &symbols);
+        prop_assert_eq!(symbols_to_octets(&recovered), octets);
+    }
+
+    /// Despreading tolerates up to 4 arbitrary chip flips per symbol (the
+    /// worst-case pairwise chip distance within the extended 16-sequence
+    /// alphabet is 12 chips, so 5 adversarial flips can already tie).
+    #[test]
+    fn despreading_is_robust_to_chip_errors(
+        symbol in 0u8..16,
+        flips in proptest::collection::hash_set(0usize..32, 0..=4),
+    ) {
+        let mut chips = chip_sequence_bipolar(symbol);
+        for &f in &flips {
+            chips[f] = -chips[f];
+        }
+        prop_assert_eq!(best_matching_symbol(&chips), symbol);
+    }
+
+    /// A clean modulated frame decodes without errors after an arbitrary
+    /// common phase rotation (standard decoding corrects the mean phase).
+    #[test]
+    fn standard_decoding_is_phase_invariant(
+        seq in 0u16..512,
+        theta in -3.14f64..3.14,
+    ) {
+        let cfg = PhyConfig::short_packets(8);
+        let tx = modulate_frame(&cfg, &PsduBuilder::new(&cfg).build(seq));
+        let rotated = tx.waveform.rotate(Complex::cis(theta));
+        let receiver = Receiver::new(cfg);
+        let outcome = receiver.decode_standard(rotated.as_slice(), &tx);
+        prop_assert!(outcome.crc_ok);
+        prop_assert_eq!(outcome.chip_errors, 0);
+    }
+}
