@@ -3,15 +3,27 @@ use vvd_bench::{bench_config, print_header};
 use vvd_testbed::hypothesis::run_hypothesis_test;
 
 fn main() {
-    print_header("Figure 5", "tap amplitudes and phase-aligned similarity of the hypothesis-test placements");
+    print_header(
+        "Figure 5",
+        "tap amplitudes and phase-aligned similarity of the hypothesis-test placements",
+    );
     let test = run_hypothesis_test(&bench_config());
     let (control, displaced, repeat) = test.tap_amplitudes();
-    println!("{:>4} {:>14} {:>14} {:>16}", "tap", "control", "hypothesis-1", "hypothesis-2");
+    println!(
+        "{:>4} {:>14} {:>14} {:>16}",
+        "tap", "control", "hypothesis-1", "hypothesis-2"
+    );
     for (i, ((c, d), r)) in control.iter().zip(&displaced).zip(&repeat).enumerate() {
         println!("{:>4} {:>14.4e} {:>14.4e} {:>16.4e}", i + 1, c, d, r);
     }
     println!("\nphase-aligned MSE vs control:");
-    println!("  hypothesis 2 (same placement, later)  : {:.4e}", test.control_vs_repeat_mse);
-    println!("  hypothesis 1 (displaced placement)    : {:.4e}", test.control_vs_displaced_mse);
+    println!(
+        "  hypothesis 2 (same placement, later)  : {:.4e}",
+        test.control_vs_repeat_mse
+    );
+    println!(
+        "  hypothesis 1 (displaced placement)    : {:.4e}",
+        test.control_vs_displaced_mse
+    );
     println!("  hypotheses hold: {}", test.hypotheses_hold());
 }

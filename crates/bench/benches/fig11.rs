@@ -5,7 +5,10 @@ use vvd_testbed::report::format_metric_table;
 use vvd_testbed::{evaluate::run_evaluation, Campaign};
 
 fn main() {
-    print_header("Figure 11", "PER of VVD prediction horizons and Kalman AR orders");
+    print_header(
+        "Figure 11",
+        "PER of VVD prediction horizons and Kalman AR orders",
+    );
     let mut cfg = bench_config();
     cfg.n_combinations = cfg.n_combinations.min(2);
     let campaign = Campaign::generate(&cfg);
@@ -18,6 +21,20 @@ fn main() {
         Technique::KalmanAr20,
     ];
     let (_, summary) = run_evaluation(&campaign, &techniques);
-    println!("{}", format_metric_table("Fig. 11a — PER of VVD variants", &summary.per, &Technique::VVD_VARIANTS));
-    println!("{}", format_metric_table("Fig. 11b — PER of Kalman variants", &summary.per, &Technique::KALMAN_VARIANTS));
+    println!(
+        "{}",
+        format_metric_table(
+            "Fig. 11a — PER of VVD variants",
+            &summary.per,
+            &Technique::VVD_VARIANTS
+        )
+    );
+    println!(
+        "{}",
+        format_metric_table(
+            "Fig. 11b — PER of Kalman variants",
+            &summary.per,
+            &Technique::KALMAN_VARIANTS
+        )
+    );
 }

@@ -5,7 +5,10 @@ use vvd_testbed::report::format_metric_table;
 use vvd_testbed::{evaluate::run_evaluation, Campaign};
 
 fn main() {
-    print_header("Figure 12", "Packet Error Rate of all estimation techniques (box statistics over set combinations)");
+    print_header(
+        "Figure 12",
+        "Packet Error Rate of all estimation techniques (box statistics over set combinations)",
+    );
     let mut cfg = bench_config();
     cfg.n_combinations = cfg.n_combinations.min(1);
     let campaign = Campaign::generate(&cfg);

@@ -5,7 +5,10 @@ use vvd_testbed::report::format_time_series;
 use vvd_testbed::{combinations_for, evaluate_combination, Campaign};
 
 fn main() {
-    print_header("Figure 15", "time versus decoding performance (burst errors around LoS blockage)");
+    print_header(
+        "Figure 15",
+        "time versus decoding performance (burst errors around LoS blockage)",
+    );
     let mut cfg = bench_config();
     cfg.n_combinations = 1;
     let campaign = Campaign::generate(&cfg);
@@ -16,6 +19,9 @@ fn main() {
         &[Technique::GroundTruth, Technique::VvdCurrent],
     );
     let n = result.time_series.len().min(100);
-    println!("first {n} scored packets of test set {} ('#' success, '.' failure):\n", combo.test);
+    println!(
+        "first {n} scored packets of test set {} ('#' success, '.' failure):\n",
+        combo.test
+    );
     println!("{}", format_time_series(&result.time_series[..n]));
 }

@@ -5,13 +5,21 @@ use vvd_testbed::aging::aging_sweep;
 use vvd_testbed::{combinations_for, Campaign};
 
 fn main() {
-    print_header("Figure 17", "aging effect on the PER of Preamble-Genie and VVD estimates");
+    print_header(
+        "Figure 17",
+        "aging effect on the PER of Preamble-Genie and VVD estimates",
+    );
     let mut cfg = bench_config();
     cfg.kalman_warmup_packets = 0;
     let campaign = Campaign::generate(&cfg);
     let combo = &combinations_for(cfg.n_sets, 1)[0];
     let ages = [0.0, 0.1, 0.5, 1.0, 2.0, 5.0];
-    let curves = aging_sweep(&campaign, combo, &ages, &[Technique::PreambleBasedGenie, Technique::VvdCurrent]);
+    let curves = aging_sweep(
+        &campaign,
+        combo,
+        &ages,
+        &[Technique::PreambleBasedGenie, Technique::VvdCurrent],
+    );
     for curve in &curves {
         println!("\n{} — PER vs estimate age", curve.technique);
         println!("{:>10} {:>10}", "age [s]", "PER");

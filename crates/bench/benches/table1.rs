@@ -5,7 +5,10 @@ use vvd_estimation::Technique;
 use vvd_testbed::{evaluate::run_evaluation, Campaign};
 
 fn main() {
-    print_header("Table 1", "reliable / scalable / dynamic comparison of estimation families");
+    print_header(
+        "Table 1",
+        "reliable / scalable / dynamic comparison of estimation families",
+    );
     let mut cfg = bench_config();
     cfg.n_combinations = 1;
     let campaign = Campaign::generate(&cfg);
@@ -16,8 +19,17 @@ fn main() {
         Technique::VvdCurrent,
     ];
     let (_, summary) = run_evaluation(&campaign, &techniques);
-    let per = |t: Technique| summary.per.get(t.label()).map(|s| s.mean).unwrap_or(f64::NAN);
-    println!("{:<14} {:>10} {:>20} {:>10} {:>10}", "technique", "reliable", "(measured mean PER)", "scalable", "dynamic");
+    let per = |t: Technique| {
+        summary
+            .per
+            .get(t.label())
+            .map(|s| s.mean)
+            .unwrap_or(f64::NAN)
+    };
+    println!(
+        "{:<14} {:>10} {:>20} {:>10} {:>10}",
+        "technique", "reliable", "(measured mean PER)", "scalable", "dynamic"
+    );
     let rows = [
         ("Blind", Technique::StandardDecoding, "no", "yes", "yes"),
         ("Pilot", Technique::PreambleBasedGenie, "yes", "no", "yes"),
@@ -25,7 +37,14 @@ fn main() {
         ("VVD", Technique::VvdCurrent, "yes", "yes", "yes"),
     ];
     for (family, technique, reliable, scalable, dynamic) in rows {
-        println!("{:<14} {:>10} {:>20.4} {:>10} {:>10}", family, reliable, per(technique), scalable, dynamic);
+        println!(
+            "{:<14} {:>10} {:>20.4} {:>10} {:>10}",
+            family,
+            reliable,
+            per(technique),
+            scalable,
+            dynamic
+        );
     }
     println!("\n'reliable' / 'scalable' / 'dynamic' follow the paper's qualitative Table 1;");
     println!("the measured mean PER column comes from this run and shows where reliability actually lands.");

@@ -4,11 +4,17 @@ use vvd_bench::{bench_config, print_header};
 use vvd_testbed::{combinations_for, Campaign};
 
 fn main() {
-    print_header("Table 2", "set combinations used for cross-validated evaluation");
+    print_header(
+        "Table 2",
+        "set combinations used for cross-validated evaluation",
+    );
     let cfg = bench_config();
     let campaign = Campaign::generate(&cfg);
     let combos = combinations_for(cfg.n_sets, cfg.n_combinations);
-    println!("{:<14} {:<40} {:>10} {:>6} {:>18}", "combination", "training sets", "validation", "test", "packets in test");
+    println!(
+        "{:<14} {:<40} {:>10} {:>6} {:>18}",
+        "combination", "training sets", "validation", "test", "packets in test"
+    );
     for c in &combos {
         let training = c
             .training

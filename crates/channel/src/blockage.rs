@@ -104,10 +104,7 @@ mod tests {
         let paths = enumerate_paths(&room);
         for gx in 0..10 {
             for gy in 0..8 {
-                let human = Human::at(
-                    0.5 + gx as f64 * 0.75,
-                    0.5 + gy as f64 * 0.65,
-                );
+                let human = Human::at(0.5 + gx as f64 * 0.75, 0.5 + gy as f64 * 0.65);
                 for f in blockage_factors(&paths, &human) {
                     assert!((0.0..=1.0).contains(&f));
                 }

@@ -127,20 +127,15 @@ impl CirSynthesizer {
         for component in &self.static_paths {
             let factor = blockage_factor(component, human);
             let amp = component.gain.scale(factor);
-            let pos = cfg.los_tap as f64
-                + component.excess_length(los_len) * cfg.delay_taps_per_meter;
+            let pos =
+                cfg.los_tap as f64 + component.excess_length(los_len) * cfg.delay_taps_per_meter;
             Self::place(&mut taps, amp, pos);
         }
 
         // Dynamic bounce off the human body itself.
-        let scatter = human_scatter_path(
-            &self.room,
-            human.x,
-            human.y,
-            cfg.human_scatter_reflectivity,
-        );
-        let pos = cfg.los_tap as f64
-            + scatter.excess_length(los_len) * cfg.delay_taps_per_meter;
+        let scatter =
+            human_scatter_path(&self.room, human.x, human.y, cfg.human_scatter_reflectivity);
+        let pos = cfg.los_tap as f64 + scatter.excess_length(los_len) * cfg.delay_taps_per_meter;
         Self::place(&mut taps, scatter.gain, pos);
 
         FirFilter::new(taps)
@@ -218,7 +213,10 @@ mod tests {
         let a = s.cir(&Human::at(3.4, 2.6), &mut rng1);
         let b = s.cir(&Human::at(3.4, 2.6), &mut rng2);
         let rel_err = a.taps().squared_error(b.taps()) / a.energy();
-        assert!(rel_err < 0.05, "same position should give similar CIR, rel_err={rel_err}");
+        assert!(
+            rel_err < 0.05,
+            "same position should give similar CIR, rel_err={rel_err}"
+        );
     }
 
     #[test]
@@ -228,7 +226,10 @@ mod tests {
         let a = s.deterministic_cir(&Human::at(4.0, 3.0));
         let b = s.deterministic_cir(&Human::at(2.2, 4.5));
         let rel_err = a.taps().squared_error(b.taps()) / b.energy();
-        assert!(rel_err > 0.1, "different positions too similar, rel_err={rel_err}");
+        assert!(
+            rel_err > 0.1,
+            "different positions too similar, rel_err={rel_err}"
+        );
     }
 
     #[test]

@@ -21,11 +21,13 @@ impl Point3 {
     }
 
     /// Vector addition.
+    #[allow(clippy::should_implement_trait)] // deliberate: keeps Point3 a plain POD with explicit math helpers
     pub fn add(self, other: Point3) -> Point3 {
         Point3::new(self.x + other.x, self.y + other.y, self.z + other.z)
     }
 
     /// Vector subtraction (`self - other`).
+    #[allow(clippy::should_implement_trait)]
     pub fn sub(self, other: Point3) -> Point3 {
         Point3::new(self.x - other.x, self.y - other.y, self.z - other.z)
     }

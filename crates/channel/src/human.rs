@@ -110,7 +110,10 @@ mod tests {
         for i in 1..=20 {
             let clearance = h.radius + (h.radius) * i as f64 / 20.0;
             let f = h.transmission_factor(clearance, 1.0);
-            assert!(f >= prev - 1e-12, "transmission must not decrease with clearance");
+            assert!(
+                f >= prev - 1e-12,
+                "transmission must not decrease with clearance"
+            );
             assert!((0.0..=1.0).contains(&f));
             prev = f;
         }

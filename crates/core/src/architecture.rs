@@ -10,8 +10,13 @@ use rand::Rng;
 use vvd_nn::{AvgPool2d, BatchNorm2d, Conv2d, Dense, Flatten, MaxPool2d, Relu, Sequential};
 
 /// Spatial output size of one "conv(3×3, valid) + pool(2×2)" stage.
+///
+/// Saturates at zero for undersized inputs so that [`flattened_features`]
+/// reports 0 (and [`build_vvd_cnn`] panics with its own message) instead of
+/// underflowing — `h - 2` would only panic in debug builds and wrap in
+/// release builds.
 fn stage_output(h: usize, w: usize) -> (usize, usize) {
-    ((h - 2) / 2, (w - 2) / 2)
+    (h.saturating_sub(2) / 2, w.saturating_sub(2) / 2)
 }
 
 /// Number of flattened features after the three convolution stages.
@@ -90,8 +95,19 @@ mod tests {
         assert_eq!(
             names,
             vec![
-                "Conv2d", "ReLU", "AvgPool2d", "Conv2d", "ReLU", "AvgPool2d", "Conv2d", "ReLU",
-                "AvgPool2d", "Flatten", "Dense", "ReLU", "Dense"
+                "Conv2d",
+                "ReLU",
+                "AvgPool2d",
+                "Conv2d",
+                "ReLU",
+                "AvgPool2d",
+                "Conv2d",
+                "ReLU",
+                "AvgPool2d",
+                "Flatten",
+                "Dense",
+                "ReLU",
+                "Dense"
             ]
         );
     }

@@ -67,7 +67,10 @@ impl VvdModel {
         let train_x = train.input_tensor();
         let train_y = train.target_tensor(&normalizer);
         let (val_x, val_y) = if validation.is_empty() {
-            (Tensor::zeros(&[0, 1, h, w]), Tensor::zeros(&[0, config.output_units()]))
+            (
+                Tensor::zeros(&[0, 1, h, w]),
+                Tensor::zeros(&[0, config.output_units()]),
+            )
         } else {
             (
                 validation.input_tensor(),
@@ -84,7 +87,14 @@ impl VvdModel {
             shuffle_seed: config.seed,
             keep_best_validation_epoch: true,
         });
-        let report = trainer.fit(&mut network, &mut optimizer, &train_x, &train_y, &val_x, &val_y);
+        let report = trainer.fit(
+            &mut network,
+            &mut optimizer,
+            &train_x,
+            &train_y,
+            &val_x,
+            &val_y,
+        );
 
         let model = VvdModel {
             network,
@@ -208,8 +218,12 @@ mod tests {
         let val = synthetic_dataset(12, 3);
         let (mut model, report) =
             VvdModel::train(VvdVariant::Current, &tiny_config(), &train, &val);
-        assert!(report.best_val_loss < report.val_loss[0],
-            "validation loss should improve: {} -> {}", report.val_loss[0], report.best_val_loss);
+        assert!(
+            report.best_val_loss < report.val_loss[0],
+            "validation loss should improve: {} -> {}",
+            report.val_loss[0],
+            report.best_val_loss
+        );
 
         // Predictions on validation images should be closer to the target
         // than a naive "mean CIR" predictor.
@@ -236,7 +250,12 @@ mod tests {
     #[test]
     fn prediction_has_configured_tap_count_and_scale() {
         let train = synthetic_dataset(30, 1);
-        let (mut model, _) = VvdModel::train(VvdVariant::Future33ms, &tiny_config(), &train, &VvdDataset::new());
+        let (mut model, _) = VvdModel::train(
+            VvdVariant::Future33ms,
+            &tiny_config(),
+            &train,
+            &VvdDataset::new(),
+        );
         assert_eq!(model.variant(), VvdVariant::Future33ms);
         let cir = model.predict_cir(&train.samples[0].image);
         assert_eq!(cir.len(), 11);
@@ -260,8 +279,12 @@ mod tests {
     #[should_panic]
     fn wrong_image_size_at_inference_panics() {
         let train = synthetic_dataset(20, 0);
-        let (mut model, _) =
-            VvdModel::train(VvdVariant::Current, &tiny_config(), &train, &VvdDataset::new());
+        let (mut model, _) = VvdModel::train(
+            VvdVariant::Current,
+            &tiny_config(),
+            &train,
+            &VvdDataset::new(),
+        );
         let wrong = DepthImage::filled(10, 10, 0.5);
         let _ = model.predict_cir(&wrong);
     }

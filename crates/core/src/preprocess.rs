@@ -29,7 +29,10 @@ pub fn cir_to_targets(cir: &FirFilter, norm: f64) -> Vec<f32> {
 /// # Panics
 /// Panics if the vector length is odd.
 pub fn targets_to_cir(targets: &[f32], norm: f64) -> FirFilter {
-    assert!(targets.len() % 2 == 0, "target vector must have even length");
+    assert!(
+        targets.len().is_multiple_of(2),
+        "target vector must have even length"
+    );
     let n = targets.len() / 2;
     let mut taps = CVec::zeros(n);
     for l in 0..n {

@@ -332,7 +332,10 @@ mod tests {
 
     #[test]
     fn matvec_matches_manual() {
-        let a = CMatrix::from_rows(&[vec![c(1.0, 0.0), c(0.0, 1.0)], vec![c(2.0, 0.0), c(0.0, 0.0)]]);
+        let a = CMatrix::from_rows(&[
+            vec![c(1.0, 0.0), c(0.0, 1.0)],
+            vec![c(2.0, 0.0), c(0.0, 0.0)],
+        ]);
         let v = CVec(vec![c(1.0, 1.0), c(2.0, -1.0)]);
         let r = a.matvec(&v);
         assert!((r[0] - (c(1.0, 1.0) + c(0.0, 1.0) * c(2.0, -1.0))).abs() < 1e-12);

@@ -221,6 +221,7 @@ impl Mul<Complex> for f64 {
 impl Div for Complex {
     type Output = Complex;
     #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)] // z / w == z * w^-1
     fn div(self, rhs: Complex) -> Complex {
         self * rhs.inv()
     }
@@ -339,7 +340,7 @@ mod tests {
 
     #[test]
     fn sum_iterator() {
-        let v = vec![Complex::new(1.0, 1.0); 4];
+        let v = [Complex::new(1.0, 1.0); 4];
         let s: Complex = v.iter().sum();
         assert!(close(s, Complex::new(4.0, 4.0)));
     }

@@ -29,7 +29,10 @@ impl CVec {
     ///
     /// Panics if the slice length is odd.
     pub fn from_interleaved(xs: &[f64]) -> Self {
-        assert!(xs.len() % 2 == 0, "interleaved slice must have even length");
+        assert!(
+            xs.len().is_multiple_of(2),
+            "interleaved slice must have even length"
+        );
         CVec(
             xs.chunks_exact(2)
                 .map(|p| Complex::new(p[0], p[1]))

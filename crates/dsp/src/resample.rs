@@ -69,7 +69,9 @@ mod tests {
     use super::*;
 
     fn ramp(n: usize) -> Vec<Complex> {
-        (0..n).map(|i| Complex::new(i as f64, -(i as f64))).collect()
+        (0..n)
+            .map(|i| Complex::new(i as f64, -(i as f64)))
+            .collect()
     }
 
     #[test]

@@ -84,14 +84,15 @@ pub fn solve_linear(a: &CMatrix, b: &CVec) -> Result<CVec, SolveError> {
         m.swap(col, pivot_row);
 
         let pivot = m[col][col];
-        for r in (col + 1)..n {
-            let factor = m[r][col] / pivot;
+        let (pivot_rows, elim_rows) = m.split_at_mut(col + 1);
+        let pivot_row_vals = &pivot_rows[col];
+        for row in elim_rows {
+            let factor = row[col] / pivot;
             if factor == Complex::ZERO {
                 continue;
             }
-            for c in col..=n {
-                let sub = factor * m[col][c];
-                m[r][c] -= sub;
+            for (dst, &src) in row[col..=n].iter_mut().zip(&pivot_row_vals[col..=n]) {
+                *dst -= factor * src;
             }
         }
     }
@@ -198,7 +199,10 @@ mod tests {
         let a = CMatrix::zeros(2, 3);
         let b = CVec::zeros(2);
         assert_eq!(solve_linear(&a, &b), Err(SolveError::DimensionMismatch));
-        assert_eq!(least_squares(&a, &CVec::zeros(3)), Err(SolveError::DimensionMismatch));
+        assert_eq!(
+            least_squares(&a, &CVec::zeros(3)),
+            Err(SolveError::DimensionMismatch)
+        );
     }
 
     #[test]

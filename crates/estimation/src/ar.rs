@@ -78,7 +78,10 @@ mod tests {
         let mut h = Complex::new(1.0, 0.5);
         for k in 0..n {
             // Small deterministic "innovation" to keep the test reproducible.
-            let w = Complex::new(((k * 37 % 11) as f64 - 5.0) * 1e-3, ((k * 13 % 7) as f64 - 3.0) * 1e-3);
+            let w = Complex::new(
+                ((k * 37 % 11) as f64 - 5.0) * 1e-3,
+                ((k * 13 % 7) as f64 - 3.0) * 1e-3,
+            );
             h = a * h + w;
             seq.push(h);
         }

@@ -51,12 +51,7 @@ pub fn decode_with_estimate(
     estimate: &FirFilter,
     cfg: &EqualizerConfig,
 ) -> DecodeOutcome {
-    let lost = || {
-        DecodeOutcome::lost(
-            tx.psdu_chips().len(),
-            tx.frame.psdu_symbols().len(),
-        )
-    };
+    let lost = || DecodeOutcome::lost(tx.psdu_chips().len(), tx.frame.psdu_symbols().len());
 
     if estimate.energy() == 0.0 {
         return lost();
@@ -104,7 +99,11 @@ mod tests {
         FirFilter::from_taps(&taps)
     }
 
-    fn setup(seed: u64, noise_std: f64, phase: f64) -> (PhyConfig, ModulatedFrame, CVec, FirFilter) {
+    fn setup(
+        seed: u64,
+        noise_std: f64,
+        phase: f64,
+    ) -> (PhyConfig, ModulatedFrame, CVec, FirFilter) {
         let cfg = PhyConfig::short_packets(24);
         let tx = modulate_frame(&cfg, &PsduBuilder::new(&cfg).build(7));
         let channel = multipath_channel();
@@ -148,8 +147,12 @@ mod tests {
             &effective,
             &EqualizerConfig::default(),
         );
-        assert!(equalized.chip_errors < standard.chip_errors,
-            "equalized {} vs standard {}", equalized.chip_errors, standard.chip_errors);
+        assert!(
+            equalized.chip_errors < standard.chip_errors,
+            "equalized {} vs standard {}",
+            equalized.chip_errors,
+            standard.chip_errors
+        );
     }
 
     #[test]

@@ -128,7 +128,11 @@ impl KalmanChannelEstimator {
                 residual += (sequence[k] - pred).norm_sqr();
                 count += 1;
             }
-            let innovation_var = if count > 0 { residual / count as f64 } else { 1e-12 };
+            let innovation_var = if count > 0 {
+                residual / count as f64
+            } else {
+                1e-12
+            };
             let tap_power =
                 sequence.iter().map(|v| v.norm_sqr()).sum::<f64>() / sequence.len() as f64;
             let observation_var = (tap_power * 1e-4).max(1e-18);
@@ -151,11 +155,7 @@ impl KalmanChannelEstimator {
     /// Feeds the perfect channel estimate of the just-received packet into
     /// the filters and advances the prediction to the next packet.
     pub fn observe(&mut self, perfect_cir: &FirFilter) {
-        assert_eq!(
-            perfect_cir.len(),
-            self.taps.len(),
-            "CIR tap count mismatch"
-        );
+        assert_eq!(perfect_cir.len(), self.taps.len(), "CIR tap count mismatch");
         for (filter, &tap) in self.taps.iter_mut().zip(perfect_cir.taps().iter()) {
             filter.observe(tap);
         }
@@ -222,11 +222,8 @@ mod tests {
 
     #[test]
     fn observing_constant_channel_converges_to_it() {
-        let constant = FirFilter::from_taps(&[
-            Complex::new(0.5, 0.2),
-            Complex::new(0.1, -0.3),
-        ]);
-        let train: Vec<FirFilter> = std::iter::repeat(constant.clone()).take(50).collect();
+        let constant = FirFilter::from_taps(&[Complex::new(0.5, 0.2), Complex::new(0.1, -0.3)]);
+        let train: Vec<FirFilter> = std::iter::repeat_n(constant.clone(), 50).collect();
         let mut kalman = KalmanChannelEstimator::fit(&train, 1);
         for _ in 0..30 {
             kalman.observe(&constant);

@@ -7,7 +7,7 @@
 
 use vvd_dsp::convolution::convolution_matrix;
 use vvd_dsp::solve::{least_squares, SolveError};
-use vvd_dsp::{Complex, CVec, FirFilter};
+use vvd_dsp::{CVec, Complex, FirFilter};
 use vvd_phy::ModulatedFrame;
 
 /// Number of channel taps the paper estimates.

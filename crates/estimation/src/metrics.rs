@@ -70,7 +70,12 @@ mod tests {
 
     #[test]
     fn per_counts_failed_packets() {
-        let outcomes = vec![outcome(true, 0), outcome(false, 10), outcome(true, 2), outcome(false, 50)];
+        let outcomes = vec![
+            outcome(true, 0),
+            outcome(false, 10),
+            outcome(true, 2),
+            outcome(false, 50),
+        ];
         assert_eq!(packet_error_rate(&outcomes), 0.5);
         assert_eq!(packet_error_rate(&[]), 0.0);
     }
@@ -84,8 +89,14 @@ mod tests {
 
     #[test]
     fn mse_matches_eq9_for_known_values() {
-        let truth = vec![FirFilter::from_taps(&[Complex::new(1.0, 0.0), Complex::new(0.0, 1.0)])];
-        let est = vec![FirFilter::from_taps(&[Complex::new(1.0, 0.5), Complex::new(0.0, 1.0)])];
+        let truth = vec![FirFilter::from_taps(&[
+            Complex::new(1.0, 0.0),
+            Complex::new(0.0, 1.0),
+        ])];
+        let est = vec![FirFilter::from_taps(&[
+            Complex::new(1.0, 0.5),
+            Complex::new(0.0, 1.0),
+        ])];
         // One tap off by 0.5 in imaginary part: squared error 0.25 over 2 taps.
         assert!((mean_squared_error(&est, &truth) - 0.125).abs() < 1e-12);
     }

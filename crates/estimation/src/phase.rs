@@ -77,7 +77,7 @@ mod tests {
         assert!(phase_aligned_mse(&rotated, &h) < 1e-24);
 
         let mut different = h.taps().clone();
-        different[1] = different[1] + c(0.3, -0.3);
+        different[1] += c(0.3, -0.3);
         let different = FirFilter::new(different);
         assert!(phase_aligned_mse(&different, &h) > 1e-3);
     }

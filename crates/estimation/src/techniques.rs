@@ -201,6 +201,9 @@ mod tests {
     #[test]
     fn display_uses_paper_labels() {
         assert_eq!(Technique::VvdFuture33ms.to_string(), "VVD-33.3ms Future");
-        assert_eq!(Technique::PreambleBasedGenie.to_string(), "Preamble Based-Genie");
+        assert_eq!(
+            Technique::PreambleBasedGenie.to_string(),
+            "Preamble Based-Genie"
+        );
     }
 }

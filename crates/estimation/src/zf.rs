@@ -132,7 +132,9 @@ mod tests {
     fn identity_channel_yields_identity_like_equalizer() {
         let channel = FirFilter::identity();
         let eq = ZfEqualizer::design(&channel, 5).unwrap();
-        let x: Vec<Complex> = (0..32).map(|i| c((i as f64 * 0.3).sin(), (i as f64 * 0.7).cos())).collect();
+        let x: Vec<Complex> = (0..32)
+            .map(|i| c((i as f64 * 0.3).sin(), (i as f64 * 0.7).cos()))
+            .collect();
         let received = channel.filter_full(&x);
         let out = eq.equalize(received.as_slice(), x.len());
         assert!(out.squared_error(&CVec(x)) < 1e-18);
@@ -143,15 +145,17 @@ mod tests {
         let channel = multipath_channel();
         let eq = ZfEqualizer::design(&channel, 31).unwrap();
         let x: Vec<Complex> = (0..256)
-            .map(|i| c(((i * 7) % 13) as f64 / 13.0 - 0.5, ((i * 5) % 11) as f64 / 11.0 - 0.5))
+            .map(|i| {
+                c(
+                    ((i * 7) % 13) as f64 / 13.0 - 0.5,
+                    ((i * 5) % 11) as f64 / 11.0 - 0.5,
+                )
+            })
             .collect();
         let received = channel.filter_full(&x);
         let out = eq.equalize(received.as_slice(), x.len());
         // Interior samples (away from edge transients) must match closely.
-        let interior_err: f64 = (20..236)
-            .map(|k| (out[k] - x[k]).norm_sqr())
-            .sum::<f64>()
-            / 216.0;
+        let interior_err: f64 = (20..236).map(|k| (out[k] - x[k]).norm_sqr()).sum::<f64>() / 216.0;
         let signal_power: f64 = x.iter().map(|v| v.norm_sqr()).sum::<f64>() / x.len() as f64;
         assert!(
             interior_err / signal_power < 1e-2,

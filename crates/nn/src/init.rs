@@ -8,7 +8,12 @@ use rand_distr::{Distribution, Normal, Uniform};
 
 /// Glorot/Xavier uniform initialisation: `U(-limit, limit)` with
 /// `limit = sqrt(6 / (fan_in + fan_out))`.
-pub fn glorot_uniform<R: Rng + ?Sized>(fan_in: usize, fan_out: usize, n: usize, rng: &mut R) -> Vec<f32> {
+pub fn glorot_uniform<R: Rng + ?Sized>(
+    fan_in: usize,
+    fan_out: usize,
+    n: usize,
+    rng: &mut R,
+) -> Vec<f32> {
     let limit = (6.0 / (fan_in + fan_out).max(1) as f64).sqrt();
     let dist = Uniform::new_inclusive(-limit, limit);
     (0..n).map(|_| dist.sample(rng) as f32).collect()
@@ -52,6 +57,9 @@ mod tests {
     fn different_seeds_give_different_weights() {
         let mut a = StdRng::seed_from_u64(1);
         let mut b = StdRng::seed_from_u64(2);
-        assert_ne!(glorot_uniform(4, 4, 16, &mut a), glorot_uniform(4, 4, 16, &mut b));
+        assert_ne!(
+            glorot_uniform(4, 4, 16, &mut a),
+            glorot_uniform(4, 4, 16, &mut b)
+        );
     }
 }

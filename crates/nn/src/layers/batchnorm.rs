@@ -151,8 +151,8 @@ impl Layer for BatchNorm2d {
                 let gi = grad_input.item_mut(i);
                 for idx in ch * h * w..(ch + 1) * h * w {
                     let xhat = (x[idx] - mean) * inv_std;
-                    gi[idx] = gamma * inv_std / count
-                        * (count * g[idx] - sum_dy - xhat * sum_dy_xhat);
+                    gi[idx] =
+                        gamma * inv_std / count * (count * g[idx] - sum_dy - xhat * sum_dy_xhat);
                 }
             }
         }
@@ -190,7 +190,8 @@ mod tests {
                 vals.extend_from_slice(&item[ch * h * w..(ch + 1) * h * w]);
             }
             let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
-            let var: f32 = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / vals.len() as f32;
+            let var: f32 =
+                vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / vals.len() as f32;
             assert!(mean.abs() < 1e-4, "channel {ch} mean {mean}");
             assert!((var - 1.0).abs() < 1e-2, "channel {ch} var {var}");
         }

@@ -34,12 +34,7 @@ impl Conv2d {
         assert!(kernel >= 1, "kernel must be at least 1");
         let fan_in = in_channels * kernel * kernel;
         let fan_out = out_channels * kernel * kernel;
-        let weight = Parameter::new(glorot_uniform(
-            fan_in,
-            fan_out,
-            out_channels * fan_in,
-            rng,
-        ));
+        let weight = Parameter::new(glorot_uniform(fan_in, fan_out, out_channels * fan_in, rng));
         let bias = Parameter::new(vec![0.0; out_channels]);
         Conv2d {
             in_channels,
@@ -232,14 +227,17 @@ mod tests {
     fn gradient_check_weights() {
         // Numerical gradient check on a tiny convolution.
         let mut conv = layer(1, 1, 2);
-        let x = Tensor::from_vec(&[1, 1, 3, 3], vec![0.1, -0.2, 0.3, 0.4, 0.5, -0.6, 0.7, 0.8, 0.9]);
+        let x = Tensor::from_vec(
+            &[1, 1, 3, 3],
+            vec![0.1, -0.2, 0.3, 0.4, 0.5, -0.6, 0.7, 0.8, 0.9],
+        );
         // Loss = sum of outputs.
         let y = conv.forward(&x, true);
         let g = Tensor::from_vec(y.shape(), vec![1.0; y.len()]);
         let _ = conv.backward(&g);
         let analytic = conv.weight.grad.clone();
         let eps = 1e-3f32;
-        for idx in 0..conv.weight.len() {
+        for (idx, &analytic_grad) in analytic.iter().enumerate() {
             let orig = conv.weight.value[idx];
             conv.weight.value[idx] = orig + eps;
             let y_plus: f32 = conv.forward(&x, true).data().iter().sum();
@@ -248,9 +246,8 @@ mod tests {
             conv.weight.value[idx] = orig;
             let numeric = (y_plus - y_minus) / (2.0 * eps);
             assert!(
-                (numeric - analytic[idx]).abs() < 1e-2,
-                "weight {idx}: numeric {numeric} vs analytic {}",
-                analytic[idx]
+                (numeric - analytic_grad).abs() < 1e-2,
+                "weight {idx}: numeric {numeric} vs analytic {analytic_grad}"
             );
         }
     }

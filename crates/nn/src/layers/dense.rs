@@ -157,7 +157,7 @@ mod tests {
 
         let eps = 1e-3f32;
         // Check weight gradients numerically.
-        for idx in 0..d.weight.len() {
+        for (idx, &analytic_grad) in analytic_w.iter().enumerate() {
             let orig = d.weight.value[idx];
             d.weight.value[idx] = orig + eps;
             let yp: f32 = d.forward(&x, true).data().iter().sum();
@@ -166,9 +166,8 @@ mod tests {
             d.weight.value[idx] = orig;
             let numeric = (yp - ym) / (2.0 * eps);
             assert!(
-                (numeric - analytic_w[idx]).abs() < 1e-2,
-                "weight {idx}: {numeric} vs {}",
-                analytic_w[idx]
+                (numeric - analytic_grad).abs() < 1e-2,
+                "weight {idx}: {numeric} vs {analytic_grad}"
             );
         }
         // Check input gradients numerically.
@@ -177,7 +176,11 @@ mod tests {
             plus[idx] += eps;
             let mut minus = x_data.clone();
             minus[idx] -= eps;
-            let yp: f32 = d.forward(&Tensor::from_vec(&[2, 3], plus), true).data().iter().sum();
+            let yp: f32 = d
+                .forward(&Tensor::from_vec(&[2, 3], plus), true)
+                .data()
+                .iter()
+                .sum();
             let ym: f32 = d
                 .forward(&Tensor::from_vec(&[2, 3], minus), true)
                 .data()

@@ -21,7 +21,10 @@ impl Dropout {
     /// Creates a dropout layer with drop probability `p` and a deterministic
     /// seed (training reproducibility matters for the evaluation harness).
     pub fn new(p: f32, seed: u64) -> Self {
-        assert!((0.0..1.0).contains(&p), "drop probability must be in [0, 1)");
+        assert!(
+            (0.0..1.0).contains(&p),
+            "drop probability must be in [0, 1)"
+        );
         Dropout {
             p,
             rng: StdRng::seed_from_u64(seed),

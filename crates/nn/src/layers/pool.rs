@@ -45,8 +45,10 @@ impl Layer for AvgPool2d {
                         let mut acc = 0.0f32;
                         for dy in 0..self.window {
                             for dx in 0..self.window {
-                                acc += item
-                                    [ch * h * w + (oy * self.window + dy) * w + ox * self.window + dx];
+                                acc += item[ch * h * w
+                                    + (oy * self.window + dy) * w
+                                    + ox * self.window
+                                    + dx];
                             }
                         }
                         out_item[ch * oh * ow + oy * ow + ox] = acc / win2;
@@ -73,7 +75,10 @@ impl Layer for AvgPool2d {
                         let v = g[ch * oh * ow + oy * ow + ox] / win2;
                         for dy in 0..self.window {
                             for dx in 0..self.window {
-                                gi[ch * h * w + (oy * self.window + dy) * w + ox * self.window + dx] += v;
+                                gi[ch * h * w
+                                    + (oy * self.window + dy) * w
+                                    + ox * self.window
+                                    + dx] += v;
                             }
                         }
                     }
@@ -158,9 +163,9 @@ impl Layer for MaxPool2d {
         for i in 0..n {
             let g = grad_output.item(i);
             let gi = grad_input.item_mut(i);
-            for idx in 0..c * oh * ow {
+            for (idx, &gval) in g[..c * oh * ow].iter().enumerate() {
                 let src = self.cached_argmax[i * c * oh * ow + idx];
-                gi[src] += g[idx];
+                gi[src] += gval;
             }
         }
         grad_input

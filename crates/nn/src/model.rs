@@ -16,6 +16,7 @@ impl Sequential {
     }
 
     /// Appends a layer (builder style).
+    #[allow(clippy::should_implement_trait)] // builder push, not arithmetic
     pub fn add<L: Layer + 'static>(mut self, layer: L) -> Self {
         self.layers.push(Box::new(layer));
         self

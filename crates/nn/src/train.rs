@@ -183,8 +183,12 @@ mod tests {
         });
         let report = trainer.fit(&mut model, &mut opt, &tx, &ty, &vx, &vy);
         assert_eq!(report.train_loss.len(), 40);
-        assert!(report.best_val_loss < report.val_loss[0] * 0.2,
-            "validation loss did not improve: first {} best {}", report.val_loss[0], report.best_val_loss);
+        assert!(
+            report.best_val_loss < report.val_loss[0] * 0.2,
+            "validation loss did not improve: first {} best {}",
+            report.val_loss[0],
+            report.best_val_loss
+        );
     }
 
     #[test]

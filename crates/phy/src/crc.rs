@@ -64,7 +64,10 @@ mod tests {
             for bit in 0..8 {
                 let mut corrupted = psdu.clone();
                 corrupted[byte_idx] ^= 1 << bit;
-                assert!(!check_fcs(&corrupted), "flip at {byte_idx}:{bit} not detected");
+                assert!(
+                    !check_fcs(&corrupted),
+                    "flip at {byte_idx}:{bit} not detected"
+                );
             }
         }
     }

@@ -46,7 +46,9 @@ impl ChipDecisions {
 
     /// Number of PSDU chips considered by the CER metric.
     pub fn psdu_chip_count(&self) -> usize {
-        self.reference_chips.len().saturating_sub(self.psdu_chip_offset)
+        self.reference_chips
+            .len()
+            .saturating_sub(self.psdu_chip_offset)
     }
 
     /// Chip error rate over the PSDU.
@@ -128,7 +130,11 @@ mod tests {
             d.soft_chips[idx] = -d.soft_chips[idx];
         }
         assert!(d.psdu_chip_errors() > 0);
-        assert_eq!(d.psdu_symbol_errors(&symbols), 0, "PN redundancy should absorb 4 flips/symbol");
+        assert_eq!(
+            d.psdu_symbol_errors(&symbols),
+            0,
+            "PN redundancy should absorb 4 flips/symbol"
+        );
     }
 
     #[test]

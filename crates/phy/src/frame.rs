@@ -27,7 +27,7 @@ impl Frame {
     /// preamble + SFD + PHR + PSDU.
     pub fn ppdu_octets(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(PREAMBLE_OCTETS + 2 + self.psdu.len());
-        out.extend(std::iter::repeat(0u8).take(PREAMBLE_OCTETS));
+        out.extend(std::iter::repeat_n(0u8, PREAMBLE_OCTETS));
         out.push(SFD_OCTET);
         // PHR: 7-bit frame length; the reserved MSB is zero.
         out.push((self.psdu.len() as u8) & 0x7F);

@@ -10,7 +10,7 @@ use crate::config::PhyConfig;
 use crate::frame::Frame;
 use crate::oqpsk::modulate_chips;
 use crate::symbols::symbols_to_chips;
-use vvd_dsp::{Complex, CVec};
+use vvd_dsp::{CVec, Complex};
 
 /// A frame together with its spread chips and clean baseband waveform.
 #[derive(Debug, Clone)]
@@ -44,10 +44,7 @@ impl ModulatedFrame {
     /// SFD) — the part of the signal a real receiver knows a priori and the
     /// reference for preamble-based channel estimation.
     pub fn shr_waveform(&self) -> &[Complex] {
-        let n = self
-            .config
-            .shr_samples()
-            .min(self.waveform.len());
+        let n = self.config.shr_samples().min(self.waveform.len());
         &self.waveform.as_slice()[..n]
     }
 

@@ -12,7 +12,7 @@
 //! half-sine pulse at the chip positions and normalise, yielding soft ±1
 //! chip values that the despreader correlates against the PN alphabet.
 
-use vvd_dsp::{Complex, CVec};
+use vvd_dsp::{CVec, Complex};
 
 /// Half-sine pulse of length `2 * samples_per_chip`:
 /// `p[n] = sin(pi * n / (2 * spc))`.

@@ -89,7 +89,11 @@ mod tests {
     fn all_sequences_are_distinct() {
         for a in 0..16u8 {
             for b in (a + 1)..16u8 {
-                assert_ne!(chip_sequence(a), chip_sequence(b), "symbols {a} and {b} collide");
+                assert_ne!(
+                    chip_sequence(a),
+                    chip_sequence(b),
+                    "symbols {a} and {b} collide"
+                );
             }
         }
     }

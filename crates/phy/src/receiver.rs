@@ -23,7 +23,7 @@ use crate::modulator::ModulatedFrame;
 use crate::oqpsk::demodulate_chips;
 use crate::symbols::symbols_to_octets;
 use vvd_dsp::correlation::normalized_correlation_at;
-use vvd_dsp::{Complex, CVec};
+use vvd_dsp::{CVec, Complex};
 
 /// Result of frame synchronisation / preamble detection.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -242,7 +242,9 @@ mod tests {
     fn uncorrected_quarter_turn_breaks_decoding_but_standard_decoding_fixes_it() {
         let (cfg, tx) = test_tx(16);
         let rx = Receiver::new(cfg);
-        let rotated = tx.waveform.rotate(Complex::cis(std::f64::consts::FRAC_PI_2));
+        let rotated = tx
+            .waveform
+            .rotate(Complex::cis(std::f64::consts::FRAC_PI_2));
         // Raw decode (no phase correction): I/Q rails are swapped, chips break.
         let raw = rx.decode_aligned(rotated.as_slice(), &tx);
         assert!(raw.chip_errors > 0);

@@ -7,7 +7,7 @@
 //! despreader and the chip-error-rate metric.
 
 use crate::config::CHIPS_PER_SYMBOL;
-use crate::pn::{chip_sequence_bipolar, best_matching_symbol};
+use crate::pn::{best_matching_symbol, chip_sequence_bipolar};
 
 /// Splits octets into 4-bit data symbols, low nibble first (per standard).
 pub fn octets_to_symbols(octets: &[u8]) -> Vec<u8> {

@@ -122,13 +122,21 @@ pub fn build_scene(room: &Room, human: Option<(f64, f64)>) -> Scene {
 pub fn build_camera(room: &Room) -> PinholeCamera {
     PinholeCamera::surveillance(
         Vec3::new(room.camera.x, room.camera.y, room.camera.z),
-        Vec3::new(room.camera_target.x, room.camera_target.y, room.camera_target.z),
+        Vec3::new(
+            room.camera_target.x,
+            room.camera_target.y,
+            room.camera_target.z,
+        ),
     )
 }
 
 /// Renders the preprocessed depth image of the room with the human at the
 /// given position.
-pub fn render_preprocessed(room: &Room, camera: &PinholeCamera, human: Option<(f64, f64)>) -> DepthImage {
+pub fn render_preprocessed(
+    room: &Room,
+    camera: &PinholeCamera,
+    human: Option<(f64, f64)>,
+) -> DepthImage {
     let scene = build_scene(room, human);
     let raw = render_depth(&scene, camera);
     preprocess(&raw, &PreprocessConfig::default())
@@ -195,8 +203,14 @@ impl Campaign {
                 let mut noise_rng = StdRng::seed_from_u64(noise_seed);
                 let received = apply_channel(&tx.waveform, &realization, &mut noise_rng);
 
-                let perfect_cir = perfect_estimate(&tx, received.as_slice(), config.equalizer.channel_taps)
-                    .unwrap_or_else(|_| FirFilter::from_taps(&vec![Complex::ZERO; config.equalizer.channel_taps]));
+                let perfect_cir =
+                    perfect_estimate(&tx, received.as_slice(), config.equalizer.channel_taps)
+                        .unwrap_or_else(|_| {
+                            FirFilter::from_taps(&vec![
+                                Complex::ZERO;
+                                config.equalizer.channel_taps
+                            ])
+                        });
                 let aligned_cir = perfect_cir.rotated(Complex::cis(-phase_offset));
                 let sync = receiver.synchronize(received.as_slice(), &tx);
 
@@ -319,7 +333,12 @@ mod tests {
         // And the stored perfect CIR matches a re-estimation from the
         // regenerated waveform.
         let record = &campaign.sets[0].packets[3];
-        let re_est = perfect_estimate(&tx_a, rx_a.as_slice(), campaign.config.equalizer.channel_taps).unwrap();
+        let re_est = perfect_estimate(
+            &tx_a,
+            rx_a.as_slice(),
+            campaign.config.equalizer.channel_taps,
+        )
+        .unwrap();
         assert!(re_est.taps().squared_error(record.perfect_cir.taps()) < 1e-18);
     }
 

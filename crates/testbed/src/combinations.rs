@@ -74,7 +74,10 @@ pub fn paper_combinations() -> Vec<SetCombination> {
 pub fn combinations_for(n_sets: usize, n_combinations: usize) -> Vec<SetCombination> {
     assert!(n_sets >= 3, "need at least 3 sets for disjoint splits");
     if n_sets == 15 {
-        return paper_combinations().into_iter().take(n_combinations).collect();
+        return paper_combinations()
+            .into_iter()
+            .take(n_combinations)
+            .collect();
     }
     (0..n_combinations.min(n_sets))
         .map(|i| {

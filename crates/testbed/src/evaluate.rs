@@ -268,10 +268,12 @@ pub fn evaluate_combination(
                     }
                 }
                 Technique::PreambleBasedGenie => preamble_est.clone().map(|e| (e, &eq_no_phase)),
-                Technique::Previous100ms => (k >= 1)
-                    .then(|| (test_set.packets[k - 1].perfect_cir.clone(), &eq)),
-                Technique::Previous500ms => (k >= 5)
-                    .then(|| (test_set.packets[k - 5].perfect_cir.clone(), &eq)),
+                Technique::Previous100ms => {
+                    (k >= 1).then(|| (test_set.packets[k - 1].perfect_cir.clone(), &eq))
+                }
+                Technique::Previous500ms => {
+                    (k >= 5).then(|| (test_set.packets[k - 5].perfect_cir.clone(), &eq))
+                }
                 Technique::KalmanAr1 => kalman1.as_ref().map(|f| (f.predicted_cir(), &eq)),
                 Technique::KalmanAr5 => kalman5.as_ref().map(|f| (f.predicted_cir(), &eq)),
                 Technique::KalmanAr20 => kalman20.as_ref().map(|f| (f.predicted_cir(), &eq)),
@@ -293,10 +295,12 @@ pub fn evaluate_combination(
                     if record.preamble_detected {
                         preamble_est.clone().map(|e| (e, &eq_no_phase))
                     } else {
-                        vvd_models.get_mut(VvdVariant::Current.label()).map(|model| {
-                            let frame = &test_set.frames[record.frame_index];
-                            (model.predict_cir(&frame.image), &eq)
-                        })
+                        vvd_models
+                            .get_mut(VvdVariant::Current.label())
+                            .map(|model| {
+                                let frame = &test_set.frames[record.frame_index];
+                                (model.predict_cir(&frame.image), &eq)
+                            })
                     }
                 }
                 Technique::PreambleKalmanCombined => {
@@ -361,7 +365,10 @@ pub fn evaluate_combination(
 
         // Kalman filters observe the perfect estimate of this packet after
         // decoding (semi-blind operation, Sec. 5.3).
-        for filter in [&mut kalman1, &mut kalman5, &mut kalman20].into_iter().flatten() {
+        for filter in [&mut kalman1, &mut kalman5, &mut kalman20]
+            .into_iter()
+            .flatten()
+        {
             filter.observe(&record.aligned_cir);
         }
 
@@ -389,9 +396,7 @@ pub fn evaluate_combination(
         let label = technique.label().to_string();
         let outs = outcomes.get(&label).cloned().unwrap_or_default();
         let mse = match (estimates.get(&label), truths.get(&label)) {
-            (Some(est), Some(truth)) if !est.is_empty() => {
-                Some(mean_squared_error(est, truth))
-            }
+            (Some(est), Some(truth)) if !est.is_empty() => Some(mean_squared_error(est, truth)),
             _ => None,
         };
         metrics.insert(
@@ -499,7 +504,9 @@ mod tests {
         assert_eq!(gt_stats.n, 2);
         assert!(gt_stats.min <= gt_stats.max);
         assert!(summary.mse.contains_key(Technique::GroundTruth.label()));
-        assert!(!summary.mse.contains_key(Technique::StandardDecoding.label()));
+        assert!(!summary
+            .mse
+            .contains_key(Technique::StandardDecoding.label()));
     }
 
     #[test]
@@ -512,6 +519,9 @@ mod tests {
         // 3-frames-earlier predecessor, so it has at most as many samples.
         assert!(ds_future.len() <= ds_current.len());
         assert_eq!(ds_current.image_height(), 50);
-        assert_eq!(ds_current.channel_taps(), campaign.config.equalizer.channel_taps);
+        assert_eq!(
+            ds_current.channel_taps(),
+            campaign.config.equalizer.channel_taps
+        );
     }
 }

@@ -10,8 +10,8 @@
 use crate::config::EvalConfig;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use vvd_channel::{apply_channel, ChannelRealization, CirSynthesizer, Human, Room};
 use vvd_channel::noise::{component_std_for_noise_power, noise_power_for_snr};
+use vvd_channel::{apply_channel, ChannelRealization, CirSynthesizer, Human, Room};
 use vvd_dsp::{Complex, FirFilter};
 use vvd_estimation::ls::perfect_estimate;
 use vvd_estimation::phase::{align_mean_phase, phase_aligned_mse};
@@ -90,8 +90,9 @@ pub fn run_hypothesis_test(config: &EvalConfig) -> HypothesisTest {
             noise_std,
         };
         let received = apply_channel(&tx.waveform, &realization, &mut rng);
-        perfect_estimate(&tx, received.as_slice(), config.equalizer.channel_taps)
-            .unwrap_or_else(|_| FirFilter::from_taps(&vec![Complex::ZERO; config.equalizer.channel_taps]))
+        perfect_estimate(&tx, received.as_slice(), config.equalizer.channel_taps).unwrap_or_else(
+            |_| FirFilter::from_taps(&vec![Complex::ZERO; config.equalizer.channel_taps]),
+        )
     };
 
     let control = estimate(&control_pos, 0xC0);

@@ -52,9 +52,7 @@ pub fn format_time_series(points: &[TimePoint]) -> String {
         .iter()
         .map(|p| if p.los_blocked { 'B' } else { ' ' })
         .collect();
-    format!(
-        "VVD-Current : {vvd}\nGround Truth: {gt}\nLoS blocked : {blocked}\n"
-    )
+    format!("VVD-Current : {vvd}\nGround Truth: {gt}\nLoS blocked : {blocked}\n")
 }
 
 /// Formats the per-combination PER of one technique (one row per
@@ -76,11 +74,23 @@ pub fn format_per_combination(results: &[CombinationResult], technique: Techniqu
 /// paper's Fig.-12/13/14 order.
 pub fn format_summary(summary: &EvaluationSummary, order: &[Technique]) -> String {
     let mut out = String::new();
-    out.push_str(&format_metric_table("Packet Error Rate (Fig. 12)", &summary.per, order));
+    out.push_str(&format_metric_table(
+        "Packet Error Rate (Fig. 12)",
+        &summary.per,
+        order,
+    ));
     out.push('\n');
-    out.push_str(&format_metric_table("Chip Error Rate (Fig. 13)", &summary.cer, order));
+    out.push_str(&format_metric_table(
+        "Chip Error Rate (Fig. 13)",
+        &summary.cer,
+        order,
+    ));
     out.push('\n');
-    out.push_str(&format_metric_table("Mean Squared Error (Fig. 14)", &summary.mse, order));
+    out.push_str(&format_metric_table(
+        "Mean Squared Error (Fig. 14)",
+        &summary.mse,
+        order,
+    ));
     out
 }
 

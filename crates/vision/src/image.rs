@@ -71,12 +71,20 @@ impl DepthImage {
 
     /// Minimum pixel value (0 for an empty image).
     pub fn min(&self) -> f32 {
-        self.data.iter().cloned().fold(f32::INFINITY, f32::min).min(f32::INFINITY)
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.data.iter().cloned().fold(f32::INFINITY, f32::min)
+        }
     }
 
     /// Maximum pixel value (0 for an empty image).
     pub fn max(&self) -> f32 {
-        self.data.iter().cloned().fold(f32::NEG_INFINITY, f32::max).max(f32::NEG_INFINITY)
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.data.iter().cloned().fold(f32::NEG_INFINITY, f32::max)
+        }
     }
 
     /// Mean pixel value (0 for an empty image).
@@ -113,12 +121,26 @@ impl DepthImage {
     ///
     /// # Panics
     /// Panics if the crop exceeds the image bounds.
-    pub fn crop(&self, row_start: usize, row_end: usize, col_start: usize, col_end: usize) -> DepthImage {
-        assert!(row_end <= self.height && col_end <= self.width, "crop out of bounds");
-        assert!(row_start <= row_end && col_start <= col_end, "invalid crop range");
+    pub fn crop(
+        &self,
+        row_start: usize,
+        row_end: usize,
+        col_start: usize,
+        col_end: usize,
+    ) -> DepthImage {
+        assert!(
+            row_end <= self.height && col_end <= self.width,
+            "crop out of bounds"
+        );
+        assert!(
+            row_start <= row_end && col_start <= col_end,
+            "invalid crop range"
+        );
         let mut data = Vec::with_capacity((row_end - row_start) * (col_end - col_start));
         for r in row_start..row_end {
-            data.extend_from_slice(&self.data[r * self.width + col_start..r * self.width + col_end]);
+            data.extend_from_slice(
+                &self.data[r * self.width + col_start..r * self.width + col_end],
+            );
         }
         DepthImage::from_data(col_end - col_start, row_end - row_start, data)
     }

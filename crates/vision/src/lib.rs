@@ -34,6 +34,6 @@ pub mod scene;
 
 pub use camera::PinholeCamera;
 pub use image::DepthImage;
-pub use preprocess::{PreprocessConfig, preprocess};
+pub use preprocess::{preprocess, PreprocessConfig};
 pub use render::render_depth;
 pub use scene::{Scene, Vec3};

@@ -27,11 +27,13 @@ impl Vec3 {
     }
 
     /// Vector addition.
+    #[allow(clippy::should_implement_trait)] // deliberate: keeps Vec3 a plain POD with explicit math helpers
     pub fn add(self, o: Vec3) -> Vec3 {
         Vec3::new(self.x + o.x, self.y + o.y, self.z + o.z)
     }
 
     /// Vector subtraction.
+    #[allow(clippy::should_implement_trait)]
     pub fn sub(self, o: Vec3) -> Vec3 {
         Vec3::new(self.x - o.x, self.y - o.y, self.z - o.z)
     }

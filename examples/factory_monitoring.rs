@@ -34,19 +34,30 @@ fn main() {
     let campaign = Campaign::generate(&config);
     let combination = &combinations_for(config.n_sets, 1)[0];
     let train = build_vvd_dataset(&campaign, &combination.training, VvdVariant::Current, 120);
-    let validation = build_vvd_dataset(&campaign, &[combination.validation], VvdVariant::Current, 30);
+    let validation = build_vvd_dataset(
+        &campaign,
+        &[combination.validation],
+        VvdVariant::Current,
+        30,
+    );
     let (mut vvd, _) = VvdModel::train(VvdVariant::Current, &config.vvd, &train, &validation);
 
     let receiver = Receiver::new(config.phy);
     let eq = config.equalizer;
-    let eq_no_phase = EqualizerConfig { align_phase: false, ..eq };
+    let eq_no_phase = EqualizerConfig {
+        align_phase: false,
+        ..eq
+    };
     let test_set = campaign.set(combination.test);
 
     // Sporadic duty cycles: the sensor transmits every `gap` slots, so the
     // newest prior packet available to "previous estimate" decoding is
     // `gap * 100 ms` old.
     println!("\nsporadic traffic: PER of stale-pilot decoding vs VVD (camera always fresh)\n");
-    println!("{:>12} {:>18} {:>12}", "gap [ms]", "previous-estimate", "VVD-Current");
+    println!(
+        "{:>12} {:>18} {:>12}",
+        "gap [ms]", "previous-estimate", "VVD-Current"
+    );
     for gap in [1usize, 5, 10, 20, 40] {
         let mut stale_outcomes = Vec::new();
         let mut vvd_outcomes = Vec::new();
@@ -58,12 +69,24 @@ fn main() {
 
             // Previous-estimate decoding: the newest available pilot is gap packets old.
             let stale: FirFilter = test_set.packets[k - gap].perfect_cir.clone();
-            stale_outcomes.push(decode_with_estimate(&receiver, &tx, received.as_slice(), &stale, &eq));
+            stale_outcomes.push(decode_with_estimate(
+                &receiver,
+                &tx,
+                received.as_slice(),
+                &stale,
+                &eq,
+            ));
 
             // VVD decoding from the frame synchronised with this packet.
             let frame = &test_set.frames[record.frame_index];
             let estimate = vvd.predict_cir(&frame.image);
-            vvd_outcomes.push(decode_with_estimate(&receiver, &tx, received.as_slice(), &estimate, &eq));
+            vvd_outcomes.push(decode_with_estimate(
+                &receiver,
+                &tx,
+                received.as_slice(),
+                &estimate,
+                &eq,
+            ));
         }
         println!(
             "{:>12} {:>18.4} {:>12.4}",
@@ -80,7 +103,11 @@ fn main() {
         if record.preamble_detected {
             if let Ok(est) = preamble_estimate(&tx, received.as_slice(), eq.channel_taps) {
                 preamble_outcomes.push(decode_with_estimate(
-                    &receiver, &tx, received.as_slice(), &est, &eq_no_phase,
+                    &receiver,
+                    &tx,
+                    received.as_slice(),
+                    &est,
+                    &eq_no_phase,
                 ));
             }
         }

@@ -24,8 +24,14 @@ fn main() {
     }
 
     println!("\nPhase-aligned MSE against the control estimate (Fig. 5b):");
-    println!("  same placement, later time : {:.4e}", test.control_vs_repeat_mse);
-    println!("  displaced placement        : {:.4e}", test.control_vs_displaced_mse);
+    println!(
+        "  same placement, later time : {:.4e}",
+        test.control_vs_repeat_mse
+    );
+    println!(
+        "  displaced placement        : {:.4e}",
+        test.control_vs_displaced_mse
+    );
 
     if test.hypotheses_hold() {
         println!(

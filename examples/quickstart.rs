@@ -7,9 +7,7 @@
 //! ```
 
 use vvd::estimation::Technique;
-use vvd::testbed::{
-    combinations_for, evaluate_combination, Campaign, EvalConfig,
-};
+use vvd::testbed::{combinations_for, evaluate_combination, Campaign, EvalConfig};
 
 fn main() {
     // A laptop-scale campaign: 3 measurement sets, 60 packets each.
@@ -40,7 +38,10 @@ fn main() {
         Technique::PreambleVvdCombined,
     ];
 
-    println!("Training VVD and evaluating {} techniques on the test set...", techniques.len());
+    println!(
+        "Training VVD and evaluating {} techniques on the test set...",
+        techniques.len()
+    );
     let combination = &combinations_for(config.n_sets, 1)[0];
     let result = evaluate_combination(&campaign, combination, &techniques);
 

@@ -1,5 +1,7 @@
 //! Cross-crate integration tests: PHY + channel + estimation + testbed.
 
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use vvd::channel::{apply_channel, ChannelRealization, CirConfig, CirSynthesizer, Human, Room};
 use vvd::dsp::Complex;
 use vvd::estimation::decode::decode_with_estimate;
@@ -7,8 +9,6 @@ use vvd::estimation::ls::{perfect_estimate, preamble_estimate};
 use vvd::estimation::{EqualizerConfig, Technique};
 use vvd::phy::{modulate_frame, PhyConfig, PsduBuilder, Receiver};
 use vvd::testbed::{combinations_for, evaluate_combination, Campaign, EvalConfig};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// A packet passed through the geometric channel simulator decodes cleanly
 /// when equalized with the ground-truth estimate, for several human
@@ -40,7 +40,11 @@ fn ground_truth_equalization_decodes_through_simulated_channel() {
                 ..EqualizerConfig::default()
             },
         );
-        assert!(outcome.crc_ok, "position ({x},{y}): {} chip errors", outcome.chip_errors);
+        assert!(
+            outcome.crc_ok,
+            "position ({x},{y}): {} chip errors",
+            outcome.chip_errors
+        );
     }
 }
 

@@ -1,7 +1,7 @@
 //! Property-based tests on the core invariants of the reproduction.
 
 use proptest::prelude::*;
-use vvd::dsp::{convolve_full, least_squares, convolution_matrix, CVec, Complex, FirFilter};
+use vvd::dsp::{convolution_matrix, convolve_full, least_squares, CVec, Complex, FirFilter};
 use vvd::estimation::phase::align_mean_phase;
 use vvd::estimation::zf::ZfEqualizer;
 use vvd::phy::crc::{append_fcs, check_fcs};
@@ -62,7 +62,7 @@ proptest! {
     #[test]
     fn phase_alignment_is_rotation_invariant(
         channel in channel_strategy(),
-        theta in -3.14f64..3.14,
+        theta in -std::f64::consts::PI..std::f64::consts::PI,
     ) {
         let rotated = channel.rotated(Complex::cis(theta));
         let (aligned, _) = align_mean_phase(&rotated, &channel);
@@ -122,7 +122,7 @@ proptest! {
     #[test]
     fn standard_decoding_is_phase_invariant(
         seq in 0u16..512,
-        theta in -3.14f64..3.14,
+        theta in -std::f64::consts::PI..std::f64::consts::PI,
     ) {
         let cfg = PhyConfig::short_packets(8);
         let tx = modulate_frame(&cfg, &PsduBuilder::new(&cfg).build(seq));

@@ -1,0 +1,244 @@
+//! Offline, API-compatible subset of `criterion`.
+//!
+//! Implements the entry points the VVD workspace's micro-benchmarks use:
+//! [`Criterion`] with the builder knobs (`sample_size`, `measurement_time`,
+//! `warm_up_time`), [`Bencher::iter`], [`criterion_group!`] and
+//! [`criterion_main!`]. Statistics are deliberately simple — per-sample
+//! mean/min/max over wall-clock batches — but honest: timings come from
+//! `std::time::Instant` around the measured closure only.
+//!
+//! `--test` on the command line (as passed by `cargo bench -- --test`)
+//! switches to smoke mode: every benchmark body runs exactly once and no
+//! timing is reported, mirroring the real criterion's behaviour.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Prevents the optimiser from deleting a computed value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Benchmark driver: collects configuration and runs named benchmarks.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            measurement_time: Duration::from_secs(5),
+            warm_up_time: Duration::from_secs(3),
+            test_mode: std::env::args().any(|a| a == "--test"),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the timing budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up budget per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            test_mode: self.test_mode,
+            calibrating: false,
+            samples: Vec::new(),
+            iters_per_sample: 1,
+            last_iter_cost: Duration::from_micros(1),
+        };
+
+        if self.test_mode {
+            body(&mut bencher);
+            println!("test {name} ... ok");
+            return self;
+        }
+
+        // Warm-up: run the body repeatedly until the budget is spent, and
+        // let the Bencher calibrate its per-sample iteration count.
+        let warm_up_end = Instant::now() + self.warm_up_time;
+        bencher.calibrating = true;
+        while Instant::now() < warm_up_end {
+            body(&mut bencher);
+        }
+        bencher.calibrating = false;
+
+        // Measurement: spread the budget over `sample_size` samples.
+        let per_sample = self.measurement_time.div_f64(self.sample_size as f64);
+        bencher.iters_per_sample = bencher.iters_for(per_sample);
+        bencher.samples.clear();
+        for _ in 0..self.sample_size {
+            body(&mut bencher);
+        }
+
+        let per_iter: Vec<f64> = bencher
+            .samples
+            .iter()
+            .map(|&(total, iters)| total.as_secs_f64() / iters as f64)
+            .collect();
+        let mean = per_iter.iter().sum::<f64>() / per_iter.len().max(1) as f64;
+        let min = per_iter.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = per_iter.iter().copied().fold(0.0, f64::max);
+        println!(
+            "{name:<44} time: [{} {} {}]",
+            format_time(min),
+            format_time(mean),
+            format_time(max)
+        );
+        self
+    }
+
+    /// Applies command-line arguments (only `--test` is recognised).
+    pub fn configure_from_args(&mut self) -> &mut Self {
+        self.test_mode = std::env::args().any(|a| a == "--test");
+        self
+    }
+}
+
+/// Per-benchmark measurement handle passed to the bench body.
+#[derive(Debug)]
+pub struct Bencher {
+    test_mode: bool,
+    calibrating: bool,
+    samples: Vec<(Duration, u64)>,
+    iters_per_sample: u64,
+    last_iter_cost: Duration,
+}
+
+// Manual Default-ish construction happens in bench_function; the extra
+// fields keep calibration state out of the public API.
+impl Bencher {
+    /// Times `routine`, running it enough times for a stable sample.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
+        if self.calibrating {
+            let start = Instant::now();
+            black_box(routine());
+            self.last_iter_cost = start.elapsed();
+            return;
+        }
+        let iters = self.iters_per_sample.max(1);
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.samples.push((start.elapsed(), iters));
+    }
+
+    /// Estimates how many iterations fit into `budget`, from the cost
+    /// observed during warm-up.
+    fn iters_for(&self, budget: Duration) -> u64 {
+        let cost = self.last_iter_cost.max(Duration::from_nanos(1));
+        (budget.as_secs_f64() / cost.as_secs_f64()).clamp(1.0, 1e9) as u64
+    }
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} µs", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+/// Declares a group of benchmark functions, in either the plain or the
+/// `name/config/targets` form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            criterion.configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_body_in_test_mode() {
+        let mut criterion = Criterion {
+            test_mode: true,
+            ..Criterion::default()
+        };
+        let mut runs = 0;
+        criterion.bench_function("smoke", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn measurement_collects_samples() {
+        let mut criterion = Criterion::default()
+            .sample_size(5)
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(20));
+        criterion.test_mode = false;
+        let mut runs = 0u64;
+        criterion.bench_function("count", |b| b.iter(|| runs += 1));
+        assert!(runs > 5, "expected warm-up plus 5 samples, got {runs}");
+    }
+
+    #[test]
+    fn time_formatting_picks_sane_units() {
+        assert!(format_time(2.0).ends_with(" s"));
+        assert!(format_time(2e-3).ends_with(" ms"));
+        assert!(format_time(2e-6).ends_with(" µs"));
+        assert!(format_time(2e-9).ends_with(" ns"));
+    }
+}

@@ -1,0 +1,68 @@
+//! Collection strategies (`vec`, `hash_set`).
+
+use crate::strategy::{SizeBound, Strategy};
+use rand::rngs::StdRng;
+use std::collections::HashSet;
+use std::hash::Hash;
+
+/// Strategy producing `Vec`s of values drawn from `element`.
+#[derive(Debug, Clone, Copy)]
+pub struct VecStrategy<S, B> {
+    element: S,
+    size: B,
+}
+
+/// Generates vectors whose length is drawn from `size`.
+pub fn vec<S: Strategy, B: SizeBound>(element: S, size: B) -> VecStrategy<S, B> {
+    VecStrategy { element, size }
+}
+
+impl<S: Strategy, B: SizeBound> Strategy for VecStrategy<S, B> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+        let n = self.size.pick(rng);
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Strategy producing `HashSet`s of values drawn from `element`.
+#[derive(Debug, Clone, Copy)]
+pub struct HashSetStrategy<S, B> {
+    element: S,
+    size: B,
+}
+
+/// Generates hash sets whose cardinality is drawn from `size`.
+///
+/// If the element domain is too small to reach the drawn cardinality, the
+/// generator gives up after a bounded number of attempts and returns the
+/// (smaller) set accumulated so far.
+pub fn hash_set<S, B>(element: S, size: B) -> HashSetStrategy<S, B>
+where
+    S: Strategy,
+    S::Value: Eq + Hash,
+    B: SizeBound,
+{
+    HashSetStrategy { element, size }
+}
+
+impl<S, B> Strategy for HashSetStrategy<S, B>
+where
+    S: Strategy,
+    S::Value: Eq + Hash,
+    B: SizeBound,
+{
+    type Value = HashSet<S::Value>;
+
+    fn generate(&self, rng: &mut StdRng) -> HashSet<S::Value> {
+        let n = self.size.pick(rng);
+        let mut set = HashSet::with_capacity(n);
+        let mut attempts = 0usize;
+        while set.len() < n && attempts < n.saturating_mul(64).max(64) {
+            set.insert(self.element.generate(rng));
+            attempts += 1;
+        }
+        set
+    }
+}

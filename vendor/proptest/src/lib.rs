@@ -1,0 +1,319 @@
+//! Offline, API-compatible subset of `proptest`.
+//!
+//! Covers what the VVD workspace's property tests use: the [`proptest!`]
+//! macro, range/tuple/collection strategies, [`Strategy::prop_map`],
+//! `any::<T>()`, `prop::sample::Index`, `prop_assert*` / `prop_assume` and
+//! [`ProptestConfig::with_cases`].
+//!
+//! Unlike the real proptest there is **no shrinking**: a failing case panics
+//! with the failure message straight away. Case generation is seeded
+//! deterministically from the test's name, so failures reproduce on rerun.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod collection;
+pub mod strategy;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Runner configuration, consumed by [`proptest!`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of successful (non-discarded) cases each property must pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Outcome of one generated case (internal plumbing for the macros).
+#[doc(hidden)]
+#[derive(Debug)]
+pub enum TestFlow {
+    /// The body ran to completion.
+    Pass,
+    /// A `prop_assume!` rejected the inputs; the case does not count.
+    Discard,
+    /// A `prop_assert*!` failed with the given message.
+    Fail(String),
+}
+
+/// Deterministic per-test seed (FNV-1a over the test name).
+#[doc(hidden)]
+pub fn seed_for(test_name: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in test_name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Types with a canonical "anything goes" strategy.
+pub trait Arbitrary: Sized {
+    /// Draws an arbitrary value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                rng.gen()
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool);
+
+/// Strategy producing arbitrary values of `T` (the `any::<T>()` result).
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T> {
+    marker: std::marker::PhantomData<T>,
+}
+
+/// The canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        marker: std::marker::PhantomData,
+    }
+}
+
+impl<T: Arbitrary> strategy::Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+pub mod prop {
+    //! Namespaced helpers mirroring `proptest::prop`.
+
+    pub mod sample {
+        //! Sampling helpers.
+        use rand::rngs::StdRng;
+        use rand::Rng;
+
+        /// A relative index into a collection whose length is only known at
+        /// use time: `index(len)` maps it uniformly into `0..len`.
+        #[derive(Debug, Clone, Copy, PartialEq)]
+        pub struct Index {
+            unit: f64,
+        }
+
+        impl Index {
+            /// Projects the index into `0..len`. Panics if `len == 0`.
+            pub fn index(&self, len: usize) -> usize {
+                assert!(len > 0, "Index::index on an empty collection");
+                ((self.unit * len as f64) as usize).min(len - 1)
+            }
+        }
+
+        impl crate::Arbitrary for Index {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                Index {
+                    unit: rng.gen::<f64>(),
+                }
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface matching `proptest::prelude`.
+    pub use crate::strategy::Strategy;
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary,
+        ProptestConfig,
+    };
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// item becomes a `#[test]` running `config.cases` generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { @config($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { @config($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal recursion for [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (@config($config:expr)) => {};
+    (@config($config:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        #[allow(clippy::redundant_closure_call)]
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            let mut rng: ::rand::rngs::StdRng =
+                ::rand::SeedableRng::seed_from_u64($crate::seed_for(stringify!($name)));
+            let mut passed: u32 = 0;
+            let mut discarded: u32 = 0;
+            while passed < config.cases {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                let flow = (move || -> $crate::TestFlow {
+                    $body
+                    $crate::TestFlow::Pass
+                })();
+                match flow {
+                    $crate::TestFlow::Pass => passed += 1,
+                    $crate::TestFlow::Discard => {
+                        discarded += 1;
+                        assert!(
+                            discarded < config.cases.saturating_mul(16).max(256),
+                            "proptest '{}': too many discarded cases ({} passed)",
+                            stringify!($name),
+                            passed,
+                        );
+                    }
+                    $crate::TestFlow::Fail(message) => panic!(
+                        "proptest '{}' failed on case {}: {}",
+                        stringify!($name),
+                        passed,
+                        message,
+                    ),
+                }
+            }
+        }
+        $crate::__proptest_items! { @config($config) $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return $crate::TestFlow::Fail(format!(
+                "assertion failed: {}", stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return $crate::TestFlow::Fail(format!($($fmt)+));
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = &$left;
+        let right = &$right;
+        if !(left == right) {
+            return $crate::TestFlow::Fail(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                left,
+                right
+            ));
+        }
+    }};
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = &$left;
+        let right = &$right;
+        if left == right {
+            return $crate::TestFlow::Fail(format!(
+                "assertion failed: {} != {}\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                left
+            ));
+        }
+    }};
+}
+
+/// Discards the current case unless the assumption holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return $crate::TestFlow::Discard;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_respect_bounds(x in -5.0f64..5.0, n in 1usize..=8) {
+            prop_assert!((-5.0..5.0).contains(&x), "x = {x}");
+            prop_assert!((1..=8).contains(&n), "n = {n}");
+        }
+
+        #[test]
+        fn vec_strategy_respects_length(
+            items in crate::collection::vec(0u8..10, 3..6),
+        ) {
+            prop_assert!((3..6).contains(&items.len()));
+            prop_assert!(items.iter().all(|&x| x < 10));
+        }
+
+        #[test]
+        fn hash_set_strategy_is_deduplicated(
+            set in crate::collection::hash_set(0usize..32, 0..=4),
+        ) {
+            prop_assert!(set.len() <= 4);
+            prop_assert!(set.iter().all(|&x| x < 32));
+        }
+
+        #[test]
+        fn prop_map_applies(double in (0u8..100).prop_map(|x| u16::from(x) * 2)) {
+            prop_assert!(double % 2 == 0);
+            prop_assert!(double < 200);
+        }
+
+        #[test]
+        fn assume_discards(n in 0u8..10) {
+            prop_assume!(n % 2 == 0);
+            prop_assert!(n % 2 == 0);
+        }
+
+        #[test]
+        fn index_projects_into_bounds(idx in any::<prop::sample::Index>()) {
+            prop_assert!(idx.index(7) < 7);
+            prop_assert!(idx.index(1) == 0);
+        }
+    }
+
+    #[test]
+    fn seeds_are_stable_and_distinct() {
+        assert_eq!(super::seed_for("a"), super::seed_for("a"));
+        assert_ne!(super::seed_for("a"), super::seed_for("b"));
+    }
+}

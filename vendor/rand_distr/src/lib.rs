@@ -1,0 +1,124 @@
+//! Offline, API-compatible subset of the `rand_distr` crate.
+//!
+//! Provides the [`Distribution`] trait plus the two distributions the VVD
+//! workspace samples from: [`Normal`] (Box–Muller) and [`Uniform`].
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+use rand::{Rng, RngCore};
+
+/// Types that produce values of `T` when driven by a random source.
+pub trait Distribution<T> {
+    /// Draws one value from the distribution.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Error returned by [`Normal::new`] for invalid parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NormalError;
+
+impl std::fmt::Display for NormalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "standard deviation must be finite and non-negative")
+    }
+}
+
+impl std::error::Error for NormalError {}
+
+/// The normal (Gaussian) distribution `N(mean, std_dev^2)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Creates `N(mean, std_dev^2)`.
+    ///
+    /// # Errors
+    /// Fails if `std_dev` is negative or non-finite.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, NormalError> {
+        if std_dev.is_finite() && std_dev >= 0.0 && mean.is_finite() {
+            Ok(Normal { mean, std_dev })
+        } else {
+            Err(NormalError)
+        }
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Box–Muller transform; one variate per draw (the sine twin is
+        // discarded to keep the sampler stateless).
+        let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        let u2: f64 = rng.gen();
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        self.mean + self.std_dev * z
+    }
+}
+
+/// The continuous uniform distribution on `[low, high)` (or `[low, high]`
+/// for [`Uniform::new_inclusive`]; the distinction is immaterial for
+/// continuous draws).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Uniform {
+    low: f64,
+    high: f64,
+}
+
+impl Uniform {
+    /// Uniform on `[low, high)`.
+    pub fn new(low: f64, high: f64) -> Self {
+        assert!(low < high, "Uniform::new called with low >= high");
+        Uniform { low, high }
+    }
+
+    /// Uniform on `[low, high]`.
+    pub fn new_inclusive(low: f64, high: f64) -> Self {
+        assert!(low <= high, "Uniform::new_inclusive called with low > high");
+        Uniform { low, high }
+    }
+}
+
+impl Distribution<f64> for Uniform {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.low + (self.high - self.low) * rng.gen::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments_match() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let dist = Normal::new(1.5, 2.0).unwrap();
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| dist.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 1.5).abs() < 0.02, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.08, "var {var}");
+    }
+
+    #[test]
+    fn normal_rejects_bad_std() {
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Normal::new(0.0, f64::NAN).is_err());
+        assert!(Normal::new(0.0, 0.0).is_ok());
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let dist = Uniform::new_inclusive(-0.25, 0.25);
+        for _ in 0..10_000 {
+            let x = dist.sample(&mut rng);
+            assert!((-0.25..=0.25).contains(&x));
+        }
+    }
+}

@@ -1,0 +1,395 @@
+//! Offline, API-compatible subset of `serde`.
+//!
+//! Instead of the real serde's visitor architecture, this crate uses a
+//! self-describing [`Value`] tree as the single interchange representation:
+//! [`Serialize`] renders a type into a `Value`, [`Deserialize`] rebuilds it
+//! from one. The companion `serde_json` vendored crate converts `Value`
+//! to/from JSON text, and the `serde_derive` vendored crate derives both
+//! traits for named/tuple structs and unit/tuple-variant enums.
+//!
+//! The derive macros are re-exported here so `use serde::{Serialize,
+//! Deserialize}` pulls in both the traits and the derives, exactly like the
+//! real crate.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+use std::collections::{BTreeMap, HashMap};
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing serialised value (the JSON data model).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Absence of a value (`Option::None`).
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    Int(i64),
+    /// An unsigned integer too large for `Int`.
+    UInt(u64),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Value>),
+    /// An ordered string-keyed map (field order is preserved).
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a key in a [`Value::Map`].
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+/// Types that can render themselves into a [`Value`].
+pub trait Serialize {
+    /// Converts `self` into the interchange representation.
+    fn serialize(&self) -> Value;
+}
+
+/// Types that can be rebuilt from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Rebuilds a value, reporting a human-readable error on shape or type
+    /// mismatches.
+    ///
+    /// # Errors
+    /// Returns a message describing the first mismatch encountered.
+    fn deserialize(v: &Value) -> Result<Self, String>;
+}
+
+// ---------------------------------------------------------------------------
+// Serialize implementations for primitives and std containers.
+// ---------------------------------------------------------------------------
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+macro_rules! impl_ser_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+    )*};
+}
+impl_ser_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_ser_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                let x = *self as u64;
+                if x <= i64::MAX as u64 {
+                    Value::Int(x as i64)
+                } else {
+                    Value::UInt(x)
+                }
+            }
+        }
+    )*};
+}
+impl_ser_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for f64 {
+    fn serialize(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Serialize for &str {
+    fn serialize(&self) -> Value {
+        Value::Str((*self).to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(x) => x.serialize(),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (*self).serialize()
+    }
+}
+
+macro_rules! impl_ser_tuple {
+    ($(($($name:ident : $idx:tt),+)),+) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.serialize()),+])
+            }
+        }
+    )+};
+}
+impl_ser_tuple!((A: 0, B: 1), (A: 0, B: 1, C: 2), (A: 0, B: 1, C: 2, D: 3));
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn serialize(&self) -> Value {
+        // Deterministic output: sort the keys.
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.clone(), v.serialize()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Map(entries)
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn serialize(&self) -> Value {
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.serialize()))
+                .collect(),
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize implementations.
+// ---------------------------------------------------------------------------
+
+fn type_err<T>(expected: &str, got: &Value) -> Result<T, String> {
+    Err(format!("expected {expected}, got {got:?}"))
+}
+
+impl Deserialize for bool {
+    fn deserialize(v: &Value) -> Result<Self, String> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => type_err("bool", other),
+        }
+    }
+}
+
+macro_rules! impl_de_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, String> {
+                let wide: i128 = match v {
+                    Value::Int(x) => i128::from(*x),
+                    Value::UInt(x) => i128::from(*x),
+                    Value::Float(x) if x.fract() == 0.0 => *x as i128,
+                    other => return type_err("integer", other),
+                };
+                <$t>::try_from(wide)
+                    .map_err(|_| format!("integer {wide} out of range for {}", stringify!($t)))
+            }
+        }
+    )*};
+}
+impl_de_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Deserialize for f64 {
+    fn deserialize(v: &Value) -> Result<Self, String> {
+        match v {
+            Value::Float(x) => Ok(*x),
+            Value::Int(x) => Ok(*x as f64),
+            Value::UInt(x) => Ok(*x as f64),
+            other => type_err("number", other),
+        }
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize(v: &Value) -> Result<Self, String> {
+        f64::deserialize(v).map(|x| x as f32)
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(v: &Value) -> Result<Self, String> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => type_err("string", other),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(v: &Value) -> Result<Self, String> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(v: &Value) -> Result<Self, String> {
+        match v {
+            Value::Seq(items) => items.iter().map(T::deserialize).collect(),
+            other => type_err("sequence", other),
+        }
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn deserialize(v: &Value) -> Result<Self, String> {
+        let items: Vec<T> = Vec::deserialize(v)?;
+        let len = items.len();
+        items
+            .try_into()
+            .map_err(|_| format!("expected array of length {N}, got {len}"))
+    }
+}
+
+macro_rules! impl_de_tuple {
+    ($(($len:expr; $($name:ident : $idx:tt),+)),+) => {$(
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn deserialize(v: &Value) -> Result<Self, String> {
+                match v {
+                    Value::Seq(items) if items.len() == $len => {
+                        Ok(($($name::deserialize(&items[$idx])?,)+))
+                    }
+                    other => type_err(concat!("sequence of length ", $len), other),
+                }
+            }
+        }
+    )+};
+}
+impl_de_tuple!(
+    (2; A: 0, B: 1),
+    (3; A: 0, B: 1, C: 2),
+    (4; A: 0, B: 1, C: 2, D: 3)
+);
+
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn deserialize(v: &Value) -> Result<Self, String> {
+        match v {
+            Value::Map(entries) => entries
+                .iter()
+                .map(|(k, val)| Ok((k.clone(), V::deserialize(val)?)))
+                .collect(),
+            other => type_err("map", other),
+        }
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn deserialize(v: &Value) -> Result<Self, String> {
+        match v {
+            Value::Map(entries) => entries
+                .iter()
+                .map(|(k, val)| Ok((k.clone(), V::deserialize(val)?)))
+                .collect(),
+            other => type_err("map", other),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Helpers used by the generated derive code (doc-hidden, semver-exempt).
+// ---------------------------------------------------------------------------
+
+/// Extracts and deserialises field `key` of a struct map.
+#[doc(hidden)]
+pub fn __field<T: Deserialize>(v: &Value, ty: &str, key: &str) -> Result<T, String> {
+    let field = v
+        .get(key)
+        .ok_or_else(|| format!("{ty}: missing field '{key}'"))?;
+    T::deserialize(field).map_err(|e| format!("{ty}.{key}: {e}"))
+}
+
+/// Extracts and deserialises element `idx` of a tuple-struct / enum-payload
+/// sequence.
+#[doc(hidden)]
+pub fn __element<T: Deserialize>(v: &Value, ty: &str, idx: usize) -> Result<T, String> {
+    match v {
+        Value::Seq(items) => {
+            let item = items
+                .get(idx)
+                .ok_or_else(|| format!("{ty}: missing element {idx}"))?;
+            T::deserialize(item).map_err(|e| format!("{ty}[{idx}]: {e}"))
+        }
+        other => type_err(&format!("{ty}: sequence"), other),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_roundtrips() {
+        assert_eq!(bool::deserialize(&true.serialize()), Ok(true));
+        assert_eq!(u8::deserialize(&255u8.serialize()), Ok(255));
+        assert_eq!(i64::deserialize(&(-7i64).serialize()), Ok(-7));
+        assert_eq!(f32::deserialize(&0.1f32.serialize()), Ok(0.1f32));
+        assert_eq!(f64::deserialize(&1.25f64.serialize()), Ok(1.25));
+        assert_eq!(String::deserialize(&"hi".serialize()), Ok("hi".to_string()));
+    }
+
+    #[test]
+    fn f32_roundtrip_is_bit_exact() {
+        for x in [0.1f32, -1e-8, 3.402_823_5e38, f32::MIN_POSITIVE] {
+            assert_eq!(f32::deserialize(&x.serialize()), Ok(x));
+        }
+    }
+
+    #[test]
+    fn container_roundtrips() {
+        let v = vec![vec![1.0f32, 2.0], vec![3.0]];
+        assert_eq!(Vec::<Vec<f32>>::deserialize(&v.serialize()), Ok(v));
+        let o: Option<u32> = None;
+        assert_eq!(Option::<u32>::deserialize(&o.serialize()), Ok(None));
+        let arr = [1.0f64, 2.0, 3.0, 4.0];
+        assert_eq!(<[f64; 4]>::deserialize(&arr.serialize()), Ok(arr));
+        let t = (1u8, -2i32);
+        assert_eq!(<(u8, i32)>::deserialize(&t.serialize()), Ok(t));
+    }
+
+    #[test]
+    fn out_of_range_integers_are_rejected() {
+        assert!(u8::deserialize(&Value::Int(300)).is_err());
+        assert!(usize::deserialize(&Value::Int(-1)).is_err());
+    }
+
+    #[test]
+    fn shape_mismatches_are_reported() {
+        assert!(bool::deserialize(&Value::Int(1)).is_err());
+        assert!(Vec::<f64>::deserialize(&Value::Str("x".into())).is_err());
+        assert!(<[f64; 2]>::deserialize(&vec![1.0].serialize()).is_err());
+    }
+}

@@ -1,0 +1,343 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the vendored serde
+//! subset, written against `proc_macro` alone (no syn/quote: the build
+//! environment is offline).
+//!
+//! Supported shapes — everything the VVD workspace derives on:
+//! * structs with named fields,
+//! * tuple structs,
+//! * enums whose variants are unit or tuple variants.
+//!
+//! Unsupported shapes (generics, struct variants, unions, discriminants)
+//! panic at expansion time with a clear message rather than miscompiling.
+//!
+//! Encoding: named structs become string-keyed maps, tuple structs and tuple
+//! payloads become sequences, unit enum variants become their name as a
+//! string, and payload-carrying variants become `{"t": <variant>, "c":
+//! [fields...]}`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The shape of the deriving type.
+enum Shape {
+    /// Struct with named fields.
+    NamedStruct { name: String, fields: Vec<String> },
+    /// Tuple struct with `arity` fields.
+    TupleStruct { name: String, arity: usize },
+    /// Enum of unit and tuple variants (`arity == 0` means unit).
+    Enum {
+        name: String,
+        variants: Vec<(String, usize)>,
+    },
+}
+
+fn is_punct(tree: &TokenTree, ch: char) -> bool {
+    matches!(tree, TokenTree::Punct(p) if p.as_char() == ch)
+}
+
+fn ident_of(tree: &TokenTree) -> Option<String> {
+    match tree {
+        TokenTree::Ident(i) => Some(i.to_string()),
+        _ => None,
+    }
+}
+
+/// Advances past any `#[...]` / `#![...]` attributes (including the
+/// `#[doc]` attributes that doc comments lower to).
+fn skip_attributes(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i < tokens.len() && is_punct(&tokens[i], '#') {
+        i += 1;
+        if i < tokens.len() && is_punct(&tokens[i], '!') {
+            i += 1;
+        }
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => i += 1,
+            _ => panic!("serde_derive: malformed attribute"),
+        }
+    }
+    i
+}
+
+/// Advances past `pub`, `pub(crate)`, `pub(in ...)`.
+fn skip_visibility(tokens: &[TokenTree], mut i: usize) -> usize {
+    if matches!(ident_of(&tokens[i]).as_deref(), Some("pub")) {
+        i += 1;
+        if let Some(TokenTree::Group(g)) = tokens.get(i) {
+            if g.delimiter() == Delimiter::Parenthesis {
+                i += 1;
+            }
+        }
+    }
+    i
+}
+
+/// Splits a field/variant list on commas that sit outside any `<...>`
+/// nesting (parens/brackets/braces are already opaque groups).
+fn split_top_level(tokens: Vec<TokenTree>) -> Vec<Vec<TokenTree>> {
+    let mut chunks = Vec::new();
+    let mut current = Vec::new();
+    let mut angle_depth = 0i32;
+    for tree in tokens {
+        if is_punct(&tree, '<') {
+            angle_depth += 1;
+        } else if is_punct(&tree, '>') {
+            angle_depth -= 1;
+        } else if is_punct(&tree, ',') && angle_depth == 0 {
+            chunks.push(std::mem::take(&mut current));
+            continue;
+        }
+        current.push(tree);
+    }
+    if !current.is_empty() {
+        chunks.push(current);
+    }
+    chunks
+}
+
+/// Extracts the field names of a named-field body.
+fn named_fields(group_tokens: Vec<TokenTree>) -> Vec<String> {
+    split_top_level(group_tokens)
+        .into_iter()
+        .filter(|chunk| !chunk.is_empty())
+        .map(|chunk| {
+            let mut i = skip_attributes(&chunk, 0);
+            i = skip_visibility(&chunk, i);
+            ident_of(&chunk[i]).expect("serde_derive: expected a field name")
+        })
+        .collect()
+}
+
+fn parse_shape(input: TokenStream) -> Shape {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attributes(&tokens, 0);
+    i = skip_visibility(&tokens, i);
+
+    let keyword = ident_of(&tokens[i]).unwrap_or_default();
+    i += 1;
+    let name = ident_of(&tokens[i]).expect("serde_derive: expected a type name");
+    i += 1;
+    if i < tokens.len() && is_punct(&tokens[i], '<') {
+        panic!("serde_derive: generic types are not supported (deriving on {name})");
+    }
+
+    match (keyword.as_str(), tokens.get(i)) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Shape::NamedStruct {
+                name,
+                fields: named_fields(g.stream().into_iter().collect()),
+            }
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            let arity = split_top_level(g.stream().into_iter().collect())
+                .into_iter()
+                .filter(|chunk| !chunk.is_empty())
+                .count();
+            Shape::TupleStruct { name, arity }
+        }
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            let variants = split_top_level(g.stream().into_iter().collect())
+                .into_iter()
+                .filter(|chunk| !chunk.is_empty())
+                .map(|chunk| {
+                    let at = skip_attributes(&chunk, 0);
+                    let vname =
+                        ident_of(&chunk[at]).expect("serde_derive: expected a variant name");
+                    match chunk.get(at + 1) {
+                        None => (vname, 0),
+                        Some(TokenTree::Group(p)) if p.delimiter() == Delimiter::Parenthesis => {
+                            let arity = split_top_level(p.stream().into_iter().collect())
+                                .into_iter()
+                                .filter(|c| !c.is_empty())
+                                .count();
+                            (vname, arity)
+                        }
+                        Some(other) => panic!(
+                            "serde_derive: unsupported variant shape at {name}::{vname} ({other})"
+                        ),
+                    }
+                })
+                .collect();
+            Shape::Enum { name, variants }
+        }
+        _ => panic!("serde_derive: unsupported item shape for {name}"),
+    }
+}
+
+/// Derives `serde::Serialize` for the supported shapes.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let body = match parse_shape(input) {
+        Shape::NamedStruct { name, fields } => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::serialize(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Map(::std::vec![{}])\n\
+                     }}\n\
+                 }}",
+                entries.join(", ")
+            )
+        }
+        Shape::TupleStruct { name, arity } => {
+            let items: Vec<String> = (0..arity)
+                .map(|i| format!("::serde::Serialize::serialize(&self.{i})"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Seq(::std::vec![{}])\n\
+                     }}\n\
+                 }}",
+                items.join(", ")
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(vname, arity)| {
+                    if *arity == 0 {
+                        format!(
+                            "{name}::{vname} => \
+                             ::serde::Value::Str(::std::string::String::from(\"{vname}\")),"
+                        )
+                    } else {
+                        let binds: Vec<String> = (0..*arity).map(|i| format!("f{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::serialize({b})"))
+                            .collect();
+                        format!(
+                            "{name}::{vname}({}) => ::serde::Value::Map(::std::vec![\
+                             (::std::string::String::from(\"t\"), \
+                              ::serde::Value::Str(::std::string::String::from(\"{vname}\"))), \
+                             (::std::string::String::from(\"c\"), \
+                              ::serde::Value::Seq(::std::vec![{}]))]),",
+                            binds.join(", "),
+                            items.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize(&self) -> ::serde::Value {{\n\
+                         match self {{\n{}\n}}\n\
+                     }}\n\
+                 }}",
+                arms.join("\n")
+            )
+        }
+    };
+    body.parse().expect("serde_derive: generated invalid Rust")
+}
+
+/// Derives `serde::Deserialize` for the supported shapes.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let body = match parse_shape(input) {
+        Shape::NamedStruct { name, fields } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::__field(v, \"{name}\", \"{f}\")?,"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize(v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::std::string::String> {{\n\
+                         match v {{\n\
+                             ::serde::Value::Map(_) => ::std::result::Result::Ok({name} {{\n\
+                                 {}\n\
+                             }}),\n\
+                             other => ::std::result::Result::Err(\
+                                 ::std::format!(\"expected map for {name}, got {{other:?}}\")),\n\
+                         }}\n\
+                     }}\n\
+                 }}",
+                inits.join("\n")
+            )
+        }
+        Shape::TupleStruct { name, arity } => {
+            let items: Vec<String> = (0..arity)
+                .map(|i| format!("::serde::__element(v, \"{name}\", {i})?"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize(v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::std::string::String> {{\n\
+                         ::std::result::Result::Ok({name}({}))\n\
+                     }}\n\
+                 }}",
+                items.join(", ")
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, arity)| *arity == 0)
+                .map(|(vname, _)| {
+                    format!("\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),")
+                })
+                .collect();
+            let has_payloads = variants.iter().any(|(_, arity)| *arity > 0);
+            let payload_arm = if has_payloads {
+                let tag_arms: Vec<String> = variants
+                    .iter()
+                    .filter(|(_, arity)| *arity > 0)
+                    .map(|(vname, arity)| {
+                        let items: Vec<String> = (0..*arity)
+                            .map(|i| {
+                                format!("::serde::__element(payload, \"{name}::{vname}\", {i})?")
+                            })
+                            .collect();
+                        format!(
+                            "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}({})),",
+                            items.join(", ")
+                        )
+                    })
+                    .collect();
+                format!
+                    ("::serde::Value::Map(_) => {{\n\
+                         let tag: ::std::string::String = ::serde::__field(v, \"{name}\", \"t\")?;\n\
+                         let payload = v.get(\"c\").ok_or_else(|| \
+                             ::std::format!(\"{name}: missing payload field 'c'\"))?;\n\
+                         match tag.as_str() {{\n\
+                             {}\n\
+                             other => ::std::result::Result::Err(\
+                                 ::std::format!(\"unknown {name} variant '{{other}}'\")),\n\
+                         }}\n\
+                     }}",
+                    tag_arms.join("\n")
+                )
+            } else {
+                String::new()
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize(v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::std::string::String> {{\n\
+                         match v {{\n\
+                             ::serde::Value::Str(s) => match s.as_str() {{\n\
+                                 {}\n\
+                                 other => ::std::result::Result::Err(\
+                                     ::std::format!(\"unknown {name} variant '{{other}}'\")),\n\
+                             }},\n\
+                             {}\n\
+                             other => ::std::result::Result::Err(\
+                                 ::std::format!(\"expected {name} value, got {{other:?}}\")),\n\
+                         }}\n\
+                     }}\n\
+                 }}",
+                unit_arms.join("\n"),
+                payload_arm
+            )
+        }
+    };
+    body.parse().expect("serde_derive: generated invalid Rust")
+}
