@@ -25,16 +25,9 @@ pub fn bench_config() -> EvalConfig {
 
 /// The `tiny` preset: the smallest campaign that still exercises every code
 /// path of an experiment (3 sets, 60 packets/set, 2 combinations, reduced
-/// CNN).
+/// CNN).  Also used by the pipeline parity test ([`EvalConfig::tiny`]).
 pub fn tiny_config() -> EvalConfig {
-    let mut cfg = EvalConfig::quick();
-    cfg.n_sets = 3;
-    cfg.packets_per_set = 60;
-    cfg.n_combinations = 2;
-    cfg.kalman_warmup_packets = 10;
-    cfg.max_vvd_training_samples = 120;
-    cfg.vvd.epochs = 8;
-    cfg
+    EvalConfig::tiny()
 }
 
 /// Prints the standard bench header naming the experiment and the preset.

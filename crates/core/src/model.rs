@@ -33,6 +33,12 @@ pub struct VvdTrainingReport {
 }
 
 /// A trained VVD model.
+///
+/// Cloning duplicates the full network state; clones predict identically,
+/// which lets the evaluation harness train each variant once and hand an
+/// owned copy to every estimator (including estimators running on worker
+/// threads).
+#[derive(Clone)]
 pub struct VvdModel {
     network: Sequential,
     normalizer: CirNormalizer,

@@ -51,6 +51,31 @@ pub fn decode_with_estimate(
     estimate: &FirFilter,
     cfg: &EqualizerConfig,
 ) -> DecodeOutcome {
+    let reference = if cfg.align_phase {
+        preamble_estimate(tx, received, estimate.len()).ok()
+    } else {
+        None
+    };
+    decode_with_reference(receiver, tx, received, estimate, reference.as_ref(), cfg)
+}
+
+/// Like [`decode_with_estimate`], but with the preamble-based alignment
+/// reference supplied by the caller instead of being re-estimated from the
+/// received block.
+///
+/// The streaming evaluation pipeline computes one preamble estimate per
+/// packet and reuses it across every technique (and for the Eq.-9 MSE
+/// bookkeeping), instead of refitting it inside each technique's decode.
+/// Passing `None` while `cfg.align_phase` is set skips the alignment, which
+/// mirrors an LS fit failure in [`decode_with_estimate`].
+pub fn decode_with_reference(
+    receiver: &Receiver,
+    tx: &ModulatedFrame,
+    received: &[Complex],
+    estimate: &FirFilter,
+    reference: Option<&FirFilter>,
+    cfg: &EqualizerConfig,
+) -> DecodeOutcome {
     let lost = || DecodeOutcome::lost(tx.psdu_chips().len(), tx.frame.psdu_symbols().len());
 
     if estimate.energy() == 0.0 {
@@ -60,13 +85,9 @@ pub fn decode_with_estimate(
     // Mean phase alignment against a rough preamble-based estimate of the
     // current packet (always computable at the receiver since the SHR is
     // known a priori).
-    let aligned = if cfg.align_phase {
-        match preamble_estimate(tx, received, estimate.len()) {
-            Ok(reference) => align_mean_phase(estimate, &reference).0,
-            Err(_) => estimate.clone(),
-        }
-    } else {
-        estimate.clone()
+    let aligned = match (cfg.align_phase, reference) {
+        (true, Some(reference)) => align_mean_phase(estimate, reference).0,
+        _ => estimate.clone(),
     };
 
     let equalizer = match ZfEqualizer::design(&aligned, cfg.equalizer_taps) {

@@ -1,0 +1,799 @@
+//! The first-class channel-estimator API.
+//!
+//! Section 5 of the paper compares fourteen techniques that differ *only* in
+//! where the channel estimate comes from; everything downstream (phase
+//! alignment, ZF equalization, despreading, metrics) is shared.  This module
+//! captures that contract as one trait, [`ChannelEstimator`]: a stateful,
+//! streaming, per-packet estimator that is
+//!
+//! 1. fitted once on the training sets ([`ChannelEstimator::fit`]),
+//! 2. asked for an [`Estimate`] before each test packet is decoded
+//!    ([`ChannelEstimator::estimate`]), and
+//! 3. fed the packet's ground-truth observation afterwards
+//!    ([`ChannelEstimator::observe`]) — the "semi-blind" operation of
+//!    Sec. 5.3 in which the estimate for packet `k` never looks at packet
+//!    `k` itself.
+//!
+//! Every paper technique is implemented as an estimator here ([`Standard`],
+//! [`GroundTruth`], [`Preamble`], [`Previous`], [`Kalman`] for any AR order,
+//! [`Vvd`] for any prediction horizon, and the generic [`Fallback`]
+//! combinator that subsumes the paper's two `Preamble-* Combined`
+//! techniques).  The evaluation harness in `vvd-testbed` drives boxed
+//! estimators through one generic streaming pipeline; new techniques plug in
+//! through the [`crate::registry::EstimatorRegistry`] without harness edits.
+//!
+//! # State lifecycle
+//!
+//! An estimator instance is single-use: `fit` is called exactly once before
+//! the test set is streamed, `observe` is called once per test packet in
+//! transmission order (including warm-up packets that are never scored), and
+//! `estimate` may be skipped for packets the harness does not score.  Two
+//! estimators never share state — when two techniques need the same
+//! expensive artefact (a trained VVD network), the [`VvdModelPool`] trains
+//! it once and hands each estimator an owned clone.
+
+use crate::kalman::KalmanChannelEstimator;
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use vvd_core::{VvdConfig, VvdDataset, VvdModel, VvdTrainingReport, VvdVariant};
+use vvd_dsp::FirFilter;
+use vvd_vision::DepthImage;
+
+/// A boxed, heap-allocated channel estimator (the currency of the registry
+/// and of the streaming evaluation pipeline).
+pub type BoxedEstimator = Box<dyn ChannelEstimator>;
+
+/// Provides the depth frames of the set being streamed, by frame index.
+///
+/// The evaluation harness implements this for its measurement sets; the
+/// indirection keeps `vvd-estimation` independent of how campaigns store
+/// frames.
+pub trait FrameSource {
+    /// The preprocessed depth image of the frame with the given index.
+    fn frame(&self, index: usize) -> &DepthImage;
+    /// Number of frames available.
+    fn n_frames(&self) -> usize;
+}
+
+impl FrameSource for [DepthImage] {
+    fn frame(&self, index: usize) -> &DepthImage {
+        &self[index]
+    }
+    fn n_frames(&self) -> usize {
+        self.len()
+    }
+}
+
+/// Builds the image → CIR datasets a [`VvdModelPool`] trains on.
+///
+/// Implemented by the harness (which owns the campaign data); the pool calls
+/// it at most once per [`VvdVariant`].
+pub trait VvdDatasetSource: Sync {
+    /// Returns the `(training, validation)` datasets for the variant.
+    fn datasets(&self, variant: VvdVariant) -> (VvdDataset, VvdDataset);
+}
+
+/// Lazily trains and caches one [`VvdModel`] per prediction-horizon variant.
+///
+/// Estimators request models during [`ChannelEstimator::fit`]; the first
+/// request for a variant trains it (deterministically, from the config
+/// seed), later requests clone the cached network.  Keying is by the typed
+/// [`VvdVariant`] — not by label strings — and the insertion order of the
+/// cache is the order training reports are returned in.
+pub struct VvdModelPool<'a> {
+    config: &'a VvdConfig,
+    source: &'a dyn VvdDatasetSource,
+    trained: RefCell<Vec<(VvdVariant, VvdModel)>>,
+    reports: RefCell<Vec<VvdTrainingReport>>,
+}
+
+impl<'a> VvdModelPool<'a> {
+    /// Creates an empty pool over a dataset source.
+    pub fn new(config: &'a VvdConfig, source: &'a dyn VvdDatasetSource) -> Self {
+        VvdModelPool {
+            config,
+            source,
+            trained: RefCell::new(Vec::new()),
+            reports: RefCell::new(Vec::new()),
+        }
+    }
+
+    /// Returns an owned model for the variant, training it on first use.
+    ///
+    /// # Panics
+    /// Panics if the dataset source produces an empty training set
+    /// (mirroring [`VvdModel::train`]).
+    pub fn model(&self, variant: VvdVariant) -> VvdModel {
+        if let Some((_, model)) = self.trained.borrow().iter().find(|(v, _)| *v == variant) {
+            return model.clone();
+        }
+        let (train, validation) = self.source.datasets(variant);
+        let (model, report) = VvdModel::train(variant, self.config, &train, &validation);
+        self.reports.borrow_mut().push(report);
+        self.trained.borrow_mut().push((variant, model.clone()));
+        model
+    }
+
+    /// Training reports of every variant trained so far, in training order.
+    pub fn reports(&self) -> Vec<VvdTrainingReport> {
+        self.reports.borrow().clone()
+    }
+}
+
+/// Everything an estimator may consume while fitting on the training sets.
+pub struct TrainingContext<'a> {
+    training_cirs: &'a [FirFilter],
+    vvd: Option<&'a VvdModelPool<'a>>,
+}
+
+impl<'a> TrainingContext<'a> {
+    /// A context over the chronological sequence of (phase-aligned) perfect
+    /// channel estimates of the training sets.
+    pub fn new(training_cirs: &'a [FirFilter]) -> Self {
+        TrainingContext {
+            training_cirs,
+            vvd: None,
+        }
+    }
+
+    /// Attaches a VVD model pool (required by [`Vvd`] estimators).
+    pub fn with_vvd(mut self, pool: &'a VvdModelPool<'a>) -> Self {
+        self.vvd = Some(pool);
+        self
+    }
+
+    /// The chronological training CIR sequence.
+    pub fn training_cirs(&self) -> &'a [FirFilter] {
+        self.training_cirs
+    }
+
+    /// The VVD model pool.
+    ///
+    /// # Panics
+    /// Panics when the harness did not attach a pool — a VVD estimator
+    /// cannot train without one.
+    pub fn vvd(&self) -> &'a VvdModelPool<'a> {
+        self.vvd.expect(
+            "this estimator needs a VVD model pool, attach one with TrainingContext::with_vvd",
+        )
+    }
+}
+
+/// Ground-truth information about a packet that has just been processed,
+/// fed to estimators after decoding (semi-blind operation: the estimate for
+/// packet `k` is formed from packets `0..k` only).
+pub struct PacketObservation<'a> {
+    /// The packet's perfect (full-packet LS) estimate, including its crystal
+    /// phase offset.
+    pub perfect_cir: &'a FirFilter,
+    /// The perfect estimate with the crystal phase removed — the channel
+    /// state history that time-series predictors track.
+    pub aligned_cir: &'a FirFilter,
+    /// The packet's own preamble-based estimate.  Only populated when the
+    /// estimator opted in via
+    /// [`ChannelEstimator::wants_preamble_observations`]; `None` also when
+    /// the LS fit failed.
+    pub preamble_estimate: Option<&'a FirFilter>,
+}
+
+/// Everything an estimator may look at when estimating the channel of the
+/// packet about to be decoded.
+pub struct EstimateRequest<'a> {
+    /// Index of the packet within the test set.
+    pub packet_index: usize,
+    /// The packet's perfect estimate (only the impractical [`GroundTruth`]
+    /// baseline reads this).
+    pub perfect_cir: &'a FirFilter,
+    /// LS estimate from the packet's synchronisation header, when the fit
+    /// succeeded.
+    pub preamble_estimate: Option<&'a FirFilter>,
+    /// Whether the preamble correlation exceeded the detection threshold.
+    pub preamble_detected: bool,
+    /// Index of the camera frame synchronised with this packet.
+    pub frame_index: usize,
+    /// Depth frames of the test set.
+    pub frames: &'a dyn FrameSource,
+}
+
+/// The outcome of [`ChannelEstimator::estimate`] for one packet: the tap
+/// vector plus the equalizer policy and the availability of the estimate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Estimate {
+    /// Decode with the plain IEEE 802.15.4 receiver: no estimate, no
+    /// equalization (the paper's "standard decoding" baseline).
+    Bypass,
+    /// No estimate is available for this packet (insufficient history, no
+    /// synchronised frame, …); the packet is not scored for this estimator.
+    Skip,
+    /// The packet could not be received at all (e.g. its preamble was not
+    /// detected): it is scored as a full loss.
+    Lost,
+    /// A channel estimate for the shared align → equalize → despread
+    /// pipeline.
+    Ready {
+        /// The FIR channel estimate.
+        cir: FirFilter,
+        /// Whether the Eq.-8 mean-phase alignment should run before
+        /// equalization.  Blind estimates need it (their prediction cannot
+        /// know the packet's crystal phase); estimates derived from the
+        /// current packet itself must skip it.  The harness combines this
+        /// with its equalizer configuration: alignment runs only when both
+        /// agree.
+        align_phase: bool,
+    },
+}
+
+impl Estimate {
+    /// Convenience constructor for an estimate that wants phase alignment.
+    pub fn aligned(cir: FirFilter) -> Self {
+        Estimate::Ready {
+            cir,
+            align_phase: true,
+        }
+    }
+
+    /// Convenience constructor for an estimate that already carries the
+    /// packet's phase.
+    pub fn phased(cir: FirFilter) -> Self {
+        Estimate::Ready {
+            cir,
+            align_phase: false,
+        }
+    }
+}
+
+/// A stateful, streaming, per-packet channel estimator — the uniform
+/// interface every technique of the paper's comparison implements.
+///
+/// See the [module documentation](self) for the state lifecycle contract.
+pub trait ChannelEstimator: Send {
+    /// Fits the estimator on the training sets.  Called exactly once,
+    /// before any `observe`/`estimate` call.  The default is a no-op for
+    /// estimators that need no training.
+    fn fit(&mut self, ctx: &TrainingContext<'_>) {
+        let _ = ctx;
+    }
+
+    /// Feeds the ground truth of the packet that was just processed.
+    /// Called once per test packet in transmission order, after
+    /// [`ChannelEstimator::estimate`] (when it ran) for the same packet.
+    /// The default is a no-op for stateless estimators.
+    fn observe(&mut self, obs: &PacketObservation<'_>) {
+        let _ = obs;
+    }
+
+    /// Produces the channel estimate for the packet about to be decoded.
+    /// May be skipped by the harness for packets that are not scored
+    /// (warm-up), so implementations must keep their estimation state in
+    /// [`ChannelEstimator::observe`] (internal scratch buffers are fine
+    /// here).
+    fn estimate(&mut self, req: &EstimateRequest<'_>) -> Estimate;
+
+    /// `true` when [`PacketObservation::preamble_estimate`] must be
+    /// populated (it costs a waveform regeneration + LS fit per packet, so
+    /// it is opt-in).
+    fn wants_preamble_observations(&self) -> bool {
+        false
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Built-in estimators
+// ---------------------------------------------------------------------------
+
+/// IEEE 802.15.4 standard decoding: no estimation, no equalization.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+impl ChannelEstimator for Standard {
+    fn estimate(&mut self, _req: &EstimateRequest<'_>) -> Estimate {
+        Estimate::Bypass
+    }
+}
+
+/// Perfect channel estimation from the whole received packet (impractical
+/// upper baseline).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GroundTruth;
+
+impl ChannelEstimator for GroundTruth {
+    fn estimate(&mut self, req: &EstimateRequest<'_>) -> Estimate {
+        Estimate::phased(req.perfect_cir.clone())
+    }
+}
+
+/// LS estimation from the synchronisation header of the current packet.
+///
+/// The practical variant ([`Preamble::detected`]) only produces an estimate
+/// when the preamble was actually detected — a missed preamble is a lost
+/// packet.  The genie variant ([`Preamble::genie`]) assumes an
+/// always-detected preamble.
+#[derive(Debug, Clone, Copy)]
+pub struct Preamble {
+    genie: bool,
+}
+
+impl Preamble {
+    /// Preamble-based estimation gated on real preamble detection.
+    pub fn detected() -> Self {
+        Preamble { genie: false }
+    }
+
+    /// Preamble-based estimation with an always-detected preamble.
+    pub fn genie() -> Self {
+        Preamble { genie: true }
+    }
+}
+
+impl ChannelEstimator for Preamble {
+    fn estimate(&mut self, req: &EstimateRequest<'_>) -> Estimate {
+        if self.genie {
+            match req.preamble_estimate {
+                Some(est) => Estimate::phased(est.clone()),
+                None => Estimate::Skip,
+            }
+        } else if !req.preamble_detected {
+            Estimate::Lost
+        } else {
+            match req.preamble_estimate {
+                Some(est) => Estimate::phased(est.clone()),
+                None => Estimate::Lost,
+            }
+        }
+    }
+}
+
+/// The perfect estimate of the packet received `lag` packets earlier (the
+/// paper's "100 ms previous" / "500 ms previous" baselines at one packet
+/// per 100 ms).
+#[derive(Debug, Clone)]
+pub struct Previous {
+    lag: usize,
+    history: VecDeque<FirFilter>,
+}
+
+impl Previous {
+    /// A stale-estimate baseline lagging by the given number of packets.
+    ///
+    /// # Panics
+    /// Panics when `lag` is zero (that would be the ground truth).
+    pub fn packets(lag: usize) -> Self {
+        assert!(
+            lag >= 1,
+            "Previous estimator needs a lag of at least one packet"
+        );
+        Previous {
+            lag,
+            history: VecDeque::with_capacity(lag),
+        }
+    }
+
+    /// The lag in packets.
+    pub fn lag(&self) -> usize {
+        self.lag
+    }
+}
+
+impl ChannelEstimator for Previous {
+    fn observe(&mut self, obs: &PacketObservation<'_>) {
+        self.history.push_back(obs.perfect_cir.clone());
+        if self.history.len() > self.lag {
+            self.history.pop_front();
+        }
+    }
+
+    fn estimate(&mut self, _req: &EstimateRequest<'_>) -> Estimate {
+        if self.history.len() < self.lag {
+            return Estimate::Skip;
+        }
+        Estimate::aligned(self.history.front().expect("non-empty history").clone())
+    }
+}
+
+/// Kalman filtering over an AR(p) tap model of *any* order (the paper's
+/// appendix baselines use p ∈ {1, 5, 20}).
+#[derive(Debug, Clone)]
+pub struct Kalman {
+    order: usize,
+    filter: Option<KalmanChannelEstimator>,
+}
+
+impl Kalman {
+    /// A Kalman estimator with the given AR model order.
+    ///
+    /// # Panics
+    /// Panics when `order` is zero.
+    pub fn ar(order: usize) -> Self {
+        assert!(order >= 1, "AR order must be at least 1");
+        Kalman {
+            order,
+            filter: None,
+        }
+    }
+
+    /// The AR model order.
+    pub fn order(&self) -> usize {
+        self.order
+    }
+
+    fn filter(&self) -> &KalmanChannelEstimator {
+        self.filter
+            .as_ref()
+            .expect("Kalman estimator used before fit()")
+    }
+}
+
+impl ChannelEstimator for Kalman {
+    fn fit(&mut self, ctx: &TrainingContext<'_>) {
+        self.filter = Some(KalmanChannelEstimator::fit(ctx.training_cirs(), self.order));
+    }
+
+    fn observe(&mut self, obs: &PacketObservation<'_>) {
+        self.filter
+            .as_mut()
+            .expect("Kalman estimator used before fit()")
+            .observe(obs.aligned_cir);
+    }
+
+    fn estimate(&mut self, _req: &EstimateRequest<'_>) -> Estimate {
+        Estimate::aligned(self.filter().predicted_cir())
+    }
+}
+
+/// VVD: blind estimation from the depth frame synchronised with the packet,
+/// for any prediction horizon, optionally further aged by a number of
+/// camera frames (the Figs. 16–17 aging sweeps).
+pub struct Vvd {
+    variant: VvdVariant,
+    extra_lag_frames: usize,
+    model: Option<VvdModel>,
+}
+
+impl Vvd {
+    /// A VVD estimator of the given prediction-horizon variant.
+    pub fn new(variant: VvdVariant) -> Self {
+        Vvd {
+            variant,
+            extra_lag_frames: 0,
+            model: None,
+        }
+    }
+
+    /// A VVD estimator whose input frame is additionally `extra_lag_frames`
+    /// camera frames older than the variant's nominal horizon.
+    pub fn aged(variant: VvdVariant, extra_lag_frames: usize) -> Self {
+        Vvd {
+            variant,
+            extra_lag_frames,
+            model: None,
+        }
+    }
+
+    /// The prediction-horizon variant.
+    pub fn variant(&self) -> VvdVariant {
+        self.variant
+    }
+
+    fn lag_frames(&self) -> usize {
+        self.variant.image_lag_frames() + self.extra_lag_frames
+    }
+}
+
+impl ChannelEstimator for Vvd {
+    fn fit(&mut self, ctx: &TrainingContext<'_>) {
+        self.model = Some(ctx.vvd().model(self.variant));
+    }
+
+    fn estimate(&mut self, req: &EstimateRequest<'_>) -> Estimate {
+        let lag = self.lag_frames();
+        let model = self
+            .model
+            .as_mut()
+            .expect("VVD estimator used before fit()");
+        if req.frame_index < lag {
+            return Estimate::Skip;
+        }
+        let image = req.frames.frame(req.frame_index - lag);
+        Estimate::aligned(model.predict_cir(image))
+    }
+}
+
+/// Uses the primary estimator when it produces an estimate and falls back
+/// to the secondary otherwise — the generic combinator behind the paper's
+/// `Preamble-VVD Combined` and `Preamble-Kalman Combined` techniques.
+///
+/// A primary [`Estimate::Lost`] or [`Estimate::Skip`] defers to the
+/// secondary; whatever the secondary returns (including `Skip`) is final.
+///
+/// One deliberate edge-case difference from the pre-registry harness: when
+/// the preamble is *detected* but its LS fit fails, the old combined arms
+/// skipped the packet while this combinator still falls back to the
+/// secondary.  The SHR reference is a fixed non-degenerate waveform, so
+/// that fit cannot fail on simulated campaigns (the parity test covers
+/// this); if it ever could, decoding with the fallback estimate is the
+/// better behaviour.
+pub struct Fallback {
+    primary: BoxedEstimator,
+    secondary: BoxedEstimator,
+}
+
+impl Fallback {
+    /// Combines two estimators.
+    pub fn new(primary: BoxedEstimator, secondary: BoxedEstimator) -> Self {
+        Fallback { primary, secondary }
+    }
+}
+
+impl ChannelEstimator for Fallback {
+    fn fit(&mut self, ctx: &TrainingContext<'_>) {
+        self.primary.fit(ctx);
+        self.secondary.fit(ctx);
+    }
+
+    fn observe(&mut self, obs: &PacketObservation<'_>) {
+        self.primary.observe(obs);
+        self.secondary.observe(obs);
+    }
+
+    fn estimate(&mut self, req: &EstimateRequest<'_>) -> Estimate {
+        match self.primary.estimate(req) {
+            Estimate::Skip | Estimate::Lost => self.secondary.estimate(req),
+            available => available,
+        }
+    }
+
+    fn wants_preamble_observations(&self) -> bool {
+        self.primary.wants_preamble_observations() || self.secondary.wants_preamble_observations()
+    }
+}
+
+/// The preamble-based estimate of the packet received `lag` packets earlier
+/// (the Figs. 16–17 "aged Preamble-Genie" sweeps).  With a lag of zero this
+/// is exactly the genie preamble estimator.
+#[derive(Debug, Clone)]
+pub struct AgedPreamble {
+    lag: usize,
+    history: VecDeque<Option<FirFilter>>,
+}
+
+impl AgedPreamble {
+    /// An aged genie preamble estimator lagging by the given number of
+    /// packets.
+    pub fn packets(lag: usize) -> Self {
+        AgedPreamble {
+            lag,
+            history: VecDeque::with_capacity(lag),
+        }
+    }
+}
+
+impl ChannelEstimator for AgedPreamble {
+    fn observe(&mut self, obs: &PacketObservation<'_>) {
+        if self.lag == 0 {
+            return;
+        }
+        self.history.push_back(obs.preamble_estimate.cloned());
+        if self.history.len() > self.lag {
+            self.history.pop_front();
+        }
+    }
+
+    fn estimate(&mut self, req: &EstimateRequest<'_>) -> Estimate {
+        if self.lag == 0 {
+            // The fresh estimate carries the current packet's phase.
+            return match req.preamble_estimate {
+                Some(est) => Estimate::phased(est.clone()),
+                None => Estimate::Skip,
+            };
+        }
+        if self.history.len() < self.lag {
+            return Estimate::Skip;
+        }
+        match self.history.front().expect("non-empty history") {
+            // An estimate from another packet needs the Eq.-8 alignment:
+            // the crystal phase of the current packet differs.
+            Some(est) => Estimate::aligned(est.clone()),
+            None => Estimate::Skip,
+        }
+    }
+
+    fn wants_preamble_observations(&self) -> bool {
+        self.lag > 0
+    }
+}
+
+/// An estimator that never produces an estimate (used by sweeps for
+/// techniques they do not model; every packet is skipped, never lost).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Inactive;
+
+impl ChannelEstimator for Inactive {
+    fn estimate(&mut self, _req: &EstimateRequest<'_>) -> Estimate {
+        Estimate::Skip
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vvd_dsp::Complex;
+
+    fn cir(scale: f64) -> FirFilter {
+        FirFilter::from_taps(&[Complex::new(scale, 0.1), Complex::new(0.0, -scale)])
+    }
+
+    struct NoFrames;
+    impl FrameSource for NoFrames {
+        fn frame(&self, _index: usize) -> &DepthImage {
+            panic!("no frames in this test")
+        }
+        fn n_frames(&self) -> usize {
+            0
+        }
+    }
+
+    fn request<'a>(
+        frames: &'a dyn FrameSource,
+        perfect: &'a FirFilter,
+        preamble: Option<&'a FirFilter>,
+        detected: bool,
+    ) -> EstimateRequest<'a> {
+        EstimateRequest {
+            packet_index: 0,
+            perfect_cir: perfect,
+            preamble_estimate: preamble,
+            preamble_detected: detected,
+            frame_index: 0,
+            frames,
+        }
+    }
+
+    #[test]
+    fn standard_bypasses_and_ground_truth_reports_perfect_cir() {
+        let perfect = cir(1.0);
+        let frames = NoFrames;
+        let req = request(&frames, &perfect, None, true);
+        assert_eq!(Standard.estimate(&req), Estimate::Bypass);
+        assert_eq!(
+            GroundTruth.estimate(&req),
+            Estimate::phased(perfect.clone())
+        );
+    }
+
+    #[test]
+    fn preamble_detection_gating() {
+        let perfect = cir(1.0);
+        let pre = cir(0.5);
+        let frames = NoFrames;
+
+        let detected = request(&frames, &perfect, Some(&pre), true);
+        let missed = request(&frames, &perfect, Some(&pre), false);
+        let failed = request(&frames, &perfect, None, true);
+
+        let mut practical = Preamble::detected();
+        assert_eq!(practical.estimate(&detected), Estimate::phased(pre.clone()));
+        assert_eq!(practical.estimate(&missed), Estimate::Lost);
+        assert_eq!(practical.estimate(&failed), Estimate::Lost);
+
+        let mut genie = Preamble::genie();
+        assert_eq!(genie.estimate(&missed), Estimate::phased(pre.clone()));
+        assert_eq!(genie.estimate(&failed), Estimate::Skip);
+    }
+
+    #[test]
+    fn previous_estimator_replays_history_with_the_right_lag() {
+        let frames = NoFrames;
+        let mut prev = Previous::packets(2);
+        let cirs: Vec<FirFilter> = (0..4).map(|k| cir(k as f64)).collect();
+        for (k, c) in cirs.iter().enumerate() {
+            let req = request(&frames, c, None, true);
+            let est = prev.estimate(&req);
+            if k < 2 {
+                assert_eq!(est, Estimate::Skip, "packet {k} has no 2-deep history");
+            } else {
+                assert_eq!(est, Estimate::aligned(cirs[k - 2].clone()));
+            }
+            prev.observe(&PacketObservation {
+                perfect_cir: c,
+                aligned_cir: c,
+                preamble_estimate: None,
+            });
+        }
+    }
+
+    #[test]
+    fn kalman_estimator_fits_and_predicts() {
+        let train: Vec<FirFilter> = (0..30).map(|k| cir(1.0 + 0.01 * k as f64)).collect();
+        let mut kalman = Kalman::ar(2);
+        kalman.fit(&TrainingContext::new(&train));
+        let frames = NoFrames;
+        let perfect = cir(1.3);
+        for c in &train {
+            kalman.observe(&PacketObservation {
+                perfect_cir: c,
+                aligned_cir: c,
+                preamble_estimate: None,
+            });
+        }
+        match kalman.estimate(&request(&frames, &perfect, None, true)) {
+            Estimate::Ready { cir, align_phase } => {
+                assert!(align_phase, "blind estimates need phase alignment");
+                assert_eq!(cir.len(), 2);
+                assert!(cir.energy() > 0.0);
+            }
+            other => panic!("expected an estimate, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "before fit")]
+    fn kalman_estimate_before_fit_panics() {
+        let frames = NoFrames;
+        let perfect = cir(1.0);
+        let _ = Kalman::ar(1).estimate(&request(&frames, &perfect, None, true));
+    }
+
+    #[test]
+    fn fallback_defers_to_secondary_on_loss_and_skip() {
+        let perfect = cir(2.0);
+        let pre = cir(0.5);
+        let frames = NoFrames;
+
+        let mut combined = Fallback::new(Box::new(Preamble::detected()), Box::new(GroundTruth));
+        // Preamble detected: the primary wins (no phase alignment needed).
+        let detected = request(&frames, &perfect, Some(&pre), true);
+        assert_eq!(combined.estimate(&detected), Estimate::phased(pre.clone()));
+        // Preamble missed: the secondary produces the estimate instead of a
+        // lost packet.
+        let missed = request(&frames, &perfect, Some(&pre), false);
+        assert_eq!(
+            combined.estimate(&missed),
+            Estimate::phased(perfect.clone())
+        );
+
+        // Both unavailable: the secondary's Skip is final.
+        let mut skipping = Fallback::new(Box::new(Preamble::detected()), Box::new(Inactive));
+        assert_eq!(skipping.estimate(&missed), Estimate::Skip);
+    }
+
+    #[test]
+    fn aged_preamble_buffers_observed_estimates() {
+        let frames = NoFrames;
+        let mut aged = AgedPreamble::packets(1);
+        assert!(aged.wants_preamble_observations());
+        let a = cir(1.0);
+        let b = cir(2.0);
+        let req = request(&frames, &a, Some(&b), true);
+        assert_eq!(aged.estimate(&req), Estimate::Skip);
+        aged.observe(&PacketObservation {
+            perfect_cir: &a,
+            aligned_cir: &a,
+            preamble_estimate: Some(&b),
+        });
+        // One packet later the observed estimate surfaces, with alignment.
+        assert_eq!(aged.estimate(&req), Estimate::aligned(b.clone()));
+
+        // Lag zero behaves like the genie estimator on the current packet.
+        let mut fresh = AgedPreamble::packets(0);
+        assert!(!fresh.wants_preamble_observations());
+        assert_eq!(fresh.estimate(&req), Estimate::phased(b.clone()));
+    }
+
+    #[test]
+    fn estimators_are_object_safe_and_send() {
+        fn assert_send<T: Send>(_: &T) {}
+        let boxed: Vec<BoxedEstimator> = vec![
+            Box::new(Standard),
+            Box::new(GroundTruth),
+            Box::new(Preamble::genie()),
+            Box::new(Previous::packets(1)),
+            Box::new(Kalman::ar(5)),
+            Box::new(Vvd::new(VvdVariant::Current)),
+            Box::new(Fallback::new(Box::new(Standard), Box::new(GroundTruth))),
+            Box::new(AgedPreamble::packets(3)),
+            Box::new(Inactive),
+        ];
+        assert_send(&boxed);
+        assert_eq!(boxed.len(), 9);
+    }
+}

@@ -21,29 +21,42 @@
 //!   despread → check FCS" shared by every technique,
 //! * [`metrics`] — packet error rate, chip error rate and the Eq.-9 MSE,
 //! * [`techniques`] — the canonical list of technique names used in the
-//!   paper's figures.
+//!   paper's figures,
+//! * [`estimator`] — the first-class [`ChannelEstimator`] trait (stateful,
+//!   streaming, per-packet) and the built-in estimator implementations of
+//!   every paper technique, including the generic [`estimator::Fallback`]
+//!   combinator,
+//! * [`registry`] — the pluggable [`EstimatorRegistry`] that builds boxed
+//!   estimators from a [`Technique`] or from a spec string such as
+//!   `"kalman:ar=7"` or `"fallback:preamble,vvd:current"`.
 //!
-//! The orchestration of *which* estimate is fed to the pipeline for each
-//! packet (previous estimates, Kalman predictions, VVD outputs, combined
-//! fall-backs) lives in `vvd-testbed`, which composes these primitives.
+//! The streaming evaluation pipeline that drives boxed estimators over a
+//! simulated measurement campaign lives in `vvd-testbed`.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
 pub mod ar;
 pub mod decode;
+pub mod estimator;
 pub mod kalman;
 pub mod ls;
 pub mod metrics;
 pub mod phase;
+pub mod registry;
 pub mod techniques;
 pub mod zf;
 
 pub use ar::fit_ar_coefficients;
-pub use decode::{decode_with_estimate, EqualizerConfig};
+pub use decode::{decode_with_estimate, decode_with_reference, EqualizerConfig};
+pub use estimator::{
+    BoxedEstimator, ChannelEstimator, Estimate, EstimateRequest, FrameSource, PacketObservation,
+    TrainingContext, VvdDatasetSource, VvdModelPool,
+};
 pub use kalman::KalmanChannelEstimator;
 pub use ls::{ls_estimate, perfect_estimate, preamble_estimate};
 pub use metrics::{chip_error_rate, mean_squared_error, packet_error_rate};
 pub use phase::align_mean_phase;
+pub use registry::{EstimatorRegistry, SpecError};
 pub use techniques::Technique;
 pub use zf::ZfEqualizer;

@@ -107,10 +107,28 @@ impl Technique {
         )
     }
 
-    /// `true` when the technique requires the preamble of the current packet
-    /// to be detected in order to produce an estimate.
+    /// `true` when the technique *cannot produce any estimate* without the
+    /// preamble of the current packet being detected — a missed preamble is
+    /// a lost packet.  This is only the pure preamble-based technique: the
+    /// `Preamble-* Combined` techniques consume the detection outcome too,
+    /// but fall back to a blind estimator instead of losing the packet (see
+    /// [`Technique::consumes_preamble_detection`]), and the genie variant
+    /// ignores detection by definition.
     pub fn requires_preamble_detection(&self) -> bool {
         matches!(self, Technique::PreambleBased)
+    }
+
+    /// `true` when the technique's per-packet behaviour depends on the
+    /// preamble-detection outcome: the pure preamble-based technique (which
+    /// loses the packet on a miss) and both `Preamble-* Combined`
+    /// techniques (which switch to their fallback arm on a miss).
+    pub fn consumes_preamble_detection(&self) -> bool {
+        matches!(
+            self,
+            Technique::PreambleBased
+                | Technique::PreambleVvdCombined
+                | Technique::PreambleKalmanCombined
+        )
     }
 
     /// `true` when the technique uses camera images.
@@ -122,6 +140,28 @@ impl Technique {
                 | Technique::VvdFuture100ms
                 | Technique::PreambleVvdCombined
         )
+    }
+
+    /// The canonical registry spec string of the technique (see
+    /// `crate::registry` for the grammar).  Every spec string parses back
+    /// to the technique via [`FromStr`](std::str::FromStr).
+    pub fn spec_str(&self) -> &'static str {
+        match self {
+            Technique::StandardDecoding => "standard",
+            Technique::GroundTruth => "ground-truth",
+            Technique::PreambleBased => "preamble",
+            Technique::PreambleBasedGenie => "preamble:genie",
+            Technique::Previous100ms => "previous:100ms",
+            Technique::Previous500ms => "previous:500ms",
+            Technique::KalmanAr1 => "kalman:ar=1",
+            Technique::KalmanAr5 => "kalman:ar=5",
+            Technique::KalmanAr20 => "kalman:ar=20",
+            Technique::VvdCurrent => "vvd:current",
+            Technique::VvdFuture33ms => "vvd:future33ms",
+            Technique::VvdFuture100ms => "vvd:future100ms",
+            Technique::PreambleVvdCombined => "fallback:preamble,vvd:current",
+            Technique::PreambleKalmanCombined => "fallback:preamble,kalman:ar=20",
+        }
     }
 
     /// The short label used in the paper's figures.
@@ -148,6 +188,45 @@ impl Technique {
 impl fmt::Display for Technique {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}", self.label())
+    }
+}
+
+/// A string did not name a canonical paper technique.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTechniqueError {
+    input: String,
+}
+
+impl fmt::Display for ParseTechniqueError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "`{}` is not a canonical technique; expected a paper label (e.g. \
+             `Kalman AR(20)`) or a canonical spec string (e.g. `kalman:ar=20` \
+             — arbitrary specs build through the EstimatorRegistry instead)",
+            self.input
+        )
+    }
+}
+
+impl std::error::Error for ParseTechniqueError {}
+
+impl std::str::FromStr for Technique {
+    type Err = ParseTechniqueError;
+
+    /// Parses a paper label ([`Technique::label`]) or a canonical spec
+    /// string ([`Technique::spec_str`]); [`fmt::Display`] and
+    /// [`Technique::spec_str`] both round-trip.  Spec strings that build a
+    /// valid but non-canonical estimator (e.g. `kalman:ar=7`) are errors
+    /// here — only the registry handles those.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.trim();
+        Technique::ALL
+            .into_iter()
+            .find(|t| s == t.label() || s == t.spec_str())
+            .ok_or_else(|| ParseTechniqueError {
+                input: s.to_string(),
+            })
     }
 }
 
@@ -181,13 +260,58 @@ mod tests {
     }
 
     #[test]
-    fn only_preamble_based_requires_detection() {
-        let requiring: Vec<Technique> = Technique::ALL
-            .iter()
-            .copied()
-            .filter(|t| t.requires_preamble_detection())
-            .collect();
-        assert_eq!(requiring, vec![Technique::PreambleBased]);
+    fn preamble_detection_classification_over_all_techniques() {
+        // Table-driven: (technique, requires detection to produce any
+        // estimate, consumes the detection outcome at all).
+        let table = [
+            (Technique::StandardDecoding, false, false),
+            (Technique::GroundTruth, false, false),
+            (Technique::PreambleBased, true, true),
+            (Technique::PreambleBasedGenie, false, false),
+            (Technique::Previous100ms, false, false),
+            (Technique::Previous500ms, false, false),
+            (Technique::KalmanAr1, false, false),
+            (Technique::KalmanAr5, false, false),
+            (Technique::KalmanAr20, false, false),
+            (Technique::VvdCurrent, false, false),
+            (Technique::VvdFuture33ms, false, false),
+            (Technique::VvdFuture100ms, false, false),
+            (Technique::PreambleVvdCombined, false, true),
+            (Technique::PreambleKalmanCombined, false, true),
+        ];
+        assert_eq!(table.len(), Technique::ALL.len());
+        for (technique, requires, consumes) in table {
+            assert!(Technique::ALL.contains(&technique));
+            assert_eq!(
+                technique.requires_preamble_detection(),
+                requires,
+                "requires_preamble_detection({technique})"
+            );
+            assert_eq!(
+                technique.consumes_preamble_detection(),
+                consumes,
+                "consumes_preamble_detection({technique})"
+            );
+            // Requiring detection implies consuming it.
+            assert!(!requires || consumes);
+        }
+    }
+
+    #[test]
+    fn spec_strings_round_trip_for_every_technique() {
+        for t in Technique::ALL {
+            assert_eq!(t.spec_str().parse::<Technique>().unwrap(), t);
+            assert_eq!(t.to_string().parse::<Technique>().unwrap(), t);
+            assert_eq!(t.label().parse::<Technique>().unwrap(), t);
+        }
+        assert_eq!(
+            "kalman:ar=20".parse::<Technique>().unwrap(),
+            Technique::KalmanAr20
+        );
+        // Valid estimator specs that are not canonical techniques fail here.
+        assert!("kalman:ar=7".parse::<Technique>().is_err());
+        assert!("previous:1000ms".parse::<Technique>().is_err());
+        assert!("gibberish".parse::<Technique>().is_err());
     }
 
     #[test]
@@ -205,5 +329,40 @@ mod tests {
             Technique::PreambleBasedGenie.to_string(),
             "Preamble Based-Genie"
         );
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// `Display` ⇄ `FromStr` and `spec_str` ⇄ `FromStr` round-trip
+            /// for every technique, also with surrounding whitespace.
+            #[test]
+            fn parse_round_trips(
+                index in 0usize..Technique::ALL.len(),
+                pad_left in 0usize..3,
+                pad_right in 0usize..3,
+            ) {
+                let t = Technique::ALL[index];
+                for text in [t.spec_str().to_string(), t.to_string()] {
+                    let padded =
+                        format!("{}{}{}", " ".repeat(pad_left), text, " ".repeat(pad_right));
+                    prop_assert_eq!(padded.parse::<Technique>().unwrap(), t);
+                }
+            }
+
+            /// Arbitrary strings never panic the parser, and anything that
+            /// parses must round-trip to a string it parses from.
+            #[test]
+            fn parser_is_total(
+                bytes in proptest::collection::vec(any::<u8>(), 0..24),
+            ) {
+                let s = String::from_utf8_lossy(&bytes).into_owned();
+                if let Ok(t) = s.parse::<Technique>() {
+                    prop_assert_eq!(t.spec_str().parse::<Technique>().unwrap(), t);
+                }
+            }
+        }
     }
 }

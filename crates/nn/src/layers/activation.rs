@@ -7,6 +7,7 @@ use crate::layers::Layer;
 use crate::tensor::Tensor;
 
 /// Rectified linear unit applied element-wise.
+#[derive(Clone)]
 pub struct Relu {
     cached_mask: Vec<bool>,
     cached_shape: Vec<usize>,
@@ -29,6 +30,10 @@ impl Default for Relu {
 }
 
 impl Layer for Relu {
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn forward(&mut self, input: &Tensor, _training: bool) -> Tensor {
         self.cached_mask = input.data().iter().map(|&v| v > 0.0).collect();
         self.cached_shape = input.shape().to_vec();

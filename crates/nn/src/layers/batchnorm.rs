@@ -10,6 +10,7 @@ use crate::param::Parameter;
 use crate::tensor::Tensor;
 
 /// Batch normalisation with learnable per-channel scale and shift.
+#[derive(Clone)]
 pub struct BatchNorm2d {
     channels: usize,
     epsilon: f32,
@@ -75,6 +76,10 @@ impl BatchNorm2d {
 }
 
 impl Layer for BatchNorm2d {
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn forward(&mut self, input: &Tensor, training: bool) -> Tensor {
         let shape = input.shape();
         assert_eq!(shape.len(), 4, "BatchNorm2d expects [N, C, H, W]");

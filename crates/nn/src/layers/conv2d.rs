@@ -11,6 +11,7 @@ use crate::tensor::{matmul, matmul_at, matmul_bt, Tensor};
 use rand::Rng;
 
 /// A 2-D convolution layer with square kernels, stride 1 and valid padding.
+#[derive(Clone)]
 pub struct Conv2d {
     in_channels: usize,
     out_channels: usize,
@@ -101,6 +102,10 @@ impl Conv2d {
 }
 
 impl Layer for Conv2d {
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn forward(&mut self, input: &Tensor, _training: bool) -> Tensor {
         let shape = input.shape();
         assert_eq!(shape.len(), 4, "Conv2d expects [N, C, H, W]");

@@ -7,6 +7,7 @@ use crate::tensor::{matmul, matmul_at, matmul_bt, Tensor};
 use rand::Rng;
 
 /// A fully connected layer `y = x Wᵀ + b`.
+#[derive(Clone)]
 pub struct Dense {
     in_features: usize,
     out_features: usize,
@@ -53,6 +54,10 @@ impl Dense {
 }
 
 impl Layer for Dense {
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn forward(&mut self, input: &Tensor, _training: bool) -> Tensor {
         let n = input.batch_size();
         assert_eq!(

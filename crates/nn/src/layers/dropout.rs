@@ -11,6 +11,7 @@ use rand::{Rng, SeedableRng};
 /// Inverted dropout: during training each activation is zeroed with
 /// probability `p` and the survivors are scaled by `1 / (1 - p)`; at
 /// inference the layer is the identity.
+#[derive(Clone)]
 pub struct Dropout {
     p: f32,
     rng: StdRng,
@@ -34,6 +35,10 @@ impl Dropout {
 }
 
 impl Layer for Dropout {
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn forward(&mut self, input: &Tensor, training: bool) -> Tensor {
         if !training || self.p == 0.0 {
             self.cached_mask = vec![1.0; input.len()];

@@ -4,6 +4,7 @@ use crate::layers::Layer;
 use crate::tensor::Tensor;
 
 /// Flattens every batch item into a feature vector.
+#[derive(Clone)]
 pub struct Flatten {
     cached_shape: Vec<usize>,
 }
@@ -24,6 +25,10 @@ impl Default for Flatten {
 }
 
 impl Layer for Flatten {
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn forward(&mut self, input: &Tensor, _training: bool) -> Tensor {
         self.cached_shape = input.shape().to_vec();
         input.reshaped(&[input.batch_size(), input.item_len()])

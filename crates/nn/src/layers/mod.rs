@@ -28,11 +28,19 @@ use crate::param::Parameter;
 use crate::tensor::Tensor;
 
 /// A differentiable network layer.
-pub trait Layer {
+///
+/// Layers are `Send` and clonable through [`Layer::clone_box`] so that whole
+/// trained models can be duplicated into worker threads (the evaluation
+/// harness clones one trained VVD model per estimator instance).
+pub trait Layer: Send {
     /// Computes the layer output for a batch.  `training` toggles
     /// behaviour that differs between training and inference (dropout,
     /// batch-norm statistics).
     fn forward(&mut self, input: &Tensor, training: bool) -> Tensor;
+
+    /// Clones the layer behind the trait object (deep copy of parameters,
+    /// caches and any RNG state).
+    fn clone_box(&self) -> Box<dyn Layer>;
 
     /// Propagates the gradient of the loss with respect to the layer output
     /// back to the layer input, accumulating parameter gradients on the way.
@@ -47,4 +55,10 @@ pub trait Layer {
 
     /// Human-readable layer name for summaries.
     fn name(&self) -> &'static str;
+}
+
+impl Clone for Box<dyn Layer> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
 }

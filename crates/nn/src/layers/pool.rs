@@ -8,6 +8,7 @@ use crate::layers::Layer;
 use crate::tensor::Tensor;
 
 /// 2-D average pooling with a square window and matching stride.
+#[derive(Clone)]
 pub struct AvgPool2d {
     window: usize,
     cached_shape: Vec<usize>,
@@ -29,6 +30,10 @@ impl AvgPool2d {
 }
 
 impl Layer for AvgPool2d {
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn forward(&mut self, input: &Tensor, _training: bool) -> Tensor {
         let shape = input.shape();
         assert_eq!(shape.len(), 4, "AvgPool2d expects [N, C, H, W]");
@@ -94,6 +99,7 @@ impl Layer for AvgPool2d {
 }
 
 /// 2-D max pooling with a square window and matching stride.
+#[derive(Clone)]
 pub struct MaxPool2d {
     window: usize,
     cached_shape: Vec<usize>,
@@ -117,6 +123,10 @@ impl MaxPool2d {
 }
 
 impl Layer for MaxPool2d {
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn forward(&mut self, input: &Tensor, _training: bool) -> Tensor {
         let shape = input.shape();
         assert_eq!(shape.len(), 4, "MaxPool2d expects [N, C, H, W]");

@@ -5,6 +5,7 @@ use crate::optim::Optimizer;
 use crate::tensor::Tensor;
 
 /// A stack of layers executed in order.
+#[derive(Clone)]
 pub struct Sequential {
     layers: Vec<Box<dyn Layer>>,
 }
@@ -196,6 +197,27 @@ mod tests {
         m.load_state(&snapshot);
         let after = m.predict(&x);
         assert_eq!(after.data(), before.data());
+    }
+
+    #[test]
+    fn cloned_model_predicts_identically_and_is_independent() {
+        let mut m = tiny_model(4);
+        let x = Tensor::from_vec(&[1, 2], vec![0.7, -0.2]);
+        let mut c = m.clone();
+        assert_eq!(m.predict(&x).data(), c.predict(&x).data());
+
+        // Training the clone must not affect the original.
+        let before = m.predict(&x);
+        let mut opt = Sgd::new(0.5, 0.0);
+        for _ in 0..5 {
+            c.zero_grad();
+            let pred = c.forward(&x, true);
+            let (_, grad) = mse(&pred, &Tensor::from_vec(&[1, 1], vec![42.0]));
+            c.backward(&grad);
+            c.step(&mut opt);
+        }
+        assert_eq!(m.predict(&x).data(), before.data());
+        assert!((c.predict(&x).data()[0] - before.data()[0]).abs() > 1e-3);
     }
 
     #[test]

@@ -5,18 +5,25 @@
 //! recent channel estimation or to decode a recent packet." — the sweep
 //! varies the age of the estimate from 0 (original) to 20 s and reports MSE
 //! and PER for the Preamble-Genie estimate and for VVD.
+//!
+//! Each `(technique, age)` pair is just another [`ChannelEstimator`]
+//! ([`AgedPreamble`] buffering past preamble estimates, [`Vvd::aged`]
+//! reading an older depth frame), streamed through the same generic core as
+//! the Figs. 11–15 comparison; the VVD network is trained once per sweep
+//! and shared across all ages through the [`VvdModelPool`].
+//!
+//! [`ChannelEstimator`]: vvd_estimation::ChannelEstimator
 
 use crate::campaign::Campaign;
 use crate::combinations::SetCombination;
-use crate::evaluate::build_vvd_dataset;
-use vvd_core::{VvdModel, VvdVariant};
-use vvd_dsp::FirFilter;
-use vvd_estimation::decode::decode_with_estimate;
-use vvd_estimation::ls::preamble_estimate;
+use crate::evaluate::EvalOptions;
+use crate::stream::{
+    stream_estimators, training_cirs, CombinationDatasets, LabeledEstimator, StreamOptions,
+};
+use vvd_core::VvdVariant;
+use vvd_estimation::estimator::{AgedPreamble, BoxedEstimator, Inactive, Vvd, VvdModelPool};
 use vvd_estimation::metrics::{mean_squared_error, packet_error_rate};
-use vvd_estimation::phase::align_mean_phase;
-use vvd_estimation::{EqualizerConfig, Technique};
-use vvd_phy::Receiver;
+use vvd_estimation::Technique;
 
 /// The ages swept in Figs. 16–17, in seconds (0 = "Original").
 pub const PAPER_AGES_S: [f64; 8] = [0.0, 0.1, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0];
@@ -34,6 +41,17 @@ pub struct AgingCurve {
     pub per: Vec<f64>,
 }
 
+/// Builds the aged estimator modelling `technique` at the given lags.
+/// Techniques outside the paper's Figs. 16–17 pair are inert (every packet
+/// skipped), matching the published sweeps.
+fn aged_estimator(technique: Technique, lag_packets: usize, lag_frames: usize) -> BoxedEstimator {
+    match technique {
+        Technique::PreambleBasedGenie => Box::new(AgedPreamble::packets(lag_packets)),
+        Technique::VvdCurrent => Box::new(Vvd::aged(VvdVariant::Current, lag_frames)),
+        _ => Box::new(Inactive),
+    }
+}
+
 /// Runs the aging sweep on one combination's test set.
 ///
 /// For age `Δ`, packet `k` (at time `t`) is decoded with the estimate derived
@@ -45,42 +63,36 @@ pub fn aging_sweep(
     ages_s: &[f64],
     techniques: &[Technique],
 ) -> Vec<AgingCurve> {
+    aging_sweep_with(
+        campaign,
+        combination,
+        ages_s,
+        techniques,
+        &EvalOptions::default(),
+    )
+}
+
+/// [`aging_sweep`] with explicit execution options.
+pub fn aging_sweep_with(
+    campaign: &Campaign,
+    combination: &SetCombination,
+    ages_s: &[f64],
+    techniques: &[Technique],
+    options: &EvalOptions,
+) -> Vec<AgingCurve> {
     let cfg = &campaign.config;
-    let receiver = Receiver::new(cfg.phy);
-    let eq = cfg.equalizer;
-    let eq_no_phase = EqualizerConfig {
-        align_phase: false,
-        ..eq
-    };
-    let test_set = campaign.set(combination.test);
     let packet_period = cfg.packet_period_s();
     let frame_period = cfg.frame_period_s();
 
     let max_age = ages_s.iter().cloned().fold(0.0f64, f64::max);
     let max_lag_packets = (max_age / packet_period).round() as usize;
+    let score_from = max_lag_packets.max(cfg.kalman_warmup_packets);
 
-    // Train a VVD-Current model if requested.
-    let mut vvd_model: Option<VvdModel> = if techniques.contains(&Technique::VvdCurrent) {
-        let train = build_vvd_dataset(
-            campaign,
-            &combination.training,
-            VvdVariant::Current,
-            cfg.max_vvd_training_samples,
-        );
-        let validation = build_vvd_dataset(
-            campaign,
-            &[combination.validation],
-            VvdVariant::Current,
-            if cfg.max_vvd_training_samples > 0 {
-                cfg.max_vvd_training_samples / 4
-            } else {
-                0
-            },
-        );
-        Some(VvdModel::train(VvdVariant::Current, &cfg.vvd, &train, &validation).0)
-    } else {
-        None
-    };
+    // One dataset source + model pool for the whole sweep: the VVD network
+    // is trained on the first age that needs it and shared afterwards.
+    let cirs = training_cirs(campaign, combination);
+    let source = CombinationDatasets::new(campaign, combination);
+    let pool = VvdModelPool::new(&cfg.vvd, &source);
 
     let mut curves: Vec<AgingCurve> = techniques
         .iter()
@@ -95,64 +107,29 @@ pub fn aging_sweep(
     for &age in ages_s {
         let lag_packets = (age / packet_period).round() as usize;
         let lag_frames = (age / frame_period).round() as usize;
-
-        for (ci, &technique) in techniques.iter().enumerate() {
-            let mut estimates = Vec::new();
-            let mut truths = Vec::new();
-            let mut outcomes = Vec::new();
-
-            for (k, record) in test_set.packets.iter().enumerate() {
-                if k < max_lag_packets || k < cfg.kalman_warmup_packets {
-                    continue;
-                }
-                let (tx, received) = campaign.received_waveform(combination.test, record.index);
-                let estimate: Option<FirFilter> = match technique {
-                    Technique::PreambleBasedGenie => {
-                        let old = &test_set.packets[k - lag_packets];
-                        let (old_tx, old_received) =
-                            campaign.received_waveform(combination.test, old.index);
-                        preamble_estimate(&old_tx, old_received.as_slice(), eq.channel_taps).ok()
-                    }
-                    Technique::VvdCurrent => vvd_model.as_mut().and_then(|model| {
-                        (record.frame_index >= lag_frames).then(|| {
-                            let frame = &test_set.frames[record.frame_index - lag_frames];
-                            model.predict_cir(&frame.image)
-                        })
-                    }),
-                    _ => None,
-                };
-                let Some(estimate) = estimate else { continue };
-
-                // Aged estimates always need the Eq.-8 phase alignment since
-                // the crystal phase of the current packet differs.
-                let config = if lag_packets == 0 && technique == Technique::PreambleBasedGenie {
-                    &eq_no_phase
-                } else {
-                    &eq
-                };
-                let outcome =
-                    decode_with_estimate(&receiver, &tx, received.as_slice(), &estimate, config);
-                outcomes.push(outcome);
-
-                let aligned = if config.align_phase {
-                    match preamble_estimate(&tx, received.as_slice(), eq.channel_taps) {
-                        Ok(reference) => align_mean_phase(&estimate, &reference).0,
-                        Err(_) => estimate.clone(),
-                    }
-                } else {
-                    estimate.clone()
-                };
-                estimates.push(aligned);
-                truths.push(record.perfect_cir.clone());
-            }
-
-            let mse = if estimates.is_empty() {
+        let estimators = techniques
+            .iter()
+            .map(|&t| LabeledEstimator::new(t.label(), aged_estimator(t, lag_packets, lag_frames)))
+            .collect();
+        let traces = stream_estimators(
+            campaign,
+            combination,
+            estimators,
+            &cirs,
+            &pool,
+            &StreamOptions {
+                score_from,
+                parallel: options.parallel,
+            },
+        );
+        for (curve, trace) in curves.iter_mut().zip(&traces) {
+            let mse = if trace.estimates.is_empty() {
                 0.0
             } else {
-                mean_squared_error(&estimates, &truths)
+                mean_squared_error(&trace.estimates, &trace.truths)
             };
-            curves[ci].mse.push(mse);
-            curves[ci].per.push(packet_error_rate(&outcomes));
+            curve.mse.push(mse);
+            curve.per.push(packet_error_rate(&trace.scored));
         }
     }
     curves

@@ -81,6 +81,21 @@ impl EvalConfig {
         }
     }
 
+    /// The `tiny` preset used by the bench smoke runs and the pipeline
+    /// parity test: the smallest campaign that still exercises every code
+    /// path of an experiment (3 sets, 60 packets/set, 2 combinations,
+    /// reduced CNN).
+    pub fn tiny() -> Self {
+        let mut cfg = EvalConfig::quick();
+        cfg.n_sets = 3;
+        cfg.packets_per_set = 60;
+        cfg.n_combinations = 2;
+        cfg.kalman_warmup_packets = 10;
+        cfg.max_vvd_training_samples = 120;
+        cfg.vvd.epochs = 8;
+        cfg
+    }
+
     /// Minimal configuration for unit and integration tests.
     pub fn smoke() -> Self {
         let mut vvd = VvdConfig::quick();

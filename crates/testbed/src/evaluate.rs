@@ -1,24 +1,31 @@
-//! Per-combination evaluation of all channel estimation techniques.
+//! Per-combination evaluation of channel estimation techniques.
 //!
 //! This is the harness behind Figs. 11–15: for one train/validation/test
-//! split it trains the learning-based estimators on the training sets,
-//! replays the test set packet by packet, produces the channel estimate of
-//! every technique, pushes it through the shared decoding pipeline and
-//! accumulates PER / CER / MSE.  Results of several combinations are then
-//! summarised as box statistics exactly like the paper's box plots.
+//! split it fits every requested estimator on the training sets, replays
+//! the test set packet by packet through the generic streaming core
+//! (`crate::stream`), and accumulates PER / CER / MSE.  Results of several
+//! combinations are then summarised as box statistics exactly like the
+//! paper's box plots.
+//!
+//! There is no per-technique dispatch here: every estimator — the 14 paper
+//! techniques included — is built by the
+//! [`EstimatorRegistry`], either from a [`Technique`] or from a spec string
+//! such as `"kalman:ar=7"` or `"fallback:preamble,vvd:current"`
+//! ([`evaluate_specs`]), so new scenarios need zero harness edits.
 
 use crate::campaign::Campaign;
 use crate::combinations::{combinations_for, SetCombination};
+use crate::stream::{
+    nominal_energy, stream_estimators, training_cirs, CombinationDatasets, EstimatorTrace,
+    LabeledEstimator, StreamOptions,
+};
 use std::collections::BTreeMap;
-use vvd_core::{VvdDataset, VvdModel, VvdSample, VvdTrainingReport, VvdVariant};
+use vvd_core::{VvdDataset, VvdSample, VvdTrainingReport, VvdVariant};
 use vvd_dsp::stats::BoxStats;
-use vvd_dsp::FirFilter;
-use vvd_estimation::decode::decode_with_estimate;
-use vvd_estimation::ls::preamble_estimate;
+use vvd_estimation::estimator::VvdModelPool;
 use vvd_estimation::metrics::{chip_error_rate, mean_squared_error, packet_error_rate};
-use vvd_estimation::phase::align_mean_phase;
-use vvd_estimation::{EqualizerConfig, KalmanChannelEstimator, Technique};
-use vvd_phy::{DecodeOutcome, Receiver};
+use vvd_estimation::registry::SpecError;
+use vvd_estimation::{EstimatorRegistry, Technique};
 
 /// Aggregate metrics of one technique over one test set.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -53,7 +60,7 @@ pub struct TimePoint {
 pub struct CombinationResult {
     /// The evaluated combination.
     pub combination: SetCombination,
-    /// Metrics per technique.
+    /// Metrics per estimator label.
     pub metrics: BTreeMap<String, TechniqueMetrics>,
     /// Packet-by-packet decoding time series (Fig. 15).
     pub time_series: Vec<TimePoint>,
@@ -109,6 +116,21 @@ impl EvaluationSummary {
     }
 }
 
+/// Execution options of the evaluation.
+#[derive(Debug, Clone, Copy)]
+pub struct EvalOptions {
+    /// Evaluate estimators (and combinations in [`run_evaluation_with`]) on
+    /// worker threads.  The results are bit-identical to the sequential
+    /// path; the default follows the available parallelism.
+    pub parallel: bool,
+}
+
+impl Default for EvalOptions {
+    fn default() -> Self {
+        EvalOptions { parallel: true }
+    }
+}
+
 /// Builds the VVD dataset for a set of measurement sets and a prediction
 /// horizon: each packet is paired with the frame captured
 /// `variant.image_lag_frames()` frames before its synchronised frame, and
@@ -142,273 +164,107 @@ pub fn build_vvd_dataset(
     dataset
 }
 
-/// Trains the VVD variants needed by the requested techniques.
-fn train_vvd_models(
-    campaign: &Campaign,
-    combination: &SetCombination,
-    techniques: &[Technique],
-) -> (BTreeMap<&'static str, VvdModel>, Vec<VvdTrainingReport>) {
-    let mut needed: Vec<VvdVariant> = Vec::new();
-    let push = |v: VvdVariant, needed: &mut Vec<VvdVariant>| {
-        if !needed.contains(&v) {
-            needed.push(v);
-        }
-    };
-    for t in techniques {
-        match t {
-            Technique::VvdCurrent | Technique::PreambleVvdCombined => {
-                push(VvdVariant::Current, &mut needed)
-            }
-            Technique::VvdFuture33ms => push(VvdVariant::Future33ms, &mut needed),
-            Technique::VvdFuture100ms => push(VvdVariant::Future100ms, &mut needed),
-            _ => {}
-        }
-    }
-
-    let mut models = BTreeMap::new();
-    let mut reports = Vec::new();
-    let cfg = &campaign.config;
-    for variant in needed {
-        let train = build_vvd_dataset(
-            campaign,
-            &combination.training,
-            variant,
-            cfg.max_vvd_training_samples,
-        );
-        let validation = build_vvd_dataset(
-            campaign,
-            &[combination.validation],
-            variant,
-            if cfg.max_vvd_training_samples > 0 {
-                cfg.max_vvd_training_samples / 4
-            } else {
-                0
-            },
-        );
-        let (model, report) = VvdModel::train(variant, &cfg.vvd, &train, &validation);
-        reports.push(report);
-        models.insert(variant.label(), model);
-    }
-    (models, reports)
-}
-
-/// Evaluates one set combination with the given techniques.
+/// Evaluates one set combination with the given techniques (estimators are
+/// built through the default registry).
 pub fn evaluate_combination(
     campaign: &Campaign,
     combination: &SetCombination,
     techniques: &[Technique],
 ) -> CombinationResult {
-    let cfg = &campaign.config;
-    let receiver = Receiver::new(cfg.phy);
-    let eq = cfg.equalizer;
-    let eq_no_phase = EqualizerConfig {
-        align_phase: false,
-        ..eq
-    };
+    evaluate_combination_with(campaign, combination, techniques, &EvalOptions::default())
+}
 
-    // --- Training phase -------------------------------------------------
-    let training_cirs: Vec<FirFilter> = combination
-        .training
+/// [`evaluate_combination`] with explicit execution options.
+pub fn evaluate_combination_with(
+    campaign: &Campaign,
+    combination: &SetCombination,
+    techniques: &[Technique],
+    options: &EvalOptions,
+) -> CombinationResult {
+    let registry = EstimatorRegistry::new();
+    let estimators = techniques
         .iter()
-        .flat_map(|&set_id| campaign.set(set_id).packets.iter())
-        .map(|p| p.aligned_cir.clone())
+        .map(|&t| LabeledEstimator::new(t.label(), registry.technique(t)))
         .collect();
+    evaluate_estimators(campaign, combination, estimators, options)
+}
 
-    let needs_kalman = |order: usize| {
-        techniques.iter().any(|t| {
-            matches!(
-                (t, order),
-                (Technique::KalmanAr1, 1)
-                    | (Technique::KalmanAr5, 5)
-                    | (Technique::KalmanAr20, 20)
-                    | (Technique::PreambleKalmanCombined, 20)
-            )
+/// Evaluates one set combination with estimators built from registry spec
+/// strings; each result is keyed by the technique label when the spec names
+/// a canonical technique, and by the spec string itself otherwise.
+pub fn evaluate_specs(
+    campaign: &Campaign,
+    combination: &SetCombination,
+    specs: &[&str],
+    options: &EvalOptions,
+) -> Result<CombinationResult, SpecError> {
+    let registry = EstimatorRegistry::new();
+    let estimators = specs
+        .iter()
+        .map(|&spec| {
+            let label = spec
+                .parse::<Technique>()
+                .map(|t| t.label().to_string())
+                .unwrap_or_else(|_| spec.trim().to_string());
+            Ok(LabeledEstimator::new(label, registry.build(spec)?))
         })
-    };
-    let mut kalman1 = needs_kalman(1).then(|| KalmanChannelEstimator::fit(&training_cirs, 1));
-    let mut kalman5 = needs_kalman(5).then(|| KalmanChannelEstimator::fit(&training_cirs, 5));
-    let mut kalman20 = needs_kalman(20).then(|| KalmanChannelEstimator::fit(&training_cirs, 20));
+        .collect::<Result<Vec<_>, SpecError>>()?;
+    Ok(evaluate_estimators(
+        campaign,
+        combination,
+        estimators,
+        options,
+    ))
+}
 
-    let (mut vvd_models, vvd_reports) = train_vvd_models(campaign, combination, techniques);
+/// Evaluates one set combination with pre-built estimators — the most
+/// general entry point (custom estimators, custom labels).
+pub fn evaluate_estimators(
+    campaign: &Campaign,
+    combination: &SetCombination,
+    estimators: Vec<LabeledEstimator>,
+    options: &EvalOptions,
+) -> CombinationResult {
+    let cfg = &campaign.config;
+    let cirs = training_cirs(campaign, combination);
+    let reference_energy = nominal_energy(&cirs);
+    let source = CombinationDatasets::new(campaign, combination);
+    let pool = VvdModelPool::new(&cfg.vvd, &source);
 
-    // --- Test phase -----------------------------------------------------
-    let test_set = campaign.set(combination.test);
-    let nominal_energy = {
-        // Median channel energy of the training sets as the "unblocked"
-        // reference for the LoS-blockage indicator of the time series.
-        let mut energies: Vec<f64> = training_cirs.iter().map(|c| c.energy()).collect();
-        energies.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-        energies.get(energies.len() / 2).copied().unwrap_or(1.0)
-    };
+    let score_from = cfg.kalman_warmup_packets;
+    let traces = stream_estimators(
+        campaign,
+        combination,
+        estimators,
+        &cirs,
+        &pool,
+        &StreamOptions {
+            score_from,
+            parallel: options.parallel,
+        },
+    );
+    let vvd_reports = pool.reports();
 
-    let mut outcomes: BTreeMap<String, Vec<DecodeOutcome>> = BTreeMap::new();
-    let mut estimates: BTreeMap<String, Vec<FirFilter>> = BTreeMap::new();
-    let mut truths: BTreeMap<String, Vec<FirFilter>> = BTreeMap::new();
-    let mut time_series = Vec::new();
-
-    for (k, record) in test_set.packets.iter().enumerate() {
-        let (tx, received) = campaign.received_waveform(combination.test, record.index);
-        let sync = receiver.synchronize(received.as_slice(), &tx);
-        let preamble_est = preamble_estimate(&tx, received.as_slice(), eq.channel_taps).ok();
-
-        let score = k >= cfg.kalman_warmup_packets;
-        let mut packet_outcomes: BTreeMap<&'static str, DecodeOutcome> = BTreeMap::new();
-
-        for &technique in techniques {
-            // Produce the channel estimate (None = no estimate, packet lost
-            // or technique skipped for this packet).
-            let estimate: Option<(FirFilter, &EqualizerConfig)> = match technique {
-                Technique::StandardDecoding => None,
-                Technique::GroundTruth => Some((record.perfect_cir.clone(), &eq_no_phase)),
-                Technique::PreambleBased => {
-                    if record.preamble_detected {
-                        preamble_est.clone().map(|e| (e, &eq_no_phase))
-                    } else {
-                        None
-                    }
-                }
-                Technique::PreambleBasedGenie => preamble_est.clone().map(|e| (e, &eq_no_phase)),
-                Technique::Previous100ms => {
-                    (k >= 1).then(|| (test_set.packets[k - 1].perfect_cir.clone(), &eq))
-                }
-                Technique::Previous500ms => {
-                    (k >= 5).then(|| (test_set.packets[k - 5].perfect_cir.clone(), &eq))
-                }
-                Technique::KalmanAr1 => kalman1.as_ref().map(|f| (f.predicted_cir(), &eq)),
-                Technique::KalmanAr5 => kalman5.as_ref().map(|f| (f.predicted_cir(), &eq)),
-                Technique::KalmanAr20 => kalman20.as_ref().map(|f| (f.predicted_cir(), &eq)),
-                Technique::VvdCurrent | Technique::VvdFuture33ms | Technique::VvdFuture100ms => {
-                    let variant = match technique {
-                        Technique::VvdCurrent => VvdVariant::Current,
-                        Technique::VvdFuture33ms => VvdVariant::Future33ms,
-                        _ => VvdVariant::Future100ms,
-                    };
-                    vvd_models.get_mut(variant.label()).and_then(|model| {
-                        let lag = variant.image_lag_frames();
-                        (record.frame_index >= lag).then(|| {
-                            let frame = &test_set.frames[record.frame_index - lag];
-                            (model.predict_cir(&frame.image), &eq)
-                        })
-                    })
-                }
-                Technique::PreambleVvdCombined => {
-                    if record.preamble_detected {
-                        preamble_est.clone().map(|e| (e, &eq_no_phase))
-                    } else {
-                        vvd_models
-                            .get_mut(VvdVariant::Current.label())
-                            .map(|model| {
-                                let frame = &test_set.frames[record.frame_index];
-                                (model.predict_cir(&frame.image), &eq)
-                            })
-                    }
-                }
-                Technique::PreambleKalmanCombined => {
-                    if record.preamble_detected {
-                        preamble_est.clone().map(|e| (e, &eq_no_phase))
-                    } else {
-                        kalman20.as_ref().map(|f| (f.predicted_cir(), &eq))
-                    }
-                }
-            };
-
-            // Decode.
-            let outcome = match (&technique, &estimate) {
-                (Technique::StandardDecoding, _) => {
-                    receiver.decode_standard(&received.as_slice()[sync.offset..], &tx)
-                }
-                (_, Some((est, config))) => {
-                    decode_with_estimate(&receiver, &tx, received.as_slice(), est, config)
-                }
-                (_, None) => {
-                    // Techniques that cannot produce an estimate yet
-                    // (insufficient history) are skipped; a failed preamble
-                    // detection for the preamble-based technique is a lost
-                    // packet.
-                    if technique == Technique::PreambleBased {
-                        DecodeOutcome::lost(tx.psdu_chips().len(), tx.frame.psdu_symbols().len())
-                    } else {
-                        packet_outcomes.insert(technique.label(), DecodeOutcome::lost(0, 0));
-                        continue;
-                    }
-                }
-            };
-
-            if score {
-                outcomes
-                    .entry(technique.label().to_string())
-                    .or_default()
-                    .push(outcome);
-                // MSE bookkeeping: compare the (phase-aligned) estimate that
-                // was actually used against the perfect estimate.
-                if let Some((est, config)) = &estimate {
-                    let aligned = if config.align_phase {
-                        match &preamble_est {
-                            Some(reference) => align_mean_phase(est, reference).0,
-                            None => est.clone(),
-                        }
-                    } else {
-                        est.clone()
-                    };
-                    estimates
-                        .entry(technique.label().to_string())
-                        .or_default()
-                        .push(aligned);
-                    truths
-                        .entry(technique.label().to_string())
-                        .or_default()
-                        .push(record.perfect_cir.clone());
-                }
-            }
-            packet_outcomes.insert(technique.label(), outcome);
-        }
-
-        // Kalman filters observe the perfect estimate of this packet after
-        // decoding (semi-blind operation, Sec. 5.3).
-        for filter in [&mut kalman1, &mut kalman5, &mut kalman20]
-            .into_iter()
-            .flatten()
-        {
-            filter.observe(&record.aligned_cir);
-        }
-
-        if score {
-            let vvd_success = packet_outcomes
-                .get(Technique::VvdCurrent.label())
-                .map(|o| !o.is_packet_error());
-            let gt_success = packet_outcomes
-                .get(Technique::GroundTruth.label())
-                .map(|o| !o.is_packet_error());
-            if let (Some(vvd), Some(gt)) = (vvd_success, gt_success) {
-                time_series.push(TimePoint {
-                    time_s: record.time_s,
-                    vvd_success: vvd,
-                    ground_truth_success: gt,
-                    los_blocked: record.realization.fir.energy() < 0.5 * nominal_energy,
-                });
-            }
-        }
-    }
-
-    // --- Aggregate ------------------------------------------------------
     let mut metrics = BTreeMap::new();
-    for &technique in techniques {
-        let label = technique.label().to_string();
-        let outs = outcomes.get(&label).cloned().unwrap_or_default();
-        let mse = match (estimates.get(&label), truths.get(&label)) {
-            (Some(est), Some(truth)) if !est.is_empty() => Some(mean_squared_error(est, truth)),
-            _ => None,
+    for trace in &traces {
+        let mse = if trace.estimates.is_empty() {
+            None
+        } else {
+            Some(mean_squared_error(&trace.estimates, &trace.truths))
         };
         metrics.insert(
-            label,
+            trace.label.clone(),
             TechniqueMetrics {
-                per: packet_error_rate(&outs),
-                cer: chip_error_rate(&outs),
+                per: packet_error_rate(&trace.scored),
+                cer: chip_error_rate(&trace.scored),
                 mse,
-                packets: outs.len(),
+                packets: trace.scored.len(),
             },
         );
     }
+
+    let time_series =
+        build_time_series(campaign, combination, &traces, score_from, reference_energy);
 
     CombinationResult {
         combination: combination.clone(),
@@ -418,17 +274,106 @@ pub fn evaluate_combination(
     }
 }
 
+/// Assembles the Fig.-15 success/fail time series when both VVD-Current and
+/// the ground truth were evaluated.  `score_from` must be the
+/// [`StreamOptions::score_from`] the traces were produced with — it maps
+/// the per-packet trace indices back to packet records.
+fn build_time_series(
+    campaign: &Campaign,
+    combination: &SetCombination,
+    traces: &[EstimatorTrace],
+    score_from: usize,
+    reference_energy: f64,
+) -> Vec<TimePoint> {
+    let by_label = |label: &str| traces.iter().find(|t| t.label == label);
+    let (Some(vvd), Some(gt)) = (
+        by_label(Technique::VvdCurrent.label()),
+        by_label(Technique::GroundTruth.label()),
+    ) else {
+        return Vec::new();
+    };
+    let test_set = campaign.set(combination.test);
+    vvd.per_packet
+        .iter()
+        .zip(&gt.per_packet)
+        .enumerate()
+        .map(|(i, (v, g))| {
+            let record = &test_set.packets[score_from + i];
+            TimePoint {
+                time_s: record.time_s,
+                vvd_success: !v.is_packet_error(),
+                ground_truth_success: !g.is_packet_error(),
+                los_blocked: record.realization.fir.energy() < 0.5 * reference_energy,
+            }
+        })
+        .collect()
+}
+
 /// Runs the evaluation over the configured number of combinations and
 /// aggregates the box statistics.
 pub fn run_evaluation(
     campaign: &Campaign,
     techniques: &[Technique],
 ) -> (Vec<CombinationResult>, EvaluationSummary) {
+    run_evaluation_with(campaign, techniques, &EvalOptions::default())
+}
+
+/// [`run_evaluation`] with explicit execution options; combinations are
+/// evaluated concurrently when `options.parallel` allows.
+pub fn run_evaluation_with(
+    campaign: &Campaign,
+    techniques: &[Technique],
+    options: &EvalOptions,
+) -> (Vec<CombinationResult>, EvaluationSummary) {
     let combos = combinations_for(campaign.config.n_sets, campaign.config.n_combinations);
-    let results: Vec<CombinationResult> = combos
-        .iter()
-        .map(|c| evaluate_combination(campaign, c, techniques))
-        .collect();
+    let workers = if options.parallel {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(combos.len().max(1))
+    } else {
+        1
+    };
+
+    let results: Vec<CombinationResult> = if workers <= 1 {
+        combos
+            .iter()
+            .map(|c| evaluate_combination_with(campaign, c, techniques, options))
+            .collect()
+    } else {
+        // Deterministic round-robin assignment; results are stitched back
+        // in combination order, so worker count and scheduling are
+        // invisible in the output.  The combination workers already use the
+        // available parallelism, so each inner evaluation streams its
+        // estimators sequentially instead of fanning out a second time.
+        let inner = EvalOptions { parallel: false };
+        std::thread::scope(|scope| {
+            let combos = &combos;
+            let inner = &inner;
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    scope.spawn(move || {
+                        combos
+                            .iter()
+                            .enumerate()
+                            .skip(w)
+                            .step_by(workers)
+                            .map(|(i, c)| {
+                                (i, evaluate_combination_with(campaign, c, techniques, inner))
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            let mut indexed: Vec<(usize, CombinationResult)> = handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("evaluation worker panicked"))
+                .collect();
+            indexed.sort_by_key(|(i, _)| *i);
+            indexed.into_iter().map(|(_, r)| r).collect()
+        })
+    };
+
     let summary = EvaluationSummary::from_results(&results);
     (results, summary)
 }
@@ -481,7 +426,9 @@ mod tests {
         let vvd = result.metric(Technique::VvdCurrent).unwrap();
         assert!(vvd.packets > 0);
         assert!(vvd.mse.is_some());
-        assert!(!result.vvd_reports.is_empty());
+        // VVD-Current and the combined technique share one trained model
+        // through the pool: exactly one training report.
+        assert_eq!(result.vvd_reports.len(), 1);
         // The time series exists when both VVD and ground truth are evaluated.
         assert!(!result.time_series.is_empty());
         // The combined technique can only be better or equal in PER terms
@@ -523,5 +470,39 @@ mod tests {
             ds_current.channel_taps(),
             campaign.config.equalizer.channel_taps
         );
+    }
+
+    #[test]
+    fn spec_strings_evaluate_like_their_techniques() {
+        let campaign = smoke_campaign();
+        let combos = combinations_for(campaign.config.n_sets, 1);
+        let options = EvalOptions::default();
+        let by_technique = evaluate_combination(
+            &campaign,
+            &combos[0],
+            &[Technique::GroundTruth, Technique::Previous100ms],
+        );
+        let by_spec = evaluate_specs(
+            &campaign,
+            &combos[0],
+            &["ground-truth", "previous:100ms", "previous:300ms"],
+            &options,
+        )
+        .unwrap();
+        // Canonical specs are keyed by the paper label and agree exactly.
+        assert_eq!(
+            by_spec.metric(Technique::GroundTruth).unwrap(),
+            by_technique.metric(Technique::GroundTruth).unwrap()
+        );
+        assert_eq!(
+            by_spec.metric(Technique::Previous100ms).unwrap(),
+            by_technique.metric(Technique::Previous100ms).unwrap()
+        );
+        // Non-canonical specs are keyed by the spec string.
+        let custom = by_spec.metrics.get("previous:300ms").unwrap();
+        assert!((0.0..=1.0).contains(&custom.per));
+        assert!(custom.packets > 0);
+        // Unknown specs surface as errors, not panics.
+        assert!(evaluate_specs(&campaign, &combos[0], &["nope"], &options).is_err());
     }
 }

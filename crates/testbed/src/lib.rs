@@ -18,10 +18,16 @@
 //!   estimates,
 //! * [`combinations`] — Table 2 (the 15 set combinations) plus generated
 //!   equivalents for reduced campaign sizes,
-//! * [`evaluate`] — the per-combination comparison of all estimation
+//! * [`stream`] — the generic streaming core that fits boxed
+//!   `ChannelEstimator`s and replays a test set through them
+//!   (estimate → decode → score → observe), optionally on worker threads,
+//! * [`evaluate`] — the per-combination comparison of estimation
 //!   techniques (PER / CER / MSE, Figs. 11–14), the packet-by-packet time
-//!   series of Fig. 15 and the box-plot aggregation over combinations,
-//! * [`aging`] — the estimate-aging sweeps of Figs. 16–17,
+//!   series of Fig. 15 and the box-plot aggregation over combinations; all
+//!   estimators are built through the `EstimatorRegistry` (spec strings
+//!   included),
+//! * [`aging`] — the estimate-aging sweeps of Figs. 16–17, as aged
+//!   estimators over the same streaming core,
 //! * [`hypothesis`] — the Sec.-3.1 hypothesis test behind Fig. 5,
 //! * [`report`] — plain-text tables/series used by the `vvd-bench`
 //!   reproduction harnesses,
@@ -39,9 +45,15 @@ pub mod evaluate;
 pub mod hypothesis;
 pub mod mobility;
 pub mod report;
+pub mod stream;
 
 pub use campaign::{Campaign, FrameRecord, MeasurementSet, PacketRecord};
 pub use combinations::{combinations_for, SetCombination};
 pub use config::EvalConfig;
-pub use evaluate::{evaluate_combination, CombinationResult, EvaluationSummary, TechniqueMetrics};
+pub use evaluate::{
+    evaluate_combination, evaluate_combination_with, evaluate_estimators, evaluate_specs,
+    run_evaluation, run_evaluation_with, CombinationResult, EvalOptions, EvaluationSummary,
+    TechniqueMetrics,
+};
 pub use mobility::RandomWaypoint;
+pub use stream::{stream_estimators, EstimatorTrace, LabeledEstimator, StreamOptions};

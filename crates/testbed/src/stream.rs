@@ -1,0 +1,436 @@
+//! The generic streaming evaluation core.
+//!
+//! One function, [`stream_estimators`], replays a combination's test set
+//! packet by packet over a set of boxed
+//! [`ChannelEstimator`](vvd_estimation::ChannelEstimator)s: fit on the
+//! training sets, then per packet *estimate → decode → score → observe*.
+//! Both the Figs. 11–15 technique comparison (`crate::evaluate`) and the
+//! Figs. 16–17 aging sweeps (`crate::aging`) are thin layers over this
+//! core, so a new estimator — registered by spec string, any AR order, any
+//! fallback chain — runs through every experiment without harness edits.
+//!
+//! Estimators are independent by construction (no shared state after
+//! fitting), so the streaming phase optionally fans out over worker threads
+//! with [`std::thread::scope`]; the per-estimator arithmetic is identical
+//! either way, which makes the parallel results bit-identical to the
+//! sequential ones.
+
+use crate::campaign::{Campaign, FrameRecord, MeasurementSet};
+use crate::combinations::SetCombination;
+use vvd_core::VvdVariant;
+use vvd_dsp::FirFilter;
+use vvd_estimation::decode::decode_with_reference;
+use vvd_estimation::estimator::{
+    BoxedEstimator, Estimate, EstimateRequest, FrameSource, PacketObservation, TrainingContext,
+    VvdDatasetSource, VvdModelPool,
+};
+use vvd_estimation::ls::preamble_estimate;
+use vvd_estimation::phase::align_mean_phase;
+use vvd_estimation::EqualizerConfig;
+use vvd_phy::{DecodeOutcome, Receiver};
+
+/// An estimator plus the label its results are reported under.
+pub struct LabeledEstimator {
+    /// Metric key (a paper label for canonical techniques, the spec string
+    /// otherwise).
+    pub label: String,
+    /// The estimator instance (single-use; see the trait's state lifecycle).
+    pub estimator: BoxedEstimator,
+}
+
+impl LabeledEstimator {
+    /// Pairs an estimator with a label.
+    pub fn new(label: impl Into<String>, estimator: BoxedEstimator) -> Self {
+        LabeledEstimator {
+            label: label.into(),
+            estimator,
+        }
+    }
+}
+
+/// Options of one streaming run.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamOptions {
+    /// Index of the first test packet that is scored; earlier packets are
+    /// only streamed through [`ChannelEstimator::observe`] (estimator
+    /// warm-up, cf. the paper's 200-packet Kalman warm-up).
+    ///
+    /// [`ChannelEstimator::observe`]: vvd_estimation::ChannelEstimator::observe
+    pub score_from: usize,
+    /// Stream estimators on worker threads (capped at the available
+    /// parallelism).  Results are bit-identical to the sequential path.
+    pub parallel: bool,
+}
+
+/// Per-estimator result of a streaming run.
+#[derive(Debug, Clone)]
+pub struct EstimatorTrace {
+    /// The estimator's label.
+    pub label: String,
+    /// Decode outcomes of the scored packets for which the estimator
+    /// produced a decodable result (everything except [`Estimate::Skip`]).
+    pub scored: Vec<DecodeOutcome>,
+    /// The (phase-aligned) estimates actually used on scored packets, for
+    /// the Eq.-9 MSE.
+    pub estimates: Vec<FirFilter>,
+    /// The matching perfect estimates.
+    pub truths: Vec<FirFilter>,
+    /// One outcome per scored packet *including* skips (recorded as
+    /// zero-sized losses), aligned across estimators — the Fig.-15 time
+    /// series is assembled from these.
+    pub per_packet: Vec<DecodeOutcome>,
+}
+
+/// Builds the VVD training/validation datasets of a combination, on demand
+/// per variant (the [`VvdModelPool`] caches the trained models).
+pub struct CombinationDatasets<'a> {
+    campaign: &'a Campaign,
+    combination: &'a SetCombination,
+}
+
+impl<'a> CombinationDatasets<'a> {
+    /// Dataset source over a campaign's combination.
+    pub fn new(campaign: &'a Campaign, combination: &'a SetCombination) -> Self {
+        CombinationDatasets {
+            campaign,
+            combination,
+        }
+    }
+}
+
+impl VvdDatasetSource for CombinationDatasets<'_> {
+    fn datasets(&self, variant: VvdVariant) -> (vvd_core::VvdDataset, vvd_core::VvdDataset) {
+        let cfg = &self.campaign.config;
+        let train = crate::evaluate::build_vvd_dataset(
+            self.campaign,
+            &self.combination.training,
+            variant,
+            cfg.max_vvd_training_samples,
+        );
+        let validation = crate::evaluate::build_vvd_dataset(
+            self.campaign,
+            &[self.combination.validation],
+            variant,
+            if cfg.max_vvd_training_samples > 0 {
+                cfg.max_vvd_training_samples / 4
+            } else {
+                0
+            },
+        );
+        (train, validation)
+    }
+}
+
+/// The chronological sequence of (phase-aligned) perfect channel estimates
+/// of the combination's training sets — what time-series estimators fit on.
+pub fn training_cirs(campaign: &Campaign, combination: &SetCombination) -> Vec<FirFilter> {
+    combination
+        .training
+        .iter()
+        .flat_map(|&set_id| campaign.set(set_id).packets.iter())
+        .map(|p| p.aligned_cir.clone())
+        .collect()
+}
+
+/// Median channel energy of the training sequence, the "unblocked"
+/// reference of the Fig.-15 LoS-blockage indicator.
+///
+/// # Panics
+/// Panics when the training sequence is empty — every combination must
+/// contribute at least one training packet; a silent fallback would skew
+/// every blockage classification.
+pub fn nominal_energy(training_cirs: &[FirFilter]) -> f64 {
+    assert!(
+        !training_cirs.is_empty(),
+        "cannot derive the nominal channel energy from an empty training set"
+    );
+    let mut energies: Vec<f64> = training_cirs.iter().map(|c| c.energy()).collect();
+    energies.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    energies[energies.len() / 2]
+}
+
+/// [`FrameSource`] over a measurement set's frame records.
+struct SetFrames<'a>(&'a [FrameRecord]);
+
+impl FrameSource for SetFrames<'_> {
+    fn frame(&self, index: usize) -> &vvd_vision::DepthImage {
+        &self.0[index].image
+    }
+    fn n_frames(&self) -> usize {
+        self.0.len()
+    }
+}
+
+/// Fits the estimators on the combination's training data and streams the
+/// test set through them, returning one trace per estimator (input order).
+///
+/// Fitting is sequential — expensive artefacts are shared through the
+/// caller's `pool`, and the pool trains each variant deterministically on
+/// first use.  The streaming phase runs per-estimator and, with
+/// [`StreamOptions::parallel`], fans contiguous chunks of estimators out to
+/// `std::thread::scope` workers; every worker only touches its own
+/// estimators, so scheduling cannot affect the results.
+pub fn stream_estimators(
+    campaign: &Campaign,
+    combination: &SetCombination,
+    mut estimators: Vec<LabeledEstimator>,
+    cirs: &[FirFilter],
+    pool: &VvdModelPool<'_>,
+    options: &StreamOptions,
+) -> Vec<EstimatorTrace> {
+    // --- Fit phase (sequential, deterministic order) --------------------
+    let ctx = TrainingContext::new(cirs).with_vvd(pool);
+    for labeled in &mut estimators {
+        labeled.estimator.fit(&ctx);
+    }
+
+    // --- Streaming phase ------------------------------------------------
+    let workers = if options.parallel {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(estimators.len().max(1))
+    } else {
+        1
+    };
+
+    if workers <= 1 {
+        return stream_chunk(campaign, combination, estimators, options);
+    }
+
+    // Deterministic contiguous chunks; traces are re-assembled in input
+    // order, so the grouping is invisible in the results.
+    let chunk_size = estimators.len().div_ceil(workers);
+    let mut chunks: Vec<Vec<LabeledEstimator>> = Vec::new();
+    let mut rest = estimators;
+    while !rest.is_empty() {
+        let tail = rest.split_off(rest.len().min(chunk_size));
+        chunks.push(rest);
+        rest = tail;
+    }
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| scope.spawn(move || stream_chunk(campaign, combination, chunk, options)))
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("streaming worker panicked"))
+            .collect()
+    })
+}
+
+/// Streams the full test set through a chunk of estimators with one shared
+/// packet scan: the received waveform, its preamble-based LS estimate and
+/// (when needed) the synchronisation offset are computed once per packet
+/// and reused by every estimator of the chunk — the per-estimator
+/// arithmetic is untouched, so chunking cannot change any result.
+fn stream_chunk(
+    campaign: &Campaign,
+    combination: &SetCombination,
+    chunk: Vec<LabeledEstimator>,
+    options: &StreamOptions,
+) -> Vec<EstimatorTrace> {
+    let cfg = &campaign.config;
+    let receiver = Receiver::new(cfg.phy);
+    let eq = cfg.equalizer;
+    let test_set: &MeasurementSet = campaign.set(combination.test);
+    let frames = SetFrames(&test_set.frames);
+
+    let (labels, mut estimators): (Vec<String>, Vec<BoxedEstimator>) = chunk
+        .into_iter()
+        .map(|labeled| (labeled.label, labeled.estimator))
+        .unzip();
+    let wants_preamble_obs: Vec<bool> = estimators
+        .iter()
+        .map(|e| e.wants_preamble_observations())
+        .collect();
+    let any_wants_preamble = wants_preamble_obs.iter().any(|&w| w);
+
+    let mut traces: Vec<EstimatorTrace> = labels
+        .into_iter()
+        .map(|label| EstimatorTrace {
+            label,
+            scored: Vec::new(),
+            estimates: Vec::new(),
+            truths: Vec::new(),
+            per_packet: Vec::new(),
+        })
+        .collect();
+
+    for (k, record) in test_set.packets.iter().enumerate() {
+        let score = k >= options.score_from;
+
+        // The received waveform (and the preamble-based LS estimate derived
+        // from it) is regenerated once per packet, and only when the packet
+        // is decoded or some estimator asked for preamble observations.
+        let regen = if score || any_wants_preamble {
+            let (tx, received) = campaign.received_waveform(combination.test, record.index);
+            let preamble_est = preamble_estimate(&tx, received.as_slice(), eq.channel_taps).ok();
+            Some((tx, received, preamble_est))
+        } else {
+            None
+        };
+        // Synchronisation offset, computed at most once per packet (only
+        // bypass decoding needs it).
+        let mut sync_offset: Option<usize> = None;
+
+        for (i, estimator) in estimators.iter_mut().enumerate() {
+            let trace = &mut traces[i];
+            if score {
+                let (tx, received, preamble_est) =
+                    regen.as_ref().expect("scored packets are regenerated");
+                let request = EstimateRequest {
+                    packet_index: k,
+                    perfect_cir: &record.perfect_cir,
+                    preamble_estimate: preamble_est.as_ref(),
+                    preamble_detected: record.preamble_detected,
+                    frame_index: record.frame_index,
+                    frames: &frames,
+                };
+                match estimator.estimate(&request) {
+                    Estimate::Bypass => {
+                        let offset = *sync_offset.get_or_insert_with(|| {
+                            receiver.synchronize(received.as_slice(), tx).offset
+                        });
+                        let outcome = receiver.decode_standard(&received.as_slice()[offset..], tx);
+                        trace.scored.push(outcome);
+                        trace.per_packet.push(outcome);
+                    }
+                    Estimate::Ready { cir, align_phase } => {
+                        let config = EqualizerConfig {
+                            align_phase: align_phase && eq.align_phase,
+                            ..eq
+                        };
+                        let outcome = decode_with_reference(
+                            &receiver,
+                            tx,
+                            received.as_slice(),
+                            &cir,
+                            preamble_est.as_ref(),
+                            &config,
+                        );
+                        trace.scored.push(outcome);
+                        trace.per_packet.push(outcome);
+                        // Eq.-9 MSE bookkeeping: compare the estimate as it
+                        // was actually used (after alignment) with the
+                        // perfect one.
+                        let aligned = match (config.align_phase, preamble_est.as_ref()) {
+                            (true, Some(reference)) => align_mean_phase(&cir, reference).0,
+                            _ => cir.clone(),
+                        };
+                        trace.estimates.push(aligned);
+                        trace.truths.push(record.perfect_cir.clone());
+                    }
+                    Estimate::Lost => {
+                        let outcome = DecodeOutcome::lost(
+                            tx.psdu_chips().len(),
+                            tx.frame.psdu_symbols().len(),
+                        );
+                        trace.scored.push(outcome);
+                        trace.per_packet.push(outcome);
+                    }
+                    Estimate::Skip => {
+                        // Not scored; recorded as a zero-sized loss so the
+                        // per-packet streams stay aligned across estimators.
+                        trace.per_packet.push(DecodeOutcome::lost(0, 0));
+                    }
+                }
+            }
+
+            let observation = PacketObservation {
+                perfect_cir: &record.perfect_cir,
+                aligned_cir: &record.aligned_cir,
+                preamble_estimate: if wants_preamble_obs[i] {
+                    regen.as_ref().and_then(|(_, _, pre)| pre.as_ref())
+                } else {
+                    None
+                },
+            };
+            estimator.observe(&observation);
+        }
+    }
+
+    traces
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EvalConfig;
+    use vvd_estimation::estimator::{GroundTruth, Previous, Standard};
+
+    fn smoke() -> (Campaign, SetCombination) {
+        let campaign = Campaign::generate(&EvalConfig::smoke());
+        let combo = crate::combinations::combinations_for(campaign.config.n_sets, 1)
+            .into_iter()
+            .next()
+            .unwrap();
+        (campaign, combo)
+    }
+
+    fn run(campaign: &Campaign, combo: &SetCombination, parallel: bool) -> Vec<EstimatorTrace> {
+        let cirs = training_cirs(campaign, combo);
+        let source = CombinationDatasets::new(campaign, combo);
+        let pool = VvdModelPool::new(&campaign.config.vvd, &source);
+        let estimators = vec![
+            LabeledEstimator::new("standard", Box::new(Standard)),
+            LabeledEstimator::new("ground-truth", Box::new(GroundTruth)),
+            LabeledEstimator::new("previous", Box::new(Previous::packets(1))),
+        ];
+        stream_estimators(
+            campaign,
+            combo,
+            estimators,
+            &cirs,
+            &pool,
+            &StreamOptions {
+                score_from: campaign.config.kalman_warmup_packets,
+                parallel,
+            },
+        )
+    }
+
+    #[test]
+    fn traces_are_aligned_and_ordered() {
+        let (campaign, combo) = smoke();
+        let traces = run(&campaign, &combo, false);
+        assert_eq!(traces.len(), 3);
+        assert_eq!(traces[0].label, "standard");
+        let scored_packets =
+            campaign.config.packets_per_set - campaign.config.kalman_warmup_packets;
+        for t in &traces {
+            assert_eq!(t.per_packet.len(), scored_packets);
+        }
+        // Standard decoding decodes everything, produces no estimates.
+        assert_eq!(traces[0].scored.len(), scored_packets);
+        assert!(traces[0].estimates.is_empty());
+        // Ground truth scores everything with estimates.
+        assert_eq!(traces[1].estimates.len(), scored_packets);
+        assert_eq!(traces[1].truths.len(), scored_packets);
+    }
+
+    #[test]
+    fn parallel_streaming_is_bit_identical_to_sequential() {
+        let (campaign, combo) = smoke();
+        let sequential = run(&campaign, &combo, false);
+        let parallel = run(&campaign, &combo, true);
+        assert_eq!(sequential.len(), parallel.len());
+        for (s, p) in sequential.iter().zip(&parallel) {
+            assert_eq!(s.label, p.label);
+            assert_eq!(s.scored, p.scored);
+            assert_eq!(s.per_packet, p.per_packet);
+            assert_eq!(s.estimates.len(), p.estimates.len());
+            for (a, b) in s.estimates.iter().zip(&p.estimates) {
+                assert_eq!(a.taps(), b.taps());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty training set")]
+    fn nominal_energy_rejects_an_empty_training_sequence() {
+        let _ = nominal_energy(&[]);
+    }
+}

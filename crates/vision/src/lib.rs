@@ -15,8 +15,9 @@
 //!   field of view and resolution,
 //! * [`render`] — per-pixel nearest-hit depth rendering into a
 //!   [`DepthImage`],
-//! * [`preprocess`] — the paper's Fig.-7 pipeline: block-average
-//!   downsampling, cropping to the informative region and normalisation.
+//! * [`preprocess`](mod@preprocess) — the paper's Fig.-7 pipeline:
+//!   block-average downsampling, cropping to the informative region and
+//!   normalisation.
 //!
 //! The crate is deliberately independent of `vvd-channel`: the scene is
 //! described by plain geometric structs so that the testbed can build the

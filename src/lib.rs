@@ -9,7 +9,10 @@
 //! * [`channel`] — the geometric indoor multipath channel simulator,
 //! * [`vision`] — the depth-camera simulator and image preprocessing,
 //! * [`nn`] — the from-scratch CNN library,
-//! * [`estimation`] — channel estimation, equalization and metrics,
+//! * [`estimation`] — channel estimation, equalization and metrics, plus
+//!   the first-class `ChannelEstimator` trait and the pluggable
+//!   `EstimatorRegistry` (spec strings like `"kalman:ar=7"` or
+//!   `"fallback:preamble,vvd:current"`),
 //! * [`core`] — the VVD algorithm (depth image → CIR CNN),
 //! * [`testbed`] — the measurement-campaign simulator and the evaluation
 //!   harness reproducing the paper's figures and tables.

@@ -1,0 +1,216 @@
+//! Pipeline parity: the streaming estimator pipeline must reproduce the
+//! metrics of the original (pre-registry) `evaluate_combination` harness
+//! bit for bit, sequentially and in parallel.
+//!
+//! The golden values below were produced by the seed harness — the
+//! monolithic per-technique `match` that this repository shipped before the
+//! estimator API existed — on `EvalConfig::tiny()`, combination 1, all 14
+//! techniques (and the Figs. 16–17 aging sweep on the same combination).
+//! Every floating-point literal is the shortest round-trip representation
+//! of the exact `f64` the seed produced; comparisons are `==`, not
+//! approximate.  All arithmetic involved is IEEE-deterministic, so the
+//! values are independent of optimisation level and thread scheduling.
+
+use std::sync::OnceLock;
+use vvd::estimation::Technique;
+use vvd::testbed::aging::aging_sweep;
+use vvd::testbed::{
+    combinations_for, evaluate_combination_with, Campaign, EvalConfig, EvalOptions,
+};
+
+/// `(label, PER, CER, MSE, scored packets)` per technique, from the seed
+/// harness on the tiny preset.
+const GOLDEN_METRICS: [(&str, f64, f64, Option<f64>, usize); 14] = [
+    ("Standard Decoding", 0.0, 0.137587890625, None, 50),
+    ("Ground Truth", 0.02, 0.1396875, Some(0.0), 50),
+    (
+        "Preamble Based",
+        0.36,
+        0.443662109375,
+        Some(2.58283806210791e-6),
+        50,
+    ),
+    (
+        "Preamble Based-Genie",
+        0.02,
+        0.142744140625,
+        Some(2.55298394499921e-6),
+        50,
+    ),
+    (
+        "100ms Previous",
+        0.18,
+        0.177421875,
+        Some(9.242453679748771e-7),
+        50,
+    ),
+    (
+        "500ms Previous",
+        0.18,
+        0.191318359375,
+        Some(1.0301575003851773e-6),
+        50,
+    ),
+    (
+        "Kalman AR(1)",
+        0.16,
+        0.1687890625,
+        Some(5.784456664929546e-7),
+        50,
+    ),
+    (
+        "Kalman AR(5)",
+        0.14,
+        0.166943359375,
+        Some(5.549432149776709e-7),
+        50,
+    ),
+    (
+        "Kalman AR(20)",
+        0.12,
+        0.173349609375,
+        Some(6.713929935346112e-7),
+        50,
+    ),
+    (
+        "VVD-Current",
+        0.08,
+        0.157607421875,
+        Some(5.343644688177597e-7),
+        50,
+    ),
+    (
+        "VVD-33.3ms Future",
+        0.08,
+        0.15634765625,
+        Some(5.330039928679824e-7),
+        50,
+    ),
+    (
+        "VVD-100ms Future",
+        0.1,
+        0.15658203125,
+        Some(5.335800814020664e-7),
+        50,
+    ),
+    (
+        "Preamble-VVD Combined",
+        0.06,
+        0.14970703125,
+        Some(1.864936452103271e-6),
+        50,
+    ),
+    (
+        "Preamble-Kalman Combined",
+        0.06,
+        0.151318359375,
+        Some(1.8919933468616509e-6),
+        50,
+    ),
+];
+
+/// The seed harness's Fig.-15 time series on the same run, encoded one
+/// character per scored packet: `#`/`B` both decoded (`B` = LoS blocked),
+/// `v` only VVD decoded, `g` only ground truth decoded, `.` neither.
+const GOLDEN_TIME_SERIES: &str = "v####g#######BBBBgBBBg########g###################";
+
+fn tiny_campaign() -> &'static Campaign {
+    static CAMPAIGN: OnceLock<Campaign> = OnceLock::new();
+    CAMPAIGN.get_or_init(|| Campaign::generate(&EvalConfig::tiny()))
+}
+
+#[test]
+fn streaming_pipeline_reproduces_the_seed_harness_exactly() {
+    let campaign = tiny_campaign();
+    let combos = combinations_for(campaign.config.n_sets, campaign.config.n_combinations);
+
+    let sequential = evaluate_combination_with(
+        campaign,
+        &combos[0],
+        &Technique::ALL,
+        &EvalOptions { parallel: false },
+    );
+    let parallel = evaluate_combination_with(
+        campaign,
+        &combos[0],
+        &Technique::ALL,
+        &EvalOptions { parallel: true },
+    );
+
+    // --- Golden metrics, exact ------------------------------------------
+    assert_eq!(sequential.metrics.len(), GOLDEN_METRICS.len());
+    for (label, per, cer, mse, packets) in GOLDEN_METRICS {
+        let m = sequential
+            .metrics
+            .get(label)
+            .unwrap_or_else(|| panic!("missing metrics for {label}"));
+        assert_eq!(m.per, per, "{label}: PER");
+        assert_eq!(m.cer, cer, "{label}: CER");
+        assert_eq!(m.mse, mse, "{label}: MSE");
+        assert_eq!(m.packets, packets, "{label}: packets");
+    }
+
+    // --- Golden time series, exact --------------------------------------
+    let encoded: String = sequential
+        .time_series
+        .iter()
+        .map(|p| match (p.vvd_success, p.ground_truth_success) {
+            (true, true) if p.los_blocked => 'B',
+            (true, true) => '#',
+            (true, false) => 'v',
+            (false, true) => 'g',
+            (false, false) => '.',
+        })
+        .collect();
+    assert_eq!(encoded, GOLDEN_TIME_SERIES);
+
+    // --- Parallel execution is bit-identical ----------------------------
+    assert_eq!(sequential.metrics, parallel.metrics);
+    assert_eq!(sequential.time_series, parallel.time_series);
+    assert_eq!(sequential.vvd_reports, parallel.vvd_reports);
+
+    // --- Determinism: a second parallel run repeats itself --------------
+    let parallel_again = evaluate_combination_with(
+        campaign,
+        &combos[0],
+        &Technique::ALL,
+        &EvalOptions { parallel: true },
+    );
+    assert_eq!(parallel.metrics, parallel_again.metrics);
+    assert_eq!(parallel.time_series, parallel_again.time_series);
+}
+
+#[test]
+fn aging_sweep_reproduces_the_seed_harness_exactly() {
+    let campaign = tiny_campaign();
+    let combos = combinations_for(campaign.config.n_sets, campaign.config.n_combinations);
+    let curves = aging_sweep(
+        campaign,
+        &combos[0],
+        &[0.0, 0.5, 2.0],
+        &[Technique::PreambleBasedGenie, Technique::VvdCurrent],
+    );
+    assert_eq!(curves.len(), 2);
+
+    assert_eq!(curves[0].technique, Technique::PreambleBasedGenie);
+    assert_eq!(
+        curves[0].mse,
+        vec![
+            2.5183091604641155e-6,
+            3.92600874580797e-6,
+            3.9647119016940344e-6
+        ]
+    );
+    assert_eq!(curves[0].per, vec![0.0, 0.525, 0.525]);
+
+    assert_eq!(curves[1].technique, Technique::VvdCurrent);
+    assert_eq!(
+        curves[1].mse,
+        vec![
+            5.522000957253948e-7,
+            5.514302529961391e-7,
+            5.472300170829033e-7
+        ]
+    );
+    assert_eq!(curves[1].per, vec![0.075, 0.1, 0.1]);
+}

@@ -1,7 +1,8 @@
 //! Offline, API-compatible subset of `proptest`.
 //!
 //! Covers what the VVD workspace's property tests use: the [`proptest!`]
-//! macro, range/tuple/collection strategies, [`Strategy::prop_map`],
+//! macro, range/tuple/collection strategies,
+//! [`Strategy::prop_map`](strategy::Strategy::prop_map),
 //! `any::<T>()`, `prop::sample::Index`, `prop_assert*` / `prop_assume` and
 //! [`ProptestConfig::with_cases`].
 //!
