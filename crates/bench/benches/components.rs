@@ -65,7 +65,7 @@ fn bench_channel_and_vision(c: &mut Criterion) {
         b.iter(|| synth.cir(&Human::at(3.5, 2.5), &mut rng))
     });
     let camera = build_camera(&room);
-    let scene = build_scene(&room, Some((4.0, 3.0)));
+    let scene = build_scene(&room, &[(4.0, 3.0)]);
     c.bench_function("vision/render_depth_108x72", |b| {
         b.iter(|| render_depth(&scene, &camera))
     });

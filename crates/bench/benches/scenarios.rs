@@ -1,0 +1,64 @@
+//! Scenario sweep: the paper's techniques beyond the paper's room.
+//!
+//! Runs a (scenario × estimator) grid through `run_scenario_sweep`: the
+//! `"paper"` baseline next to a large-hall crowd, Rician fading with
+//! Doppler memory, and an in-set SNR ramp — one campaign each, every
+//! estimator spec streamed through every set combination.  The VVD rows
+//! are the interesting ones: on `rician:…` the camera is blind to the
+//! channel dynamics (the sweep flags those cells), so the CNN degrades to
+//! predicting the mean channel while Kalman tracks the Doppler process —
+//! the built-in ablation of the paper's central hypothesis.
+
+use vvd_bench::{bench_config, print_header};
+use vvd_testbed::report::format_box_row;
+use vvd_testbed::run_scenario_sweep;
+use vvd_testbed::EvalOptions;
+
+/// The swept scenarios: the paper's baseline plus the three new families.
+const SCENARIOS: [&str; 4] = [
+    "paper",
+    "room:large,humans=4,speed=1.5",
+    "rician:k=6,doppler=30",
+    "paper+snr-sweep:from=-10,to=0",
+];
+
+/// Estimator spec per family of interest (PER rows of the sweep table).
+const ESTIMATORS: [&str; 6] = [
+    "standard",
+    "ground-truth",
+    "preamble",
+    "kalman:ar=20",
+    "vvd:current",
+    "fallback:preamble,vvd:current",
+];
+
+fn main() {
+    print_header(
+        "Scenario sweep",
+        "PER of selected techniques across channel scenarios (paper room, crowd, Rician, SNR ramp)",
+    );
+    let mut cfg = bench_config();
+    cfg.n_combinations = cfg.n_combinations.min(2);
+
+    let outcomes = run_scenario_sweep(&cfg, &SCENARIOS, &ESTIMATORS, &EvalOptions::default())
+        .expect("built-in sweep specs are valid");
+
+    for outcome in &outcomes {
+        println!(
+            "\nscenario: {}{}",
+            outcome.scenario,
+            if outcome.camera_blind {
+                "   [camera-blind: VVD rows can only learn the mean channel]"
+            } else {
+                ""
+            }
+        );
+        println!(
+            "{:<28} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+            "estimator (PER)", "min", "q1", "median", "q3", "max", "mean"
+        );
+        for (label, stats) in &outcome.summary.per {
+            println!("{}", format_box_row(label, stats));
+        }
+    }
+}

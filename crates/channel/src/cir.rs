@@ -120,23 +120,38 @@ impl CirSynthesizer {
     /// (no diffuse residual) — what a perfect geometry-aware oracle could
     /// predict from the camera image alone.
     pub fn deterministic_cir(&self, human: &Human) -> FirFilter {
+        self.deterministic_cir_for(std::slice::from_ref(human))
+    }
+
+    /// [`deterministic_cir`](Self::deterministic_cir) generalised to any
+    /// blocker population: every static component is attenuated by the
+    /// *product* of the per-blocker shadowing factors, and each blocker
+    /// contributes its own TX → body → RX scatter bounce.  With a single
+    /// blocker this is bit-identical to the single-human path (the crowd
+    /// scenarios are strict supersets of the paper's model).
+    pub fn deterministic_cir_for(&self, humans: &[Human]) -> FirFilter {
         let cfg = &self.config;
         let los_len = self.room.los_distance();
         let mut taps = CVec::zeros(cfg.n_taps);
 
         for component in &self.static_paths {
-            let factor = blockage_factor(component, human);
+            let factor = humans
+                .iter()
+                .fold(1.0, |f, human| f * blockage_factor(component, human));
             let amp = component.gain.scale(factor);
             let pos =
                 cfg.los_tap as f64 + component.excess_length(los_len) * cfg.delay_taps_per_meter;
             Self::place(&mut taps, amp, pos);
         }
 
-        // Dynamic bounce off the human body itself.
-        let scatter =
-            human_scatter_path(&self.room, human.x, human.y, cfg.human_scatter_reflectivity);
-        let pos = cfg.los_tap as f64 + scatter.excess_length(los_len) * cfg.delay_taps_per_meter;
-        Self::place(&mut taps, scatter.gain, pos);
+        // Dynamic bounces off the blockers' bodies themselves.
+        for human in humans {
+            let scatter =
+                human_scatter_path(&self.room, human.x, human.y, cfg.human_scatter_reflectivity);
+            let pos =
+                cfg.los_tap as f64 + scatter.excess_length(los_len) * cfg.delay_taps_per_meter;
+            Self::place(&mut taps, scatter.gain, pos);
+        }
 
         FirFilter::new(taps)
     }
@@ -144,8 +159,14 @@ impl CirSynthesizer {
     /// A full per-packet channel realisation: deterministic part plus the
     /// diffuse stochastic residual drawn from `rng`.
     pub fn cir<R: Rng + ?Sized>(&self, human: &Human, rng: &mut R) -> FirFilter {
+        self.cir_for(std::slice::from_ref(human), rng)
+    }
+
+    /// [`cir`](Self::cir) generalised to any blocker population (see
+    /// [`deterministic_cir_for`](Self::deterministic_cir_for)).
+    pub fn cir_for<R: Rng + ?Sized>(&self, humans: &[Human], rng: &mut R) -> FirFilter {
         let cfg = &self.config;
-        let deterministic = self.deterministic_cir(human);
+        let deterministic = self.deterministic_cir_for(humans);
         let peak = deterministic.taps().max_abs();
         let normal = Normal::new(0.0, 1.0).expect("valid normal");
         let mut taps = deterministic.into_taps();
@@ -250,6 +271,54 @@ mod tests {
         let nominal = s.nominal_cir();
         let blocked = s.deterministic_cir(&Human::at(4.0, 3.0));
         assert!(nominal.energy() > blocked.energy());
+    }
+
+    #[test]
+    fn single_blocker_slice_matches_single_human_path() {
+        let s = synth();
+        let h = Human::at(3.1, 2.9);
+        assert_eq!(
+            s.deterministic_cir(&h).taps(),
+            s.deterministic_cir_for(&[h]).taps()
+        );
+        let mut rng_a = StdRng::seed_from_u64(99);
+        let mut rng_b = StdRng::seed_from_u64(99);
+        assert_eq!(
+            s.cir(&h, &mut rng_a).taps(),
+            s.cir_for(&[h], &mut rng_b).taps()
+        );
+    }
+
+    #[test]
+    fn extra_blockers_only_remove_deterministic_energy_from_static_paths() {
+        // A second person standing on the LoS drains energy compared to the
+        // same scene without them (their own scatter bounce is far weaker
+        // than what body shadowing removes).
+        let s = synth();
+        let bystander = Human::at(2.2, 4.5); // away from every path
+        let on_los = Human::at(4.0, 3.0);
+        let one = s.deterministic_cir_for(&[bystander]);
+        let two = s.deterministic_cir_for(&[bystander, on_los]);
+        assert!(
+            two.energy() < 0.7 * one.energy(),
+            "crowding the LoS should shadow it: {} vs {}",
+            two.energy(),
+            one.energy()
+        );
+    }
+
+    #[test]
+    fn empty_population_is_the_unobstructed_room() {
+        let s = synth();
+        let empty = s.deterministic_cir_for(&[]);
+        // No blockage and no body scatter: strictly the static paths.
+        assert_eq!(empty.len(), 11);
+        assert!(empty.energy() > 0.0);
+        let clear = s.deterministic_cir(&Human::at(-100.0, -100.0));
+        // The parked human of `nominal_cir` still contributes a (tiny)
+        // scatter bounce, so the two differ — but only marginally.
+        let rel = empty.taps().squared_error(clear.taps()) / clear.energy();
+        assert!(rel < 1e-4, "rel {rel}");
     }
 
     #[test]

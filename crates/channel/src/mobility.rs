@@ -1,0 +1,341 @@
+//! Mobility models for the blocker population.
+//!
+//! The paper constrains its single human to a movement area that the camera
+//! fully covers (Fig. 2) and keeps them "always mobile during the
+//! measurements".  A random-waypoint process over that area with pedestrian
+//! speeds captures both properties; [`Crowd`] generalises it to several
+//! independent walkers for the multi-human scenarios, and
+//! [`MobilityTrace`] replays a pre-recorded position sequence (e.g. a
+//! captured trajectory) instead of sampling one.
+//!
+//! This module used to live in `vvd-testbed`; it moved here so that
+//! [`ChannelScenario`](crate::scenario::ChannelScenario) implementations can
+//! drive blocker movement without depending on the evaluation harness.
+
+use crate::room::Room;
+use rand::Rng;
+
+/// Pedestrian speed range of the paper's single human (m/s).
+const PEDESTRIAN_SPEED_RANGE: (f64, f64) = (0.4, 1.4);
+
+/// A random-waypoint trajectory generator over the room's movement area.
+#[derive(Debug, Clone)]
+pub struct RandomWaypoint {
+    area: [f64; 4],
+    min_speed: f64,
+    max_speed: f64,
+    position: (f64, f64),
+    target: (f64, f64),
+    speed: f64,
+}
+
+impl RandomWaypoint {
+    /// Creates a generator for the room's movement area with pedestrian
+    /// speeds (0.4–1.4 m/s).
+    pub fn new<R: Rng + ?Sized>(room: &Room, rng: &mut R) -> Self {
+        let (min, max) = PEDESTRIAN_SPEED_RANGE;
+        Self::with_speed_range(room, min, max, rng)
+    }
+
+    /// Creates a generator with an explicit speed range (m/s); used by the
+    /// crowd scenarios to scale walking speed.
+    ///
+    /// # Panics
+    /// Panics unless `0 < min_speed < max_speed`.
+    pub fn with_speed_range<R: Rng + ?Sized>(
+        room: &Room,
+        min_speed: f64,
+        max_speed: f64,
+        rng: &mut R,
+    ) -> Self {
+        assert!(
+            0.0 < min_speed && min_speed < max_speed,
+            "invalid speed range [{min_speed}, {max_speed}]"
+        );
+        let area = room.movement_area;
+        let position = Self::sample_point(area, rng);
+        let target = Self::sample_point(area, rng);
+        let mut walker = RandomWaypoint {
+            area,
+            min_speed,
+            max_speed,
+            position,
+            target,
+            speed: 0.0,
+        };
+        walker.speed = walker.sample_speed(rng);
+        walker
+    }
+
+    fn sample_point<R: Rng + ?Sized>(area: [f64; 4], rng: &mut R) -> (f64, f64) {
+        let [x0, x1, y0, y1] = area;
+        (rng.gen_range(x0..x1), rng.gen_range(y0..y1))
+    }
+
+    fn sample_speed<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        rng.gen_range(self.min_speed..self.max_speed)
+    }
+
+    /// Current position.
+    pub fn position(&self) -> (f64, f64) {
+        self.position
+    }
+
+    /// Advances the walker by `dt` seconds, picking a new waypoint whenever
+    /// the current one is reached.
+    pub fn step<R: Rng + ?Sized>(&mut self, dt: f64, rng: &mut R) -> (f64, f64) {
+        let mut remaining = dt * self.speed;
+        while remaining > 0.0 {
+            let dx = self.target.0 - self.position.0;
+            let dy = self.target.1 - self.position.1;
+            let dist = (dx * dx + dy * dy).sqrt();
+            if dist <= remaining {
+                self.position = self.target;
+                remaining -= dist;
+                self.target = Self::sample_point(self.area, rng);
+                self.speed = self.sample_speed(rng);
+            } else {
+                self.position.0 += dx / dist * remaining;
+                self.position.1 += dy / dist * remaining;
+                remaining = 0.0;
+            }
+        }
+        self.position
+    }
+
+    /// Generates positions sampled every `dt` seconds for `steps` steps
+    /// (including the starting position as the first sample).
+    pub fn trajectory<R: Rng + ?Sized>(
+        &mut self,
+        dt: f64,
+        steps: usize,
+        rng: &mut R,
+    ) -> Vec<(f64, f64)> {
+        let mut out = Vec::with_capacity(steps);
+        out.push(self.position);
+        for _ in 1..steps {
+            out.push(self.step(dt, rng));
+        }
+        out
+    }
+}
+
+/// Several independent random-waypoint walkers sharing one movement area —
+/// the blocker population of the multi-human crowd scenarios.
+#[derive(Debug, Clone)]
+pub struct Crowd {
+    walkers: Vec<RandomWaypoint>,
+}
+
+impl Crowd {
+    /// Creates `n` walkers inside the room's movement area.  `speed_scale`
+    /// multiplies the pedestrian speed range (1.0 = the paper's 0.4–1.4
+    /// m/s); walkers are initialised in index order from `rng`, so crowds
+    /// are deterministic per seed.
+    pub fn new<R: Rng + ?Sized>(room: &Room, n: usize, speed_scale: f64, rng: &mut R) -> Self {
+        assert!(speed_scale > 0.0, "speed scale must be positive");
+        let (min, max) = PEDESTRIAN_SPEED_RANGE;
+        let walkers = (0..n)
+            .map(|_| {
+                RandomWaypoint::with_speed_range(room, min * speed_scale, max * speed_scale, rng)
+            })
+            .collect();
+        Crowd { walkers }
+    }
+
+    /// Number of walkers.
+    pub fn len(&self) -> usize {
+        self.walkers.len()
+    }
+
+    /// `true` when the crowd has no walkers.
+    pub fn is_empty(&self) -> bool {
+        self.walkers.is_empty()
+    }
+
+    /// Current positions, in walker order.
+    pub fn positions(&self) -> Vec<(f64, f64)> {
+        self.walkers.iter().map(|w| w.position()).collect()
+    }
+
+    /// Advances every walker by `dt` seconds (in walker order) and returns
+    /// the new positions.
+    pub fn step<R: Rng + ?Sized>(&mut self, dt: f64, rng: &mut R) -> Vec<(f64, f64)> {
+        self.walkers.iter_mut().map(|w| w.step(dt, rng)).collect()
+    }
+
+    /// Samples the crowd trajectory every `dt` seconds for `steps` samples
+    /// (the current positions are the first sample).  Each sample lists the
+    /// walker positions in walker order, so element `j` of consecutive
+    /// samples tracks the same person.
+    pub fn trajectory<R: Rng + ?Sized>(
+        &mut self,
+        dt: f64,
+        steps: usize,
+        rng: &mut R,
+    ) -> Vec<Vec<(f64, f64)>> {
+        let mut out = Vec::with_capacity(steps);
+        out.push(self.positions());
+        for _ in 1..steps {
+            out.push(self.step(dt, rng));
+        }
+        out
+    }
+}
+
+/// A pre-recorded mobility trace replayed sample by sample.
+///
+/// Each snapshot lists the blocker positions at one sample instant; the
+/// trace loops when it is shorter than the requested trajectory, so short
+/// captured segments can drive arbitrarily long measurement sets.
+#[derive(Debug, Clone)]
+pub struct MobilityTrace {
+    snapshots: Vec<Vec<(f64, f64)>>,
+}
+
+impl MobilityTrace {
+    /// Wraps a recorded sequence of blocker-position snapshots.
+    ///
+    /// # Panics
+    /// Panics when the trace is empty — replaying nothing is a caller bug.
+    pub fn new(snapshots: Vec<Vec<(f64, f64)>>) -> Self {
+        assert!(!snapshots.is_empty(), "a mobility trace needs ≥ 1 snapshot");
+        MobilityTrace { snapshots }
+    }
+
+    /// Number of recorded snapshots.
+    pub fn len(&self) -> usize {
+        self.snapshots.len()
+    }
+
+    /// `true` when the trace has no snapshots (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.snapshots.is_empty()
+    }
+
+    /// The snapshot at `index`, looping past the end of the trace.
+    pub fn snapshot(&self, index: usize) -> &[(f64, f64)] {
+        &self.snapshots[index % self.snapshots.len()]
+    }
+
+    /// Materialises `steps` snapshots starting at the beginning of the
+    /// trace, looping as needed.
+    pub fn trajectory(&self, steps: usize) -> Vec<Vec<(f64, f64)>> {
+        (0..steps).map(|i| self.snapshot(i).to_vec()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn positions_stay_inside_the_movement_area() {
+        let room = Room::laboratory();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut walker = RandomWaypoint::new(&room, &mut rng);
+        let [x0, x1, y0, y1] = room.movement_area;
+        for _ in 0..2000 {
+            let (x, y) = walker.step(1.0 / 30.0, &mut rng);
+            assert!((x0 - 1e-9..=x1 + 1e-9).contains(&x));
+            assert!((y0 - 1e-9..=y1 + 1e-9).contains(&y));
+        }
+    }
+
+    #[test]
+    fn walker_actually_moves() {
+        let room = Room::laboratory();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut walker = RandomWaypoint::new(&room, &mut rng);
+        let start = walker.position();
+        let traj = walker.trajectory(1.0 / 30.0, 300, &mut rng);
+        let total: f64 = traj
+            .windows(2)
+            .map(|w| ((w[1].0 - w[0].0).powi(2) + (w[1].1 - w[0].1).powi(2)).sqrt())
+            .sum();
+        assert!(total > 1.0, "walker moved only {total} m in 10 s");
+        assert_eq!(traj[0], start);
+    }
+
+    #[test]
+    fn per_step_displacement_is_bounded_by_max_speed() {
+        let room = Room::laboratory();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut walker = RandomWaypoint::new(&room, &mut rng);
+        let dt = 0.1;
+        let traj = walker.trajectory(dt, 500, &mut rng);
+        for w in traj.windows(2) {
+            let d = ((w[1].0 - w[0].0).powi(2) + (w[1].1 - w[0].1).powi(2)).sqrt();
+            assert!(d <= 1.4 * dt + 1e-9, "step displacement {d}");
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_trajectories() {
+        let room = Room::laboratory();
+        let mut rng_a = StdRng::seed_from_u64(10);
+        let mut rng_b = StdRng::seed_from_u64(11);
+        let mut wa = RandomWaypoint::new(&room, &mut rng_a);
+        let mut wb = RandomWaypoint::new(&room, &mut rng_b);
+        let ta = wa.trajectory(0.1, 50, &mut rng_a);
+        let tb = wb.trajectory(0.1, 50, &mut rng_b);
+        assert_ne!(ta, tb);
+    }
+
+    #[test]
+    fn speed_scaled_walkers_respect_the_scaled_bound() {
+        let room = Room::laboratory();
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut fast = RandomWaypoint::with_speed_range(&room, 0.8, 2.8, &mut rng);
+        let dt = 0.1;
+        let traj = fast.trajectory(dt, 300, &mut rng);
+        for w in traj.windows(2) {
+            let d = ((w[1].0 - w[0].0).powi(2) + (w[1].1 - w[0].1).powi(2)).sqrt();
+            assert!(d <= 2.8 * dt + 1e-9, "step displacement {d}");
+        }
+    }
+
+    #[test]
+    fn crowd_tracks_each_walker_consistently() {
+        let room = Room::laboratory();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut crowd = Crowd::new(&room, 4, 1.0, &mut rng);
+        assert_eq!(crowd.len(), 4);
+        let traj = crowd.trajectory(0.1, 100, &mut rng);
+        assert_eq!(traj.len(), 100);
+        for snap in &traj {
+            assert_eq!(snap.len(), 4);
+        }
+        // Element j of consecutive snapshots moves at pedestrian speed.
+        for pair in traj.windows(2) {
+            for (j, (before, after)) in pair[0].iter().zip(&pair[1]).enumerate() {
+                let d = ((after.0 - before.0).powi(2) + (after.1 - before.1).powi(2)).sqrt();
+                assert!(d <= 1.4 * 0.1 + 1e-9, "walker {j} jumped {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_crowd_is_a_valid_population() {
+        let room = Room::laboratory();
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut crowd = Crowd::new(&room, 0, 1.0, &mut rng);
+        assert!(crowd.is_empty());
+        let traj = crowd.trajectory(0.1, 10, &mut rng);
+        assert!(traj.iter().all(|s| s.is_empty()));
+    }
+
+    #[test]
+    fn traces_loop_past_their_end() {
+        let trace = MobilityTrace::new(vec![vec![(1.0, 1.0)], vec![(2.0, 2.0)]]);
+        assert_eq!(trace.len(), 2);
+        assert!(!trace.is_empty());
+        let traj = trace.trajectory(5);
+        assert_eq!(traj[0], vec![(1.0, 1.0)]);
+        assert_eq!(traj[1], vec![(2.0, 2.0)]);
+        assert_eq!(traj[2], vec![(1.0, 1.0)]);
+        assert_eq!(traj[4], vec![(1.0, 1.0)]);
+    }
+}

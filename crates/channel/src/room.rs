@@ -98,6 +98,93 @@ impl Room {
         }
     }
 
+    /// A small office: 5 m × 4 m, TX and RX 3.4 m apart, two scatterers.
+    /// The short LoS makes body shadowing events rarer but deeper (the
+    /// blocker occupies a larger fraction of the first Fresnel zone).
+    pub fn small_office() -> Self {
+        Room {
+            width: 5.0,
+            depth: 4.0,
+            height: 2.8,
+            tx: Point3::new(0.8, 2.0, 1.0),
+            rx: Point3::new(4.2, 2.0, 1.0),
+            camera: Point3::new(2.5, 0.2, 2.4),
+            camera_target: Point3::new(2.5, 2.4, 1.0),
+            wall_reflectivity: 0.6,
+            scatterers: vec![
+                Scatterer {
+                    position: Point3::new(1.4, 3.4, 0.7),
+                    reflectivity: 0.5,
+                    half_extent: 0.3,
+                    height: 1.3,
+                },
+                Scatterer {
+                    position: Point3::new(3.8, 0.8, 0.6),
+                    reflectivity: 0.45,
+                    half_extent: 0.25,
+                    height: 1.1,
+                },
+            ],
+            movement_area: [1.2, 3.8, 1.0, 3.2],
+        }
+    }
+
+    /// A large hall: 14 m × 10 m, TX and RX 11 m apart, six scatterers.
+    /// The long LoS crosses a big movement area, so several people can
+    /// shadow different multipath components at once — the crowd scenarios
+    /// default to this geometry.
+    pub fn large_hall() -> Self {
+        Room {
+            width: 14.0,
+            depth: 10.0,
+            height: 4.5,
+            tx: Point3::new(1.5, 5.0, 1.2),
+            rx: Point3::new(12.5, 5.0, 1.2),
+            camera: Point3::new(7.0, 0.4, 3.8),
+            camera_target: Point3::new(7.0, 6.0, 1.0),
+            wall_reflectivity: 0.5,
+            scatterers: vec![
+                Scatterer {
+                    position: Point3::new(3.0, 8.8, 0.9),
+                    reflectivity: 0.5,
+                    half_extent: 0.4,
+                    height: 1.6,
+                },
+                Scatterer {
+                    position: Point3::new(11.0, 8.5, 0.8),
+                    reflectivity: 0.48,
+                    half_extent: 0.35,
+                    height: 1.4,
+                },
+                Scatterer {
+                    position: Point3::new(7.2, 1.4, 0.7),
+                    reflectivity: 0.42,
+                    half_extent: 0.35,
+                    height: 1.2,
+                },
+                Scatterer {
+                    position: Point3::new(12.8, 2.0, 1.0),
+                    reflectivity: 0.45,
+                    half_extent: 0.3,
+                    height: 1.7,
+                },
+                Scatterer {
+                    position: Point3::new(2.2, 1.6, 0.8),
+                    reflectivity: 0.4,
+                    half_extent: 0.3,
+                    height: 1.3,
+                },
+                Scatterer {
+                    position: Point3::new(9.5, 9.0, 0.9),
+                    reflectivity: 0.44,
+                    half_extent: 0.35,
+                    height: 1.5,
+                },
+            ],
+            movement_area: [2.5, 11.5, 2.2, 8.0],
+        }
+    }
+
     /// Line-of-sight distance between transmitter and receiver.
     pub fn los_distance(&self) -> f64 {
         self.tx.distance(self.rx)
@@ -127,9 +214,7 @@ impl Room {
 mod tests {
     use super::*;
 
-    #[test]
-    fn laboratory_is_self_consistent() {
-        let room = Room::laboratory();
+    fn assert_self_consistent(room: &Room) {
         assert!(room.contains(room.tx));
         assert!(room.contains(room.rx));
         assert!(room.contains(room.camera));
@@ -137,10 +222,29 @@ mod tests {
             assert!(room.contains(s.position), "scatterer outside room");
             assert!((0.0..=1.0).contains(&s.reflectivity));
         }
-        assert!((room.los_distance() - 6.0).abs() < 1e-12);
         let [x0, x1, y0, y1] = room.movement_area;
         assert!(x0 < x1 && y0 < y1);
         assert!(x1 <= room.width && y1 <= room.depth);
+    }
+
+    #[test]
+    fn laboratory_is_self_consistent() {
+        let room = Room::laboratory();
+        assert_self_consistent(&room);
+        assert!((room.los_distance() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn preset_rooms_are_self_consistent_and_ordered_by_size() {
+        let small = Room::small_office();
+        let lab = Room::laboratory();
+        let large = Room::large_hall();
+        for room in [&small, &lab, &large] {
+            assert_self_consistent(room);
+        }
+        assert!(small.los_distance() < lab.los_distance());
+        assert!(lab.los_distance() < large.los_distance());
+        assert!(small.width * small.depth < large.width * large.depth);
     }
 
     #[test]

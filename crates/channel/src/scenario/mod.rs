@@ -1,0 +1,144 @@
+//! The pluggable scenario engine.
+//!
+//! A [`ChannelScenario`] bundles everything that defines one measurement
+//! environment — room geometry, blocker population and mobility, fading
+//! model, noise overlays — behind a stateful, streaming trait, mirroring
+//! the estimator side's `ChannelEstimator`/`EstimatorRegistry` design: the
+//! campaign simulator in `vvd-testbed` drives *any* scenario, and the
+//! [`ScenarioRegistry`] builds one from a spec string such as
+//!
+//! ```text
+//! paper                              the paper's laboratory (default)
+//! room:large,humans=4,speed=1.5      crowd of 4 in a 14 m hall, 1.5× speed
+//! rician:k=6,doppler=30              stochastic Rician fading, 30 Hz Doppler
+//! rayleigh:doppler=10                Rayleigh fading, 10 Hz Doppler
+//! paper+burst-noise:p=0.01,db=10     composable overlays, left to right
+//! paper+snr-sweep:from=-10,to=0      per-set SNR ramp
+//! ```
+//!
+//! The grammar is `base(+overlay)*`; [`spec::ScenarioSpec`] is the typed
+//! form with a round-tripping `Display`/`FromStr` pair, and custom bases or
+//! overlays register factories on the registry without touching any
+//! harness code (see `examples/custom_scenario.rs`).
+//!
+//! # Streaming contract
+//!
+//! A scenario instance is driven one measurement set at a time:
+//!
+//! 1. [`begin_set`](ChannelScenario::begin_set) resets per-set state and
+//!    samples the blocker trajectory at the camera frame rate — one
+//!    snapshot (a list of `(x, y)` blocker positions) per frame.  The
+//!    harness renders depth images from these snapshots and interpolates
+//!    them at packet transmission times.
+//! 2. [`packet_channel`](ChannelScenario::packet_channel) is called once
+//!    per packet, in transmission order, and produces the packet's
+//!    block-fading [`PacketChannel`].  Stateful fading models (Doppler
+//!    processes, noise bursts) advance here.
+//!
+//! All randomness flows through the caller's RNG so a `(seed, spec)` pair
+//! reproduces a campaign exactly; scenarios must not keep their own
+//! entropy sources.
+
+use crate::room::Room;
+use rand::{Rng, RngCore};
+use vvd_dsp::FirFilter;
+
+pub mod overlay;
+pub mod paper;
+pub mod registry;
+pub mod spec;
+pub mod stochastic;
+
+pub use overlay::{BurstNoise, SnrOffset, SnrSweep};
+pub use paper::{PaperScenario, RoomScenario};
+pub use registry::{ScenarioRegistry, SpecParseError};
+pub use spec::{BaseSpec, OverlaySpec, RoomSize, ScenarioSpec};
+pub use stochastic::StochasticScenario;
+
+/// Positions of every blocker at one sample instant, in blocker order
+/// (element `j` of consecutive snapshots tracks the same person; empty for
+/// scenarios without physical blockers).
+pub type BlockerSnapshot = Vec<(f64, f64)>;
+
+/// Everything a scenario decides about one transmitted packet.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PacketChannel {
+    /// The block-fading FIR channel of the packet.
+    pub fir: FirFilter,
+    /// Crystal-induced mean phase offset (radians), constant over the
+    /// packet and random across packets.
+    pub phase_offset: f64,
+    /// Multiplier on the campaign's calibrated receiver-noise standard
+    /// deviation: `1.0` is the nominal operating SNR, `> 1.0` degrades it
+    /// (overlays such as `burst-noise` and `snr-sweep` modulate this).
+    pub noise_scale: f64,
+}
+
+/// A stateful, streaming channel scenario: room geometry + blocker
+/// population + fading/noise overlay → per-packet channel realisations.
+///
+/// See the [module docs](self) for the streaming contract.  Implementations
+/// must be deterministic given the caller's RNG stream.
+pub trait ChannelScenario: Send {
+    /// The canonical spec string of this scenario instance (used as the
+    /// campaign label and in sweep reports).
+    fn spec(&self) -> String;
+
+    /// The room geometry shared by the radio and depth-camera simulators.
+    fn room(&self) -> &Room;
+
+    /// The nominal (unobstructed) channel, used by the harness to calibrate
+    /// the receiver noise floor for a target SNR before any packet is
+    /// generated.
+    fn nominal_cir(&self) -> FirFilter;
+
+    /// Starts a new measurement set: resets per-set state and returns the
+    /// blocker trajectory sampled every `dt` seconds for `steps` samples.
+    /// Scenarios without physical blockers return `steps` empty snapshots.
+    fn begin_set(&mut self, dt: f64, steps: usize, rng: &mut dyn RngCore) -> Vec<BlockerSnapshot>;
+
+    /// The channel of the next packet, transmitted at `time_s` (seconds
+    /// since the start of the set) while the blockers stand at `blockers`
+    /// (interpolated from the [`begin_set`](Self::begin_set) trajectory).
+    fn packet_channel(
+        &mut self,
+        time_s: f64,
+        blockers: &[(f64, f64)],
+        rng: &mut dyn RngCore,
+    ) -> PacketChannel;
+}
+
+/// Draws the crystal-induced mean phase offset of one packet (Sec. 3.1):
+/// uniform over [−π, π), constant within a packet and independent across
+/// packets.  Every built-in scenario models the sensor crystals this way;
+/// custom scenarios simulating the same hardware should reuse it so the
+/// phase model cannot silently diverge between scenario families.
+pub fn crystal_phase(rng: &mut dyn RngCore) -> f64 {
+    rng.gen_range(-std::f64::consts::PI..std::f64::consts::PI)
+}
+
+/// A heap-allocated scenario, as built by the registry.
+pub type BoxedScenario = Box<dyn ChannelScenario>;
+
+impl ChannelScenario for BoxedScenario {
+    fn spec(&self) -> String {
+        (**self).spec()
+    }
+    fn room(&self) -> &Room {
+        (**self).room()
+    }
+    fn nominal_cir(&self) -> FirFilter {
+        (**self).nominal_cir()
+    }
+    fn begin_set(&mut self, dt: f64, steps: usize, rng: &mut dyn RngCore) -> Vec<BlockerSnapshot> {
+        (**self).begin_set(dt, steps, rng)
+    }
+    fn packet_channel(
+        &mut self,
+        time_s: f64,
+        blockers: &[(f64, f64)],
+        rng: &mut dyn RngCore,
+    ) -> PacketChannel {
+        (**self).packet_channel(time_s, blockers, rng)
+    }
+}

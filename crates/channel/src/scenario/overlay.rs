@@ -1,0 +1,331 @@
+//! Composable scenario overlays (`+burst-noise:…`, `+snr-offset:…`,
+//! `+snr-sweep:…`).
+//!
+//! An overlay wraps any [`ChannelScenario`] and transforms its per-packet
+//! output — today the noise dimension, via
+//! [`PacketChannel::noise_scale`] — while delegating geometry, blockers
+//! and fading untouched.  Overlays stack left to right
+//! (`paper+snr-offset:db=-3+burst-noise:p=0.05` raises the noise floor
+//! 3 dB and then adds bursts), and custom overlays register on the
+//! [`ScenarioRegistry`](crate::scenario::registry::ScenarioRegistry) the
+//! same way custom bases do.
+//!
+//! Overlays draw their randomness from the caller's RNG *after* delegating
+//! to the inner scenario, so a wrapped scenario remains deterministic per
+//! `(seed, spec)` — but note that inserting an overlay changes the stream
+//! the inner scenario sees for subsequent packets only when the overlay
+//! draws (only `burst-noise` does).
+
+use crate::room::Room;
+use crate::scenario::spec::OverlaySpec;
+use crate::scenario::{BlockerSnapshot, BoxedScenario, ChannelScenario, PacketChannel};
+use rand::{Rng, RngCore};
+use vvd_dsp::FirFilter;
+
+/// Converts a power ratio in dB to the matching *amplitude* (standard
+/// deviation) factor.
+fn db_to_amplitude(db: f64) -> f64 {
+    10f64.powf(db / 20.0)
+}
+
+/// Gilbert–Elliott noise bursts on top of any scenario.
+///
+/// Each packet outside a burst enters one with probability `p`; inside a
+/// burst the noise standard deviation is multiplied by `10^(extra_db/20)`
+/// and the burst ends with probability [`BurstNoise::EXIT_PROBABILITY`]
+/// per packet (mean burst length 4 packets).  Models the co-channel
+/// interference bursts that the paper's 8 MHz offset from Wi-Fi could not
+/// fully suppress.
+pub struct BurstNoise {
+    inner: BoxedScenario,
+    p: f64,
+    extra_db: f64,
+    in_burst: bool,
+}
+
+impl BurstNoise {
+    /// Per-packet probability that an ongoing burst ends.
+    pub const EXIT_PROBABILITY: f64 = 0.25;
+
+    /// Wraps `inner` with bursts entered at probability `p` per packet and
+    /// `extra_db` dB of extra noise power while bursting.
+    pub fn new(inner: BoxedScenario, p: f64, extra_db: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "burst probability must be in [0, 1]"
+        );
+        BurstNoise {
+            inner,
+            p,
+            extra_db,
+            in_burst: false,
+        }
+    }
+}
+
+impl ChannelScenario for BurstNoise {
+    fn spec(&self) -> String {
+        format!(
+            "{}+{}",
+            self.inner.spec(),
+            OverlaySpec::BurstNoise {
+                p: self.p,
+                extra_db: self.extra_db
+            }
+        )
+    }
+
+    fn room(&self) -> &Room {
+        self.inner.room()
+    }
+
+    fn nominal_cir(&self) -> FirFilter {
+        self.inner.nominal_cir()
+    }
+
+    fn begin_set(&mut self, dt: f64, steps: usize, rng: &mut dyn RngCore) -> Vec<BlockerSnapshot> {
+        self.in_burst = false;
+        self.inner.begin_set(dt, steps, rng)
+    }
+
+    fn packet_channel(
+        &mut self,
+        time_s: f64,
+        blockers: &[(f64, f64)],
+        rng: &mut dyn RngCore,
+    ) -> PacketChannel {
+        let mut packet = self.inner.packet_channel(time_s, blockers, rng);
+        // State transition after the inner draws, one uniform per packet.
+        let u: f64 = rng.gen_range(0.0..1.0);
+        self.in_burst = if self.in_burst {
+            u >= Self::EXIT_PROBABILITY
+        } else {
+            u < self.p
+        };
+        if self.in_burst {
+            packet.noise_scale *= db_to_amplitude(self.extra_db);
+        }
+        packet
+    }
+}
+
+/// Constant SNR offset: positive `db` *improves* the operating SNR by
+/// shrinking the noise floor by `10^(db/20)`.
+pub struct SnrOffset {
+    inner: BoxedScenario,
+    db: f64,
+}
+
+impl SnrOffset {
+    /// Wraps `inner`, offsetting the campaign SNR by `db` dB.
+    pub fn new(inner: BoxedScenario, db: f64) -> Self {
+        SnrOffset { inner, db }
+    }
+}
+
+impl ChannelScenario for SnrOffset {
+    fn spec(&self) -> String {
+        format!(
+            "{}+{}",
+            self.inner.spec(),
+            OverlaySpec::SnrOffset { db: self.db }
+        )
+    }
+
+    fn room(&self) -> &Room {
+        self.inner.room()
+    }
+
+    fn nominal_cir(&self) -> FirFilter {
+        self.inner.nominal_cir()
+    }
+
+    fn begin_set(&mut self, dt: f64, steps: usize, rng: &mut dyn RngCore) -> Vec<BlockerSnapshot> {
+        self.inner.begin_set(dt, steps, rng)
+    }
+
+    fn packet_channel(
+        &mut self,
+        time_s: f64,
+        blockers: &[(f64, f64)],
+        rng: &mut dyn RngCore,
+    ) -> PacketChannel {
+        let mut packet = self.inner.packet_channel(time_s, blockers, rng);
+        packet.noise_scale *= db_to_amplitude(-self.db);
+        packet
+    }
+}
+
+/// Linear SNR ramp across each measurement set, relative to the campaign's
+/// nominal SNR — a whole SNR sweep folded into one campaign, which is how
+/// the scenario engine reproduces waterfall-style curves without
+/// generating one campaign per SNR point.
+///
+/// The ramp is defined over the span of the set's blocker trajectory
+/// (what [`begin_set`](ChannelScenario::begin_set) samples).  The campaign
+/// pads that trajectory by a few frames beyond the last packet for
+/// interpolation headroom, so the final packet sits slightly short of
+/// `to` — by `(frame padding)/(set duration)`, under 0.2 dB of a 10 dB
+/// ramp on the `quick` preset and negligible at paper scale.
+pub struct SnrSweep {
+    inner: BoxedScenario,
+    from_db: f64,
+    to_db: f64,
+    set_duration_s: f64,
+}
+
+impl SnrSweep {
+    /// Wraps `inner` with a per-set SNR ramp from `from_db` to `to_db`.
+    pub fn new(inner: BoxedScenario, from_db: f64, to_db: f64) -> Self {
+        SnrSweep {
+            inner,
+            from_db,
+            to_db,
+            set_duration_s: 0.0,
+        }
+    }
+
+    /// The SNR offset applied at `time_s` within the current set.
+    pub fn offset_db_at(&self, time_s: f64) -> f64 {
+        if self.set_duration_s <= 0.0 {
+            return self.from_db;
+        }
+        let frac = (time_s / self.set_duration_s).clamp(0.0, 1.0);
+        self.from_db + (self.to_db - self.from_db) * frac
+    }
+}
+
+impl ChannelScenario for SnrSweep {
+    fn spec(&self) -> String {
+        format!(
+            "{}+{}",
+            self.inner.spec(),
+            OverlaySpec::SnrSweep {
+                from: self.from_db,
+                to: self.to_db
+            }
+        )
+    }
+
+    fn room(&self) -> &Room {
+        self.inner.room()
+    }
+
+    fn nominal_cir(&self) -> FirFilter {
+        self.inner.nominal_cir()
+    }
+
+    fn begin_set(&mut self, dt: f64, steps: usize, rng: &mut dyn RngCore) -> Vec<BlockerSnapshot> {
+        // The trajectory covers the whole set, so its span defines the ramp.
+        self.set_duration_s = dt * steps.saturating_sub(1).max(1) as f64;
+        self.inner.begin_set(dt, steps, rng)
+    }
+
+    fn packet_channel(
+        &mut self,
+        time_s: f64,
+        blockers: &[(f64, f64)],
+        rng: &mut dyn RngCore,
+    ) -> PacketChannel {
+        let mut packet = self.inner.packet_channel(time_s, blockers, rng);
+        packet.noise_scale *= db_to_amplitude(-self.offset_db_at(time_s));
+        packet
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cir::CirConfig;
+    use crate::scenario::paper::PaperScenario;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn paper() -> BoxedScenario {
+        Box::new(PaperScenario::new(CirConfig::default()))
+    }
+
+    fn scales(scenario: &mut dyn ChannelScenario, packets: usize, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let snaps = scenario.begin_set(1.0 / 30.0, 3 * packets + 4, &mut rng);
+        (0..packets)
+            .map(|k| {
+                scenario
+                    .packet_channel(k as f64 * 0.1, &snaps[3 * k], &mut rng)
+                    .noise_scale
+            })
+            .collect()
+    }
+
+    #[test]
+    fn snr_offset_scales_the_noise_floor() {
+        let mut better = SnrOffset::new(paper(), 6.0);
+        let mut worse = SnrOffset::new(paper(), -6.0);
+        assert_eq!(better.spec(), "paper+snr-offset:db=6");
+        for s in scales(&mut better, 10, 1) {
+            assert!((s - 10f64.powf(-0.3)).abs() < 1e-12);
+        }
+        for s in scales(&mut worse, 10, 1) {
+            assert!((s - 10f64.powf(0.3)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn snr_sweep_ramps_monotonically_and_resets_per_set() {
+        let mut sweep = SnrSweep::new(paper(), -10.0, 0.0);
+        assert_eq!(sweep.spec(), "paper+snr-sweep:from=-10,to=0");
+        let first = scales(&mut sweep, 20, 2);
+        // SNR improves over the set ⇒ the noise scale decreases.
+        for pair in first.windows(2) {
+            assert!(pair[1] <= pair[0] + 1e-12);
+        }
+        assert!(first[0] > first[19]);
+        let second = scales(&mut sweep, 20, 2);
+        assert_eq!(first, second, "the ramp must restart per set");
+    }
+
+    #[test]
+    fn burst_noise_produces_elevated_runs() {
+        let mut bursty = BurstNoise::new(paper(), 0.2, 20.0);
+        assert_eq!(bursty.spec(), "paper+burst-noise:p=0.2,db=20");
+        let scales = scales(&mut bursty, 400, 3);
+        let elevated: Vec<bool> = scales.iter().map(|&s| s > 1.5).collect();
+        let n_elevated = elevated.iter().filter(|&&e| e).count();
+        // Stationary burst fraction p/(p+exit) = 0.2/0.45 ≈ 0.44.
+        assert!(
+            (0.25..0.65).contains(&(n_elevated as f64 / 400.0)),
+            "burst fraction {}",
+            n_elevated as f64 / 400.0
+        );
+        // Bursts come in runs: elevated packets are followed by an elevated
+        // packet more often than p alone would produce.
+        let followed: usize = elevated.windows(2).filter(|w| w[0] && w[1]).count();
+        assert!(followed as f64 > 0.5 * n_elevated as f64);
+        // Inside a burst the scale is exactly the configured 20 dB.
+        for &s in scales.iter().filter(|&&s| s > 1.5) {
+            assert!((s - 10.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn overlays_stack() {
+        let offset = Box::new(SnrOffset::new(paper(), -3.0));
+        let mut stacked = BurstNoise::new(offset, 0.0, 10.0);
+        assert_eq!(
+            stacked.spec(),
+            "paper+snr-offset:db=-3+burst-noise:p=0,db=10"
+        );
+        // p = 0: never bursts, so only the offset applies.
+        for s in scales(&mut stacked, 10, 4) {
+            assert!((s - 10f64.powf(0.15)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn overlays_delegate_geometry() {
+        let wrapped = SnrOffset::new(paper(), 3.0);
+        let plain = PaperScenario::new(CirConfig::default());
+        assert_eq!(wrapped.room().width, plain.room().width);
+        assert_eq!(wrapped.nominal_cir().taps(), plain.nominal_cir().taps());
+    }
+}

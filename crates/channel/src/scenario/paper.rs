@@ -1,0 +1,215 @@
+//! Geometric scenarios: the paper's laboratory and its crowd variants.
+//!
+//! [`PaperScenario`] is the exact environment of the reproduction — the
+//! laboratory [`Room`], a single random-waypoint human, the multipath
+//! synthesis of [`CirSynthesizer`] — refactored behind the
+//! [`ChannelScenario`] trait.  Its RNG draw order matches the pre-trait
+//! campaign generator operation for operation, so `"paper"` campaigns are
+//! bit-identical to what the harness produced before the scenario engine
+//! existed (pinned by `tests/scenario_golden.rs`).
+//!
+//! [`RoomScenario`] generalises the same physics to a configurable room
+//! preset and a crowd of independent walkers with a scaled speed range.
+
+use crate::cir::{CirConfig, CirSynthesizer};
+use crate::human::Human;
+use crate::mobility::{Crowd, RandomWaypoint};
+use crate::room::Room;
+use crate::scenario::spec::{BaseSpec, RoomSize};
+use crate::scenario::{crystal_phase, BlockerSnapshot, ChannelScenario, PacketChannel};
+use rand::RngCore;
+use vvd_dsp::FirFilter;
+
+/// The paper's scenario: laboratory room, one pedestrian random-waypoint
+/// human, geometric multipath plus the diffuse residual, AWGN at the
+/// campaign's nominal SNR.
+#[derive(Debug, Clone)]
+pub struct PaperScenario {
+    synth: CirSynthesizer,
+}
+
+impl PaperScenario {
+    /// The paper's laboratory with the given synthesis configuration.
+    pub fn new(cir: CirConfig) -> Self {
+        PaperScenario {
+            synth: CirSynthesizer::new(Room::laboratory(), cir),
+        }
+    }
+}
+
+impl ChannelScenario for PaperScenario {
+    fn spec(&self) -> String {
+        "paper".to_string()
+    }
+
+    fn room(&self) -> &Room {
+        self.synth.room()
+    }
+
+    fn nominal_cir(&self) -> FirFilter {
+        self.synth.nominal_cir()
+    }
+
+    fn begin_set(&mut self, dt: f64, steps: usize, rng: &mut dyn RngCore) -> Vec<BlockerSnapshot> {
+        // Same draw order as the pre-trait harness: construct the walker,
+        // then sample the whole set trajectory.
+        let mut walker = RandomWaypoint::new(self.synth.room(), rng);
+        walker
+            .trajectory(dt, steps, rng)
+            .into_iter()
+            .map(|pos| vec![pos])
+            .collect()
+    }
+
+    fn packet_channel(
+        &mut self,
+        _time_s: f64,
+        blockers: &[(f64, f64)],
+        rng: &mut dyn RngCore,
+    ) -> PacketChannel {
+        let (x, y) = blockers[0];
+        let fir = self.synth.cir(&Human::at(x, y), rng);
+        PacketChannel {
+            fir,
+            phase_offset: crystal_phase(rng),
+            noise_scale: 1.0,
+        }
+    }
+}
+
+/// A configurable room with a crowd of independent random-waypoint walkers
+/// — the `room:<size>,humans=<n>,speed=<s>` scenarios.
+///
+/// Physics is the paper's (geometric multipath, per-blocker body shadowing,
+/// one TX → body → RX bounce per person, diffuse residual); only the
+/// geometry and the blocker population differ.
+pub struct RoomScenario {
+    synth: CirSynthesizer,
+    size: RoomSize,
+    humans: usize,
+    speed: f64,
+}
+
+impl RoomScenario {
+    /// A crowd scenario over a geometry preset.  `speed` multiplies the
+    /// pedestrian speed range; `humans` may be 0 (an empty, static room).
+    pub fn new(size: RoomSize, humans: usize, speed: f64, cir: CirConfig) -> Self {
+        let room = match size {
+            RoomSize::Small => Room::small_office(),
+            RoomSize::Lab => Room::laboratory(),
+            RoomSize::Large => Room::large_hall(),
+        };
+        RoomScenario {
+            synth: CirSynthesizer::new(room, cir),
+            size,
+            humans,
+            speed,
+        }
+    }
+}
+
+impl ChannelScenario for RoomScenario {
+    fn spec(&self) -> String {
+        BaseSpec::Room {
+            size: self.size,
+            humans: self.humans,
+            speed: self.speed,
+        }
+        .to_string()
+    }
+
+    fn room(&self) -> &Room {
+        self.synth.room()
+    }
+
+    fn nominal_cir(&self) -> FirFilter {
+        self.synth.nominal_cir()
+    }
+
+    fn begin_set(&mut self, dt: f64, steps: usize, rng: &mut dyn RngCore) -> Vec<BlockerSnapshot> {
+        // A fresh crowd per set (sets are independent takes); the snapshots
+        // carry all the state the packet phase needs.
+        Crowd::new(self.synth.room(), self.humans, self.speed, rng).trajectory(dt, steps, rng)
+    }
+
+    fn packet_channel(
+        &mut self,
+        _time_s: f64,
+        blockers: &[(f64, f64)],
+        rng: &mut dyn RngCore,
+    ) -> PacketChannel {
+        let humans: Vec<Human> = blockers.iter().map(|&(x, y)| Human::at(x, y)).collect();
+        let fir = self.synth.cir_for(&humans, rng);
+        PacketChannel {
+            fir,
+            phase_offset: crystal_phase(rng),
+            noise_scale: 1.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn paper_scenario_matches_the_legacy_draw_order() {
+        // The scenario must replicate the pre-trait generator exactly:
+        // walker first, whole trajectory second, then per-packet CIR and
+        // crystal phase from the same stream.
+        let cfg = CirConfig::default();
+        let mut scenario = PaperScenario::new(cfg);
+        let mut rng = StdRng::seed_from_u64(42);
+        let snapshots = scenario.begin_set(1.0 / 30.0, 50, &mut rng);
+        let p0 = scenario.packet_channel(0.0, &snapshots[0], &mut rng);
+
+        // Legacy order, hand-rolled.
+        let room = Room::laboratory();
+        let synth = CirSynthesizer::new(room.clone(), cfg);
+        let mut legacy_rng = StdRng::seed_from_u64(42);
+        let mut walker = RandomWaypoint::new(&room, &mut legacy_rng);
+        let positions = walker.trajectory(1.0 / 30.0, 50, &mut legacy_rng);
+        let cir = synth.cir(&Human::at(positions[0].0, positions[0].1), &mut legacy_rng);
+        let phase = legacy_rng.gen_range(-std::f64::consts::PI..std::f64::consts::PI);
+
+        assert_eq!(
+            snapshots.iter().map(|s| s[0]).collect::<Vec<_>>(),
+            positions
+        );
+        assert_eq!(p0.fir.taps(), cir.taps());
+        assert_eq!(p0.phase_offset, phase);
+        assert_eq!(p0.noise_scale, 1.0);
+    }
+
+    #[test]
+    fn crowd_scenario_produces_one_position_per_human() {
+        let mut scenario = RoomScenario::new(RoomSize::Large, 4, 1.5, CirConfig::default());
+        assert_eq!(scenario.spec(), "room:large,humans=4,speed=1.5");
+        let mut rng = StdRng::seed_from_u64(7);
+        let snapshots = scenario.begin_set(0.1, 30, &mut rng);
+        assert_eq!(snapshots.len(), 30);
+        assert!(snapshots.iter().all(|s| s.len() == 4));
+        let packet = scenario.packet_channel(0.0, &snapshots[0], &mut rng);
+        assert!(packet.fir.energy() > 0.0);
+        assert!(packet
+            .fir
+            .taps()
+            .iter()
+            .all(|t| t.re.is_finite() && t.im.is_finite()));
+    }
+
+    #[test]
+    fn empty_room_still_yields_a_usable_channel() {
+        let mut scenario = RoomScenario::new(RoomSize::Small, 0, 1.0, CirConfig::default());
+        let mut rng = StdRng::seed_from_u64(9);
+        let snapshots = scenario.begin_set(0.1, 10, &mut rng);
+        assert!(snapshots.iter().all(|s| s.is_empty()));
+        let a = scenario.packet_channel(0.0, &[], &mut rng);
+        let b = scenario.packet_channel(0.1, &[], &mut rng);
+        assert!(a.fir.energy() > 0.0);
+        // Only the diffuse residual varies packet to packet.
+        assert_ne!(a.fir.taps(), b.fir.taps());
+    }
+}

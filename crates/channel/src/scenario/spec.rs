@@ -1,0 +1,731 @@
+//! The typed scenario spec grammar.
+//!
+//! A scenario spec is `base(+overlay)*`.  [`ScenarioSpec`] is the parsed
+//! form; its [`Display`](fmt::Display) prints the canonical string and
+//! [`FromStr`](std::str::FromStr) parses it back, and the two round-trip
+//! exactly (property-tested).  The built-in grammar:
+//!
+//! ```text
+//! base     := paper
+//!           | room:<size>[,humans=<n>][,speed=<s>]     size ∈ small|lab|large
+//!           | rician:k=<k>,doppler=<hz>
+//!           | rayleigh:doppler=<hz>
+//! overlay  := burst-noise:p=<p>[,db=<extra>]
+//!           | snr-offset:db=<db>
+//!           | snr-sweep:from=<db>,to=<db>
+//! ```
+//!
+//! Omitted fields take documented defaults; the canonical form always
+//! prints every field.  Heads outside this grammar are the registry's
+//! business ([`ScenarioRegistry::register`]); parsing them here fails.
+//!
+//! [`ScenarioRegistry::register`]: crate::scenario::registry::ScenarioRegistry::register
+
+use std::fmt;
+
+/// A scenario spec string failed to parse or failed validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecParseError {
+    spec: String,
+    reason: String,
+}
+
+impl SpecParseError {
+    /// Creates an error describing why `spec` was rejected (public so
+    /// custom scenario factories can report their own parse failures).
+    pub fn new(spec: &str, reason: impl Into<String>) -> Self {
+        SpecParseError {
+            spec: spec.to_string(),
+            reason: reason.into(),
+        }
+    }
+
+    /// The offending spec string.
+    pub fn spec(&self) -> &str {
+        &self.spec
+    }
+}
+
+impl fmt::Display for SpecParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid scenario spec `{}`: {}", self.spec, self.reason)
+    }
+}
+
+impl std::error::Error for SpecParseError {}
+
+/// Room geometry preset of the crowd scenarios.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoomSize {
+    /// 5 m × 4 m office ([`Room::small_office`](crate::Room::small_office)).
+    Small,
+    /// The paper's 8 m × 6 m laboratory
+    /// ([`Room::laboratory`](crate::Room::laboratory)).
+    Lab,
+    /// 14 m × 10 m hall ([`Room::large_hall`](crate::Room::large_hall)).
+    Large,
+}
+
+impl RoomSize {
+    /// All presets, smallest first.
+    pub const ALL: [RoomSize; 3] = [RoomSize::Small, RoomSize::Lab, RoomSize::Large];
+
+    /// The canonical token (`small` / `lab` / `large`).
+    pub fn token(&self) -> &'static str {
+        match self {
+            RoomSize::Small => "small",
+            RoomSize::Lab => "lab",
+            RoomSize::Large => "large",
+        }
+    }
+
+    fn parse(token: &str, spec: &str) -> Result<Self, SpecParseError> {
+        RoomSize::ALL
+            .into_iter()
+            .find(|s| s.token() == token)
+            .ok_or_else(|| {
+                SpecParseError::new(
+                    spec,
+                    format!("unknown room size `{token}` (small|lab|large)"),
+                )
+            })
+    }
+}
+
+impl fmt::Display for RoomSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.token())
+    }
+}
+
+/// Upper bound on the crowd size — keeps a typo like `humans=4000` from
+/// silently turning CIR synthesis quadratic.
+pub const MAX_HUMANS: usize = 16;
+
+/// The base environment of a scenario spec.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BaseSpec {
+    /// The paper's scenario: laboratory room, one random-waypoint human,
+    /// geometric multipath with the diffuse residual.
+    Paper,
+    /// A configurable room with a crowd of random-waypoint walkers.
+    Room {
+        /// Geometry preset.
+        size: RoomSize,
+        /// Number of walkers (default 1, at most [`MAX_HUMANS`]).
+        humans: usize,
+        /// Multiplier on the pedestrian speed range (default 1).
+        speed: f64,
+    },
+    /// Stochastic Rician block fading: a fixed geometric mean component
+    /// plus a Doppler-correlated diffuse part (no physical blockers).
+    Rician {
+        /// Rician K-factor (linear power ratio of the fixed component to
+        /// the diffuse part).
+        k: f64,
+        /// Maximum Doppler frequency in Hz; sets the packet-to-packet
+        /// correlation via Clarke's model.
+        doppler: f64,
+    },
+    /// Rayleigh block fading: [`BaseSpec::Rician`] with `k = 0`.
+    Rayleigh {
+        /// Maximum Doppler frequency in Hz.
+        doppler: f64,
+    },
+}
+
+impl BaseSpec {
+    /// Parses the base segment of a spec string.  `spec` is the full spec,
+    /// used in error messages.
+    pub fn parse(segment: &str, spec: &str) -> Result<Self, SpecParseError> {
+        let (head, args) = split_head(segment);
+        let base = match head {
+            "paper" => {
+                expect_no_args(head, args, spec)?;
+                BaseSpec::Paper
+            }
+            "room" => {
+                let mut fields = Fields::parse(args, spec)?;
+                let size = RoomSize::parse(&fields.positional(spec, "room size")?, spec)?;
+                let humans = fields.take_usize("humans", 1, spec)?;
+                let speed = fields.take_f64("speed", 1.0, spec)?;
+                fields.finish(spec)?;
+                BaseSpec::Room {
+                    size,
+                    humans,
+                    speed,
+                }
+            }
+            "rician" => {
+                let mut fields = Fields::parse(args, spec)?;
+                let k = fields.take_f64("k", 4.0, spec)?;
+                let doppler = fields.take_f64("doppler", 10.0, spec)?;
+                fields.finish(spec)?;
+                BaseSpec::Rician { k, doppler }
+            }
+            "rayleigh" => {
+                let mut fields = Fields::parse(args, spec)?;
+                let doppler = fields.take_f64("doppler", 10.0, spec)?;
+                fields.finish(spec)?;
+                BaseSpec::Rayleigh { doppler }
+            }
+            other => {
+                return Err(SpecParseError::new(
+                    spec,
+                    format!("unknown scenario `{other}` (paper|room|rician|rayleigh)"),
+                ))
+            }
+        };
+        base.validate(spec)?;
+        Ok(base)
+    }
+
+    /// Checks the parameter ranges; parsing always validates, manual
+    /// construction should before building.
+    pub fn validate(&self, spec: &str) -> Result<(), SpecParseError> {
+        match *self {
+            BaseSpec::Paper => Ok(()),
+            BaseSpec::Room { humans, speed, .. } => {
+                if humans > MAX_HUMANS {
+                    return Err(SpecParseError::new(
+                        spec,
+                        format!("at most {MAX_HUMANS} humans supported, got {humans}"),
+                    ));
+                }
+                check_range("speed", speed, 0.05, 10.0, spec)
+            }
+            BaseSpec::Rician { k, doppler } => {
+                check_range("k", k, 0.0, 1e3, spec)?;
+                check_range("doppler", doppler, 0.0, 1e3, spec)
+            }
+            BaseSpec::Rayleigh { doppler } => check_range("doppler", doppler, 0.0, 1e3, spec),
+        }
+    }
+}
+
+impl fmt::Display for BaseSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BaseSpec::Paper => f.write_str("paper"),
+            BaseSpec::Room {
+                size,
+                humans,
+                speed,
+            } => write!(f, "room:{size},humans={humans},speed={speed}"),
+            BaseSpec::Rician { k, doppler } => write!(f, "rician:k={k},doppler={doppler}"),
+            BaseSpec::Rayleigh { doppler } => write!(f, "rayleigh:doppler={doppler}"),
+        }
+    }
+}
+
+/// A composable overlay applied on top of a base scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OverlaySpec {
+    /// Gilbert–Elliott noise bursts: each packet enters a burst with
+    /// probability `p`; inside a burst the noise floor is raised by
+    /// `extra_db` and the burst ends with probability 1/4 per packet
+    /// (mean length 4 packets).
+    BurstNoise {
+        /// Per-packet probability of entering a burst.
+        p: f64,
+        /// Extra noise power inside a burst (dB, default 10).
+        extra_db: f64,
+    },
+    /// Constant SNR offset: positive `db` *improves* the operating SNR by
+    /// shrinking the noise floor.
+    SnrOffset {
+        /// SNR offset in dB relative to the campaign's nominal SNR.
+        db: f64,
+    },
+    /// Linear SNR ramp across each measurement set, from `from` dB at the
+    /// first packet towards `to` dB at the end of the set's sampled
+    /// trajectory, relative to the nominal SNR — an SNR sweep folded into
+    /// a single campaign (the last packet sits marginally short of `to`;
+    /// see `overlay::SnrSweep`).
+    SnrSweep {
+        /// Offset at the start of every set (dB).
+        from: f64,
+        /// Offset at the end of every set (dB).
+        to: f64,
+    },
+}
+
+impl OverlaySpec {
+    /// Parses one overlay segment of a spec string.
+    pub fn parse(segment: &str, spec: &str) -> Result<Self, SpecParseError> {
+        let (head, args) = split_head(segment);
+        let overlay = match head {
+            "burst-noise" => {
+                let mut fields = Fields::parse(args, spec)?;
+                let p = fields.take_required_f64("p", spec)?;
+                let extra_db = fields.take_f64("db", 10.0, spec)?;
+                fields.finish(spec)?;
+                OverlaySpec::BurstNoise { p, extra_db }
+            }
+            "snr-offset" => {
+                let mut fields = Fields::parse(args, spec)?;
+                let db = fields.take_required_f64("db", spec)?;
+                fields.finish(spec)?;
+                OverlaySpec::SnrOffset { db }
+            }
+            "snr-sweep" => {
+                let mut fields = Fields::parse(args, spec)?;
+                let from = fields.take_required_f64("from", spec)?;
+                let to = fields.take_required_f64("to", spec)?;
+                fields.finish(spec)?;
+                OverlaySpec::SnrSweep { from, to }
+            }
+            other => {
+                return Err(SpecParseError::new(
+                    spec,
+                    format!("unknown overlay `{other}` (burst-noise|snr-offset|snr-sweep)"),
+                ))
+            }
+        };
+        overlay.validate(spec)?;
+        Ok(overlay)
+    }
+
+    /// Checks the parameter ranges (see [`BaseSpec::validate`]).
+    pub fn validate(&self, spec: &str) -> Result<(), SpecParseError> {
+        match *self {
+            OverlaySpec::BurstNoise { p, extra_db } => {
+                check_range("p", p, 0.0, 1.0, spec)?;
+                check_range("db", extra_db, 0.0, 60.0, spec)
+            }
+            OverlaySpec::SnrOffset { db } => check_range("db", db, -60.0, 60.0, spec),
+            OverlaySpec::SnrSweep { from, to } => {
+                check_range("from", from, -60.0, 60.0, spec)?;
+                check_range("to", to, -60.0, 60.0, spec)
+            }
+        }
+    }
+}
+
+impl fmt::Display for OverlaySpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OverlaySpec::BurstNoise { p, extra_db } => {
+                write!(f, "burst-noise:p={p},db={extra_db}")
+            }
+            OverlaySpec::SnrOffset { db } => write!(f, "snr-offset:db={db}"),
+            OverlaySpec::SnrSweep { from, to } => write!(f, "snr-sweep:from={from},to={to}"),
+        }
+    }
+}
+
+/// A complete, validated scenario spec: one base plus zero or more
+/// overlays, applied left to right.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSpec {
+    /// The base environment.
+    pub base: BaseSpec,
+    /// Overlays applied on top, left to right.
+    pub overlays: Vec<OverlaySpec>,
+}
+
+impl ScenarioSpec {
+    /// A spec with no overlays.
+    pub fn base(base: BaseSpec) -> Self {
+        ScenarioSpec {
+            base,
+            overlays: Vec::new(),
+        }
+    }
+
+    /// The paper's default scenario.
+    pub fn paper() -> Self {
+        Self::base(BaseSpec::Paper)
+    }
+
+    /// Validates every component (see [`BaseSpec::validate`]).
+    pub fn validate(&self) -> Result<(), SpecParseError> {
+        let spec = self.to_string();
+        self.base.validate(&spec)?;
+        for overlay in &self.overlays {
+            overlay.validate(&spec)?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for ScenarioSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.base)?;
+        for overlay in &self.overlays {
+            write!(f, "+{overlay}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::str::FromStr for ScenarioSpec {
+    type Err = SpecParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let spec = s.trim();
+        if spec.is_empty() {
+            return Err(SpecParseError::new(s, "empty scenario spec"));
+        }
+        let mut segments = split_segments(spec).into_iter();
+        let base = BaseSpec::parse(segments.next().unwrap_or("").trim(), spec)?;
+        let overlays = segments
+            .map(|seg| OverlaySpec::parse(seg.trim(), spec))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(ScenarioSpec { base, overlays })
+    }
+}
+
+/// Splits a spec into its `base(+overlay)*` segments.
+///
+/// A `+` separates segments only when it introduces a new head, i.e. when
+/// the next character is a letter — a `+` inside a numeric argument
+/// (`doppler=1e+2`, `db=+3`) stays part of the argument.
+pub(crate) fn split_segments(spec: &str) -> Vec<&str> {
+    let mut segments = Vec::new();
+    let mut start = 0;
+    let bytes = spec.as_bytes();
+    for (i, &b) in bytes.iter().enumerate() {
+        if b == b'+' && bytes.get(i + 1).is_some_and(|c| c.is_ascii_alphabetic()) {
+            segments.push(&spec[start..i]);
+            start = i + 1;
+        }
+    }
+    segments.push(&spec[start..]);
+    segments
+}
+
+/// Splits `head:args` (args empty when there is no `:`).
+pub(crate) fn split_head(segment: &str) -> (&str, &str) {
+    match segment.split_once(':') {
+        Some((head, args)) => (head, args),
+        None => (segment, ""),
+    }
+}
+
+fn expect_no_args(head: &str, args: &str, spec: &str) -> Result<(), SpecParseError> {
+    if args.is_empty() {
+        Ok(())
+    } else {
+        Err(SpecParseError::new(
+            spec,
+            format!("`{head}` takes no arguments"),
+        ))
+    }
+}
+
+fn check_range(name: &str, value: f64, lo: f64, hi: f64, spec: &str) -> Result<(), SpecParseError> {
+    if value.is_finite() && (lo..=hi).contains(&value) {
+        Ok(())
+    } else {
+        Err(SpecParseError::new(
+            spec,
+            format!("`{name}` must be in [{lo}, {hi}], got {value}"),
+        ))
+    }
+}
+
+/// Comma-separated `key=value` argument list, with at most one positional
+/// (key-less) leading token.
+struct Fields {
+    positional: Option<String>,
+    pairs: Vec<(String, String)>,
+}
+
+impl Fields {
+    fn parse(args: &str, spec: &str) -> Result<Self, SpecParseError> {
+        let mut positional = None;
+        let mut pairs = Vec::new();
+        for (i, token) in args
+            .split(',')
+            .map(str::trim)
+            .filter(|t| !t.is_empty())
+            .enumerate()
+        {
+            match token.split_once('=') {
+                Some((k, v)) => pairs.push((k.trim().to_string(), v.trim().to_string())),
+                None if i == 0 => positional = Some(token.to_string()),
+                None => {
+                    return Err(SpecParseError::new(
+                        spec,
+                        format!("expected `key=value`, got `{token}`"),
+                    ))
+                }
+            }
+        }
+        Ok(Fields { positional, pairs })
+    }
+
+    fn positional(&mut self, spec: &str, what: &str) -> Result<String, SpecParseError> {
+        self.positional
+            .take()
+            .ok_or_else(|| SpecParseError::new(spec, format!("missing {what}")))
+    }
+
+    fn take(&mut self, key: &str) -> Option<String> {
+        let idx = self.pairs.iter().position(|(k, _)| k == key)?;
+        Some(self.pairs.remove(idx).1)
+    }
+
+    fn take_f64(&mut self, key: &str, default: f64, spec: &str) -> Result<f64, SpecParseError> {
+        match self.take(key) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse::<f64>()
+                .map_err(|_| SpecParseError::new(spec, format!("`{key}={raw}` is not a number"))),
+        }
+    }
+
+    fn take_required_f64(&mut self, key: &str, spec: &str) -> Result<f64, SpecParseError> {
+        let raw = self
+            .take(key)
+            .ok_or_else(|| SpecParseError::new(spec, format!("missing required `{key}=`")))?;
+        raw.parse::<f64>()
+            .map_err(|_| SpecParseError::new(spec, format!("`{key}={raw}` is not a number")))
+    }
+
+    fn take_usize(
+        &mut self,
+        key: &str,
+        default: usize,
+        spec: &str,
+    ) -> Result<usize, SpecParseError> {
+        match self.take(key) {
+            None => Ok(default),
+            Some(raw) => raw.parse::<usize>().map_err(|_| {
+                SpecParseError::new(spec, format!("`{key}={raw}` is not a non-negative integer"))
+            }),
+        }
+    }
+
+    fn finish(self, spec: &str) -> Result<(), SpecParseError> {
+        if let Some(pos) = self.positional {
+            return Err(SpecParseError::new(
+                spec,
+                format!("unexpected positional argument `{pos}`"),
+            ));
+        }
+        if let Some((k, _)) = self.pairs.first() {
+            return Err(SpecParseError::new(spec, format!("unknown argument `{k}`")));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> ScenarioSpec {
+        s.parse().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    #[test]
+    fn canonical_examples_parse() {
+        assert_eq!(parse("paper").base, BaseSpec::Paper);
+        assert_eq!(
+            parse("room:large,humans=4,speed=1.5").base,
+            BaseSpec::Room {
+                size: RoomSize::Large,
+                humans: 4,
+                speed: 1.5
+            }
+        );
+        assert_eq!(
+            parse("rician:k=6,doppler=30").base,
+            BaseSpec::Rician {
+                k: 6.0,
+                doppler: 30.0
+            }
+        );
+        assert_eq!(
+            parse("rayleigh:doppler=10").base,
+            BaseSpec::Rayleigh { doppler: 10.0 }
+        );
+        let composed = parse("paper+burst-noise:p=0.01");
+        assert_eq!(composed.base, BaseSpec::Paper);
+        assert_eq!(
+            composed.overlays,
+            vec![OverlaySpec::BurstNoise {
+                p: 0.01,
+                extra_db: 10.0
+            }]
+        );
+    }
+
+    #[test]
+    fn defaults_are_filled_in_and_printed_canonically() {
+        let spec = parse("room:small");
+        assert_eq!(
+            spec.base,
+            BaseSpec::Room {
+                size: RoomSize::Small,
+                humans: 1,
+                speed: 1.0
+            }
+        );
+        assert_eq!(spec.to_string(), "room:small,humans=1,speed=1");
+        assert_eq!(parse("rician").to_string(), "rician:k=4,doppler=10");
+        // Key order is free on input.
+        assert_eq!(
+            parse("room:lab,speed=2,humans=3").to_string(),
+            "room:lab,humans=3,speed=2"
+        );
+    }
+
+    #[test]
+    fn overlays_stack_left_to_right() {
+        let spec = parse("rayleigh:doppler=5+snr-offset:db=3+burst-noise:p=0.1,db=20");
+        assert_eq!(spec.overlays.len(), 2);
+        assert_eq!(spec.overlays[0], OverlaySpec::SnrOffset { db: 3.0 });
+        assert_eq!(
+            spec.to_string(),
+            "rayleigh:doppler=5+snr-offset:db=3+burst-noise:p=0.1,db=20"
+        );
+    }
+
+    #[test]
+    fn malformed_specs_are_rejected_with_context() {
+        for bad in [
+            "",
+            "paper:loud",
+            "room",
+            "room:huge",
+            "room:lab,humans=17",
+            "room:lab,humans=-1",
+            "room:lab,speed=0",
+            "room:lab,pets=1",
+            "rician:k=nan",
+            "rician:k=-1",
+            "rayleigh:doppler=1e9",
+            "nonsense",
+            "paper+",
+            "paper+burst-noise",
+            "paper+burst-noise:p=2",
+            "paper+snr-sweep:from=0",
+            "paper+snr-offset:db=100",
+            "paper+later",
+        ] {
+            let err = match bad.parse::<ScenarioSpec>() {
+                Err(err) => err,
+                Ok(spec) => panic!("`{bad}` should be rejected, parsed {spec}"),
+            };
+            assert!(!err.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn plus_signs_inside_numbers_do_not_split_segments() {
+        // Exponent form.
+        assert_eq!(
+            parse("rician:k=6,doppler=1e+2").base,
+            BaseSpec::Rician {
+                k: 6.0,
+                doppler: 100.0
+            }
+        );
+        // Explicitly signed argument.
+        assert_eq!(
+            parse("paper+snr-offset:db=+3").overlays,
+            vec![OverlaySpec::SnrOffset { db: 3.0 }]
+        );
+        // Both at once: the `+` before a letter still separates.
+        let spec = parse("rayleigh:doppler=1e+1+snr-sweep:from=-1e+1,to=+5");
+        assert_eq!(spec.base, BaseSpec::Rayleigh { doppler: 10.0 });
+        assert_eq!(
+            spec.overlays,
+            vec![OverlaySpec::SnrSweep {
+                from: -10.0,
+                to: 5.0
+            }]
+        );
+    }
+
+    #[test]
+    fn whitespace_is_tolerated() {
+        assert_eq!(parse("  paper  ").to_string(), "paper");
+        assert_eq!(
+            parse("room: lab , humans = 2").to_string(),
+            "room:lab,humans=2,speed=1"
+        );
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_base(index: usize, a: f64, b: f64, n: usize) -> BaseSpec {
+            match index % 4 {
+                0 => BaseSpec::Paper,
+                1 => BaseSpec::Room {
+                    size: RoomSize::ALL[index % 3],
+                    humans: n % (MAX_HUMANS + 1),
+                    speed: 0.05 + a * 9.0,
+                },
+                2 => BaseSpec::Rician {
+                    k: a * 100.0,
+                    doppler: b * 100.0,
+                },
+                _ => BaseSpec::Rayleigh { doppler: b * 100.0 },
+            }
+        }
+
+        fn arb_overlay(index: usize, a: f64, b: f64) -> OverlaySpec {
+            match index % 3 {
+                0 => OverlaySpec::BurstNoise {
+                    p: a,
+                    extra_db: b * 60.0,
+                },
+                1 => OverlaySpec::SnrOffset {
+                    db: (a - 0.5) * 120.0,
+                },
+                _ => OverlaySpec::SnrSweep {
+                    from: (a - 0.5) * 120.0,
+                    to: (b - 0.5) * 120.0,
+                },
+            }
+        }
+
+        proptest! {
+            /// `Display` ⇄ `FromStr` round-trips for arbitrary valid specs,
+            /// overlays included.
+            #[test]
+            fn display_from_str_round_trips(
+                base_index in 0usize..4,
+                humans in 0usize..=MAX_HUMANS,
+                a in 0.0f64..1.0,
+                b in 0.0f64..1.0,
+                overlay_indices in proptest::collection::vec(0usize..3, 0..3),
+                oa in 0.0f64..1.0,
+                ob in 0.0f64..1.0,
+            ) {
+                let spec = ScenarioSpec {
+                    base: arb_base(base_index, a, b, humans),
+                    overlays: overlay_indices
+                        .iter()
+                        .map(|&i| arb_overlay(i, oa, ob))
+                        .collect(),
+                };
+                spec.validate().expect("generated specs are valid");
+                let text = spec.to_string();
+                let reparsed: ScenarioSpec = text.parse().unwrap();
+                prop_assert_eq!(&reparsed, &spec);
+                // Canonical text is a fixed point.
+                prop_assert_eq!(reparsed.to_string(), text);
+            }
+
+            /// Arbitrary strings never panic the parser, and whatever parses
+            /// must round-trip through its canonical form.
+            #[test]
+            fn parser_is_total(
+                bytes in proptest::collection::vec(any::<u8>(), 0..32),
+            ) {
+                let s = String::from_utf8_lossy(&bytes).into_owned();
+                if let Ok(spec) = s.parse::<ScenarioSpec>() {
+                    let canonical = spec.to_string();
+                    prop_assert_eq!(canonical.parse::<ScenarioSpec>().unwrap(), spec);
+                }
+            }
+        }
+    }
+}

@@ -275,6 +275,22 @@ pub trait ChannelEstimator: Send {
     fn wants_preamble_observations(&self) -> bool {
         false
     }
+
+    /// `true` when the *quality* of this estimator's estimates depends on
+    /// the camera frames carrying information about the channel (the
+    /// VVD family, and combinators that can delegate to it).
+    ///
+    /// Estimate *availability* is unaffected — a VVD estimator always
+    /// produces an estimate when a frame exists — but on scenarios whose
+    /// channel dynamics have no visible cause (`rician:…`, `rayleigh:…`,
+    /// where `ChannelScenario::begin_set` returns empty blocker snapshots
+    /// and the camera watches a static room) a camera-based estimator can
+    /// at best learn the mean channel.  Scenario sweeps use this flag to
+    /// annotate such estimator × scenario cells; it changes no decoding
+    /// behaviour.
+    fn uses_camera(&self) -> bool {
+        false
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -496,6 +512,10 @@ impl ChannelEstimator for Vvd {
         let image = req.frames.frame(req.frame_index - lag);
         Estimate::aligned(model.predict_cir(image))
     }
+
+    fn uses_camera(&self) -> bool {
+        true
+    }
 }
 
 /// Uses the primary estimator when it produces an estimate and falls back
@@ -544,6 +564,10 @@ impl ChannelEstimator for Fallback {
 
     fn wants_preamble_observations(&self) -> bool {
         self.primary.wants_preamble_observations() || self.secondary.wants_preamble_observations()
+    }
+
+    fn uses_camera(&self) -> bool {
+        self.primary.uses_camera() || self.secondary.uses_camera()
     }
 }
 

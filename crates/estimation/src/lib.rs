@@ -33,7 +33,7 @@
 //! The streaming evaluation pipeline that drives boxed estimators over a
 //! simulated measurement campaign lives in `vvd-testbed`.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![deny(unsafe_code)]
 
 pub mod ar;

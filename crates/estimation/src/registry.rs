@@ -341,6 +341,49 @@ mod tests {
     }
 
     #[test]
+    fn camera_dependence_classification_over_all_techniques() {
+        // Table-driven: which built estimators depend on informative camera
+        // frames (the VVD family and the combinator that can delegate to
+        // it) — used by scenario sweeps to annotate estimator × scenario
+        // cells on camera-blind scenarios (`rician:…`, `rayleigh:…`).
+        let table = [
+            (Technique::StandardDecoding, false),
+            (Technique::GroundTruth, false),
+            (Technique::PreambleBased, false),
+            (Technique::PreambleBasedGenie, false),
+            (Technique::Previous100ms, false),
+            (Technique::Previous500ms, false),
+            (Technique::KalmanAr1, false),
+            (Technique::KalmanAr5, false),
+            (Technique::KalmanAr20, false),
+            (Technique::VvdCurrent, true),
+            (Technique::VvdFuture33ms, true),
+            (Technique::VvdFuture100ms, true),
+            (Technique::PreambleVvdCombined, true),
+            (Technique::PreambleKalmanCombined, false),
+        ];
+        assert_eq!(table.len(), Technique::ALL.len());
+        let registry = EstimatorRegistry::new();
+        for (technique, uses_camera) in table {
+            assert!(Technique::ALL.contains(&technique));
+            assert_eq!(
+                registry.technique(technique).uses_camera(),
+                uses_camera,
+                "uses_camera({technique})"
+            );
+        }
+        // Nesting propagates through fallback chains.
+        assert!(registry
+            .build("fallback:preamble,fallback:kalman:ar=5,vvd:current")
+            .unwrap()
+            .uses_camera());
+        assert!(!registry
+            .build("fallback:preamble,kalman:ar=5")
+            .unwrap()
+            .uses_camera());
+    }
+
+    #[test]
     fn registered_names_are_listed() {
         let registry = EstimatorRegistry::new();
         let names = registry.names();

@@ -9,13 +9,33 @@
 //! simulated sniffer capture, and the preamble-detection outcome; the raw
 //! waveform itself is regenerated on demand from the stored noise seed so
 //! that campaigns stay small in memory.
+//!
+//! The environment itself is pluggable: [`Campaign::generate`] runs the
+//! paper's scenario, while [`Campaign::generate_spec`] /
+//! [`Campaign::generate_scenario`] accept any
+//! [`vvd_channel::ChannelScenario`] — crowds, stochastic
+//! fading, noise overlays — built from a spec string such as
+//! `"room:large,humans=4,speed=1.5"` (see `vvd_channel::scenario`).
+//!
+//! # Determinism and parallelism
+//!
+//! Generation has two phases per set.  The *scenario phase* is sequential:
+//! it drives the scenario's RNG stream (trajectory, per-packet CIR, crystal
+//! phase) in transmission order, exactly like the pre-scenario harness, so
+//! `"paper"` campaigns are bit-identical to the historical ones
+//! (`tests/scenario_golden.rs`).  The *synthesis phase* — depth-image
+//! rendering, waveform modulation, channel application, LS estimation,
+//! synchronisation — is embarrassingly parallel across frames and packets
+//! (each packet's receiver noise comes from its own seeded RNG) and fans
+//! out over `std::thread::scope` workers; its outputs are identical at any
+//! worker count.
 
 use crate::config::EvalConfig;
-use crate::mobility::RandomWaypoint;
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
 use vvd_channel::noise::{component_std_for_noise_power, noise_power_for_snr};
-use vvd_channel::{apply_channel, ChannelRealization, CirSynthesizer, Human, Room};
+use vvd_channel::scenario::{PacketChannel, PaperScenario, ScenarioRegistry, SpecParseError};
+use vvd_channel::{apply_channel, ChannelRealization, ChannelScenario, Room};
 use vvd_dsp::{CVec, Complex, FirFilter};
 use vvd_estimation::ls::perfect_estimate;
 use vvd_phy::{modulate_frame, ModulatedFrame, PsduBuilder, Receiver};
@@ -31,8 +51,9 @@ pub struct FrameRecord {
     pub time_s: f64,
     /// Preprocessed (cropped, normalised) depth image.
     pub image: DepthImage,
-    /// Human position at capture time.
-    pub human: (f64, f64),
+    /// Blocker positions at capture time, in blocker order (empty for
+    /// scenarios without physical blockers; the paper's scenario has one).
+    pub blockers: Vec<(f64, f64)>,
 }
 
 /// One transmitted packet of a measurement set.
@@ -44,8 +65,8 @@ pub struct PacketRecord {
     pub time_s: f64,
     /// Sequence number carried in the PSDU.
     pub sequence: u16,
-    /// Human position at transmission time.
-    pub human: (f64, f64),
+    /// Blocker positions at transmission time, in blocker order.
+    pub blockers: Vec<(f64, f64)>,
     /// Block-fading channel realisation of this packet.
     pub realization: ChannelRealization,
     /// Seed used to regenerate the receiver noise of this packet.
@@ -82,15 +103,18 @@ pub struct MeasurementSet {
 pub struct Campaign {
     /// The configuration the campaign was generated with.
     pub config: EvalConfig,
+    /// Canonical spec of the scenario the campaign was generated from
+    /// (`"paper"` for [`Campaign::generate`]).
+    pub scenario: String,
     /// The room geometry shared by the radio and camera simulators.
     pub room: Room,
     /// The measurement sets.
     pub sets: Vec<MeasurementSet>,
 }
 
-/// Builds the depth-camera scene for the room, optionally with the human at
-/// the given position.
-pub fn build_scene(room: &Room, human: Option<(f64, f64)>) -> Scene {
+/// Builds the depth-camera scene for the room with the given blockers
+/// standing in it (each rendered as the standard human cylinder).
+pub fn build_scene(room: &Room, blockers: &[(f64, f64)]) -> Scene {
     let mut scene = Scene {
         planes: vec![
             Plane::Z(0.0),
@@ -106,7 +130,7 @@ pub fn build_scene(room: &Room, human: Option<(f64, f64)>) -> Scene {
         cylinders: Vec::new(),
         max_depth: 12.0,
     };
-    if let Some((x, y)) = human {
+    for &(x, y) in blockers {
         scene.cylinders.push(VerticalCylinder {
             x,
             y,
@@ -130,29 +154,71 @@ pub fn build_camera(room: &Room) -> PinholeCamera {
     )
 }
 
-/// Renders the preprocessed depth image of the room with the human at the
-/// given position.
+/// Renders the preprocessed depth image of the room with the given
+/// blockers standing in it.
 pub fn render_preprocessed(
     room: &Room,
     camera: &PinholeCamera,
-    human: Option<(f64, f64)>,
+    blockers: &[(f64, f64)],
 ) -> DepthImage {
-    let scene = build_scene(room, human);
+    let scene = build_scene(room, blockers);
     let raw = render_depth(&scene, camera);
     preprocess(&raw, &PreprocessConfig::default())
 }
 
+/// Sequential-phase output for one packet: everything the scenario decided,
+/// before the (parallel) waveform synthesis.
+struct PacketDraw {
+    time_s: f64,
+    blockers: Vec<(f64, f64)>,
+    channel: PacketChannel,
+    frame_index: usize,
+}
+
 impl Campaign {
-    /// Generates a campaign according to the configuration.
+    /// Generates a campaign of the paper's scenario (laboratory room,
+    /// single random-waypoint human) according to the configuration.
     pub fn generate(config: &EvalConfig) -> Campaign {
-        let room = Room::laboratory();
-        let synth = CirSynthesizer::new(room.clone(), config.cir);
+        let mut scenario = PaperScenario::new(config.cir);
+        Self::generate_scenario(config, &mut scenario)
+    }
+
+    /// Generates a campaign of the scenario described by `spec` (built
+    /// through the default [`ScenarioRegistry`] with this configuration's
+    /// CIR settings), e.g. `"rician:k=6,doppler=30"` or
+    /// `"paper+burst-noise:p=0.01"`.
+    pub fn generate_spec(config: &EvalConfig, spec: &str) -> Result<Campaign, SpecParseError> {
+        let registry = ScenarioRegistry::new().with_cir_config(config.cir);
+        let mut scenario = registry.build(spec)?;
+        Ok(Self::generate_scenario(config, &mut scenario))
+    }
+
+    /// Generates a campaign of an arbitrary scenario, fanning the per-set
+    /// synthesis work out over the available parallelism.
+    pub fn generate_scenario(config: &EvalConfig, scenario: &mut dyn ChannelScenario) -> Campaign {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Self::generate_scenario_with(config, scenario, workers)
+    }
+
+    /// [`generate_scenario`](Self::generate_scenario) with an explicit
+    /// synthesis worker count (1 = fully sequential).  The output is
+    /// bit-identical at every worker count; the knob exists for tests and
+    /// for embedding into outer parallel sweeps.
+    pub fn generate_scenario_with(
+        config: &EvalConfig,
+        scenario: &mut dyn ChannelScenario,
+        workers: usize,
+    ) -> Campaign {
+        let room = scenario.room().clone();
         let camera = build_camera(&room);
         let receiver = Receiver::new(config.phy);
         let builder = PsduBuilder::new(&config.phy);
 
-        // Noise level calibrated against the nominal (unblocked) channel.
-        let nominal = synth.nominal_cir();
+        // Noise level calibrated against the scenario's nominal (unblocked)
+        // channel.
+        let nominal = scenario.nominal_cir();
         let probe = modulate_frame(&config.phy, &builder.build(0));
         let nominal_rx_power = probe.waveform.power() * nominal.energy();
         let noise_std =
@@ -162,37 +228,45 @@ impl Campaign {
         for set_idx in 0..config.n_sets {
             let set_id = set_idx + 1;
             let mut rng = StdRng::seed_from_u64(config.seed ^ (set_id as u64 * 0x9E37_79B9));
-            let mut walker = RandomWaypoint::new(&room, &mut rng);
 
-            // Camera frames first: the human trajectory is sampled at the
-            // frame rate and interpolated for packet times.
+            // --- Scenario phase (sequential, owns the RNG stream) --------
+            // Blocker trajectory at the camera frame rate; packet-time
+            // positions are interpolated from it.
             let duration = config.set_duration_s();
             let n_frames = (duration / config.frame_period_s()).ceil() as usize + 4;
-            let positions = walker.trajectory(config.frame_period_s(), n_frames, &mut rng);
-            let frames: Vec<FrameRecord> = positions
-                .iter()
-                .enumerate()
-                .map(|(i, &(x, y))| FrameRecord {
-                    index: i,
-                    time_s: i as f64 * config.frame_period_s(),
-                    image: render_preprocessed(&room, &camera, Some((x, y))),
-                    human: (x, y),
+            let snapshots = scenario.begin_set(config.frame_period_s(), n_frames, &mut rng);
+
+            let draws: Vec<PacketDraw> = (0..config.packets_per_set)
+                .map(|k| {
+                    let time_s = k as f64 * config.packet_period_s();
+                    let blockers =
+                        interpolate_snapshot(&snapshots, config.frame_period_s(), time_s);
+                    let channel = scenario.packet_channel(time_s, &blockers, &mut rng);
+                    let frame_index =
+                        nearest_frame(snapshots.len(), config.frame_period_s(), time_s);
+                    PacketDraw {
+                        time_s,
+                        blockers,
+                        channel,
+                        frame_index,
+                    }
                 })
                 .collect();
 
-            // Packets every 100 ms.
-            let mut packets = Vec::with_capacity(config.packets_per_set);
-            for k in 0..config.packets_per_set {
-                let time_s = k as f64 * config.packet_period_s();
-                let human = interpolate_position(&positions, config.frame_period_s(), time_s);
-                let frame_index = nearest_frame(frames.len(), config.frame_period_s(), time_s);
+            // --- Synthesis phase (parallel, pure per item) ---------------
+            let frames: Vec<FrameRecord> =
+                par_map(&snapshots, workers, |i, blockers| FrameRecord {
+                    index: i,
+                    time_s: i as f64 * config.frame_period_s(),
+                    image: render_preprocessed(&room, &camera, blockers),
+                    blockers: blockers.clone(),
+                });
 
-                let cir = synth.cir(&Human::at(human.0, human.1), &mut rng);
-                let phase_offset = rng.gen_range(-std::f64::consts::PI..std::f64::consts::PI);
+            let packets: Vec<PacketRecord> = par_map(&draws, workers, |k, draw| {
                 let realization = ChannelRealization {
-                    fir: cir,
-                    phase_offset,
-                    noise_std,
+                    fir: draw.channel.fir.clone(),
+                    phase_offset: draw.channel.phase_offset,
+                    noise_std: noise_std * draw.channel.noise_scale,
                 };
                 let noise_seed = config.seed
                     ^ (set_id as u64).wrapping_mul(0x517C_C1B7_2722_0A95)
@@ -211,23 +285,23 @@ impl Campaign {
                                 config.equalizer.channel_taps
                             ])
                         });
-                let aligned_cir = perfect_cir.rotated(Complex::cis(-phase_offset));
+                let aligned_cir = perfect_cir.rotated(Complex::cis(-draw.channel.phase_offset));
                 let sync = receiver.synchronize(received.as_slice(), &tx);
 
-                packets.push(PacketRecord {
+                PacketRecord {
                     index: k,
-                    time_s,
+                    time_s: draw.time_s,
                     sequence,
-                    human,
+                    blockers: draw.blockers.clone(),
                     realization,
                     noise_seed,
                     perfect_cir,
                     aligned_cir,
                     preamble_detected: sync.preamble_detected,
                     preamble_correlation: sync.correlation,
-                    frame_index,
-                });
-            }
+                    frame_index: draw.frame_index,
+                }
+            });
 
             sets.push(MeasurementSet {
                 set_id,
@@ -238,6 +312,7 @@ impl Campaign {
 
         Campaign {
             config: *config,
+            scenario: scenario.spec(),
             room,
             sets,
         }
@@ -265,19 +340,72 @@ impl Campaign {
     }
 }
 
-/// Linear interpolation of the human position at an arbitrary time from the
-/// frame-rate trajectory.
-fn interpolate_position(positions: &[(f64, f64)], frame_period: f64, time_s: f64) -> (f64, f64) {
-    if positions.is_empty() {
-        return (0.0, 0.0);
+/// Maps `f` over `items` on up to `workers` scoped threads, preserving
+/// input order.  `f` must be pure per item — with that, the output is
+/// identical at every worker count.
+fn par_map<T, U, F>(items: &[T], workers: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    let workers = workers.max(1).min(items.len().max(1));
+    if workers <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let chunk_size = items.len().div_ceil(workers);
+    std::thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = items
+            .chunks(chunk_size)
+            .enumerate()
+            .map(|(c, chunk)| {
+                scope.spawn(move || {
+                    chunk
+                        .iter()
+                        .enumerate()
+                        .map(|(i, t)| f(c * chunk_size + i, t))
+                        .collect::<Vec<U>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("campaign synthesis worker panicked"))
+            .collect()
+    })
+}
+
+/// Element-wise linear interpolation of the blocker positions at an
+/// arbitrary time from the frame-rate trajectory (blocker `j` of
+/// consecutive snapshots is the same person).
+///
+/// When the two bracketing snapshots disagree in length — a scenario whose
+/// population changes mid-set, e.g. a replayed `MobilityTrace` with people
+/// entering or leaving — blending would pair positions of different
+/// people, so the nearer snapshot is used as-is instead (piecewise
+/// constant across the membership change).
+fn interpolate_snapshot(
+    snapshots: &[Vec<(f64, f64)>],
+    frame_period: f64,
+    time_s: f64,
+) -> Vec<(f64, f64)> {
+    if snapshots.is_empty() {
+        return Vec::new();
     }
     let idx = time_s / frame_period;
-    let lo = (idx.floor() as usize).min(positions.len() - 1);
-    let hi = (lo + 1).min(positions.len() - 1);
+    let lo = (idx.floor() as usize).min(snapshots.len() - 1);
+    let hi = (lo + 1).min(snapshots.len() - 1);
     let frac = idx - lo as f64;
-    let a = positions[lo];
-    let b = positions[hi];
-    (a.0 + (b.0 - a.0) * frac, a.1 + (b.1 - a.1) * frac)
+    if snapshots[lo].len() != snapshots[hi].len() {
+        let nearest = if frac < 0.5 { lo } else { hi };
+        return snapshots[nearest].clone();
+    }
+    snapshots[lo]
+        .iter()
+        .zip(&snapshots[hi])
+        .map(|(a, b)| (a.0 + (b.0 - a.0) * frac, a.1 + (b.1 - a.1) * frac))
+        .collect()
 }
 
 /// Index of the camera frame captured closest to the given time.
@@ -299,6 +427,7 @@ mod tests {
     #[test]
     fn campaign_has_expected_structure() {
         let campaign = tiny_campaign();
+        assert_eq!(campaign.scenario, "paper");
         assert_eq!(campaign.sets.len(), 2);
         assert_eq!(campaign.total_packets(), 24);
         for set in &campaign.sets {
@@ -389,8 +518,86 @@ mod tests {
     #[test]
     fn different_sets_have_different_trajectories() {
         let campaign = tiny_campaign();
-        let a = campaign.sets[0].packets[5].human;
-        let b = campaign.sets[1].packets[5].human;
+        let a = &campaign.sets[0].packets[5].blockers;
+        let b = &campaign.sets[1].packets[5].blockers;
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn worker_count_does_not_change_the_campaign() {
+        let mut cfg = EvalConfig::smoke();
+        cfg.n_sets = 1;
+        cfg.packets_per_set = 8;
+        let mut sequential_scenario = PaperScenario::new(cfg.cir);
+        let sequential = Campaign::generate_scenario_with(&cfg, &mut sequential_scenario, 1);
+        let mut parallel_scenario = PaperScenario::new(cfg.cir);
+        let parallel = Campaign::generate_scenario_with(&cfg, &mut parallel_scenario, 7);
+        assert_eq!(sequential.sets.len(), parallel.sets.len());
+        for (s, p) in sequential.sets.iter().zip(&parallel.sets) {
+            assert_eq!(s.packets.len(), p.packets.len());
+            for (a, b) in s.packets.iter().zip(&p.packets) {
+                assert_eq!(a.perfect_cir.taps(), b.perfect_cir.taps());
+                assert_eq!(a.realization, b.realization);
+                assert_eq!(a.preamble_detected, b.preamble_detected);
+                assert_eq!(a.blockers, b.blockers);
+            }
+            for (a, b) in s.frames.iter().zip(&p.frames) {
+                assert_eq!(a.image.data(), b.image.data());
+            }
+        }
+    }
+
+    #[test]
+    fn spec_generation_labels_the_campaign_and_validates() {
+        let mut cfg = EvalConfig::smoke();
+        cfg.n_sets = 1;
+        cfg.packets_per_set = 6;
+        let campaign = Campaign::generate_spec(&cfg, "rayleigh:doppler=10").unwrap();
+        assert_eq!(campaign.scenario, "rayleigh:doppler=10");
+        // No physical blockers: frames and packets carry empty positions.
+        assert!(campaign.sets[0]
+            .frames
+            .iter()
+            .all(|f| f.blockers.is_empty()));
+        assert!(campaign.sets[0]
+            .packets
+            .iter()
+            .all(|p| p.blockers.is_empty()));
+        assert!(Campaign::generate_spec(&cfg, "nonsense").is_err());
+    }
+
+    #[test]
+    fn membership_changes_interpolate_piecewise_constant() {
+        // Equal-length snapshots blend linearly.
+        let steady = vec![vec![(0.0, 0.0)], vec![(1.0, 2.0)]];
+        assert_eq!(interpolate_snapshot(&steady, 1.0, 0.5), vec![(0.5, 1.0)]);
+        // A person appears between samples: no cross-person blending — the
+        // nearer snapshot wins wholesale.
+        let changing = vec![vec![(0.0, 0.0)], vec![(1.0, 2.0), (5.0, 5.0)]];
+        assert_eq!(interpolate_snapshot(&changing, 1.0, 0.25), vec![(0.0, 0.0)]);
+        assert_eq!(
+            interpolate_snapshot(&changing, 1.0, 0.75),
+            vec![(1.0, 2.0), (5.0, 5.0)]
+        );
+    }
+
+    #[test]
+    fn crowd_campaigns_render_every_blocker() {
+        let mut cfg = EvalConfig::smoke();
+        cfg.n_sets = 1;
+        cfg.packets_per_set = 6;
+        let campaign = Campaign::generate_spec(&cfg, "room:lab,humans=3,speed=1").unwrap();
+        let set = &campaign.sets[0];
+        assert!(set.frames.iter().all(|f| f.blockers.len() == 3));
+        assert!(set.packets.iter().all(|p| p.blockers.len() == 3));
+        // A crowd of three darkens the depth image relative to an empty
+        // room somewhere in the set.
+        let room = &campaign.room;
+        let camera = build_camera(room);
+        let empty = render_preprocessed(room, &camera, &[]);
+        assert!(set
+            .frames
+            .iter()
+            .any(|f| f.image.mean_abs_diff(&empty) > 1e-4));
     }
 }

@@ -11,16 +11,23 @@
 //! campaign on top of the simulators in the other crates and reproduces the
 //! paper's experiments:
 //!
-//! * [`mobility`] — random-waypoint movement of the single human inside the
-//!   movement area of Fig. 2,
+//! * [`mobility`] — blocker mobility models (now re-exported from
+//!   `vvd_channel::mobility`, where the scenario engine lives),
 //! * [`campaign`] — per-packet channel realisations, per-frame depth
 //!   images, packet↔frame association and the perfect (ground-truth) LS
-//!   estimates,
+//!   estimates; the environment is any
+//!   [`vvd_channel::ChannelScenario`] built from a spec
+//!   string (`"paper"`, `"room:large,humans=4,speed=1.5"`,
+//!   `"rician:k=6,doppler=30"`, overlays like `"paper+burst-noise:p=0.01"`),
+//!   with frame rendering and per-packet waveform synthesis batched across
+//!   `std::thread::scope` workers,
 //! * [`combinations`] — Table 2 (the 15 set combinations) plus generated
 //!   equivalents for reduced campaign sizes,
 //! * [`stream`] — the generic streaming core that fits boxed
 //!   `ChannelEstimator`s and replays a test set through them
 //!   (estimate → decode → score → observe), optionally on worker threads,
+//!   plus the (scenario × estimator) sweep driver
+//!   [`stream::run_scenario_sweep`],
 //! * [`evaluate`] — the per-combination comparison of estimation
 //!   techniques (PER / CER / MSE, Figs. 11–14), the packet-by-packet time
 //!   series of Fig. 15 and the box-plot aggregation over combinations; all
@@ -56,4 +63,7 @@ pub use evaluate::{
     TechniqueMetrics,
 };
 pub use mobility::RandomWaypoint;
-pub use stream::{stream_estimators, EstimatorTrace, LabeledEstimator, StreamOptions};
+pub use stream::{
+    run_scenario_sweep, stream_estimators, EstimatorTrace, LabeledEstimator, ScenarioOutcome,
+    StreamOptions, SweepSpecError,
+};

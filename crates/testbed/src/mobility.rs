@@ -1,152 +1,10 @@
-//! Random-waypoint mobility of the single human.
+//! Blocker mobility models (re-exported).
 //!
-//! The paper constrains the human to a movement area that the camera fully
-//! covers (Fig. 2) and keeps them "always mobile during the measurements".
-//! A random-waypoint process over that area with pedestrian speeds captures
-//! both properties.
+//! The random-waypoint walker (and its crowd/trace generalisations) moved
+//! into [`vvd_channel::mobility`] so that
+//! [`ChannelScenario`](vvd_channel::ChannelScenario) implementations can
+//! drive blocker movement without depending on the evaluation harness;
+//! this module re-exports them so existing `vvd_testbed::mobility` users
+//! keep compiling.
 
-use rand::Rng;
-use vvd_channel::Room;
-
-/// A random-waypoint trajectory generator over the room's movement area.
-#[derive(Debug, Clone)]
-pub struct RandomWaypoint {
-    area: [f64; 4],
-    min_speed: f64,
-    max_speed: f64,
-    position: (f64, f64),
-    target: (f64, f64),
-    speed: f64,
-}
-
-impl RandomWaypoint {
-    /// Creates a generator for the room's movement area with pedestrian
-    /// speeds (0.4–1.4 m/s).
-    pub fn new<R: Rng + ?Sized>(room: &Room, rng: &mut R) -> Self {
-        let area = room.movement_area;
-        let position = Self::sample_point(area, rng);
-        let target = Self::sample_point(area, rng);
-        let mut walker = RandomWaypoint {
-            area,
-            min_speed: 0.4,
-            max_speed: 1.4,
-            position,
-            target,
-            speed: 0.0,
-        };
-        walker.speed = walker.sample_speed(rng);
-        walker
-    }
-
-    fn sample_point<R: Rng + ?Sized>(area: [f64; 4], rng: &mut R) -> (f64, f64) {
-        let [x0, x1, y0, y1] = area;
-        (rng.gen_range(x0..x1), rng.gen_range(y0..y1))
-    }
-
-    fn sample_speed<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
-        rng.gen_range(self.min_speed..self.max_speed)
-    }
-
-    /// Current position.
-    pub fn position(&self) -> (f64, f64) {
-        self.position
-    }
-
-    /// Advances the walker by `dt` seconds, picking a new waypoint whenever
-    /// the current one is reached.
-    pub fn step<R: Rng + ?Sized>(&mut self, dt: f64, rng: &mut R) -> (f64, f64) {
-        let mut remaining = dt * self.speed;
-        while remaining > 0.0 {
-            let dx = self.target.0 - self.position.0;
-            let dy = self.target.1 - self.position.1;
-            let dist = (dx * dx + dy * dy).sqrt();
-            if dist <= remaining {
-                self.position = self.target;
-                remaining -= dist;
-                self.target = Self::sample_point(self.area, rng);
-                self.speed = self.sample_speed(rng);
-            } else {
-                self.position.0 += dx / dist * remaining;
-                self.position.1 += dy / dist * remaining;
-                remaining = 0.0;
-            }
-        }
-        self.position
-    }
-
-    /// Generates positions sampled every `dt` seconds for `steps` steps
-    /// (including the starting position as the first sample).
-    pub fn trajectory<R: Rng + ?Sized>(
-        &mut self,
-        dt: f64,
-        steps: usize,
-        rng: &mut R,
-    ) -> Vec<(f64, f64)> {
-        let mut out = Vec::with_capacity(steps);
-        out.push(self.position);
-        for _ in 1..steps {
-            out.push(self.step(dt, rng));
-        }
-        out
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
-
-    #[test]
-    fn positions_stay_inside_the_movement_area() {
-        let room = Room::laboratory();
-        let mut rng = StdRng::seed_from_u64(1);
-        let mut walker = RandomWaypoint::new(&room, &mut rng);
-        let [x0, x1, y0, y1] = room.movement_area;
-        for _ in 0..2000 {
-            let (x, y) = walker.step(1.0 / 30.0, &mut rng);
-            assert!((x0 - 1e-9..=x1 + 1e-9).contains(&x));
-            assert!((y0 - 1e-9..=y1 + 1e-9).contains(&y));
-        }
-    }
-
-    #[test]
-    fn walker_actually_moves() {
-        let room = Room::laboratory();
-        let mut rng = StdRng::seed_from_u64(2);
-        let mut walker = RandomWaypoint::new(&room, &mut rng);
-        let start = walker.position();
-        let traj = walker.trajectory(1.0 / 30.0, 300, &mut rng);
-        let total: f64 = traj
-            .windows(2)
-            .map(|w| ((w[1].0 - w[0].0).powi(2) + (w[1].1 - w[0].1).powi(2)).sqrt())
-            .sum();
-        assert!(total > 1.0, "walker moved only {total} m in 10 s");
-        assert_eq!(traj[0], start);
-    }
-
-    #[test]
-    fn per_step_displacement_is_bounded_by_max_speed() {
-        let room = Room::laboratory();
-        let mut rng = StdRng::seed_from_u64(3);
-        let mut walker = RandomWaypoint::new(&room, &mut rng);
-        let dt = 0.1;
-        let traj = walker.trajectory(dt, 500, &mut rng);
-        for w in traj.windows(2) {
-            let d = ((w[1].0 - w[0].0).powi(2) + (w[1].1 - w[0].1).powi(2)).sqrt();
-            assert!(d <= 1.4 * dt + 1e-9, "step displacement {d}");
-        }
-    }
-
-    #[test]
-    fn different_seeds_give_different_trajectories() {
-        let room = Room::laboratory();
-        let mut rng_a = StdRng::seed_from_u64(10);
-        let mut rng_b = StdRng::seed_from_u64(11);
-        let mut wa = RandomWaypoint::new(&room, &mut rng_a);
-        let mut wb = RandomWaypoint::new(&room, &mut rng_b);
-        let ta = wa.trajectory(0.1, 50, &mut rng_a);
-        let tb = wb.trajectory(0.1, 50, &mut rng_b);
-        assert_ne!(ta, tb);
-    }
-}
+pub use vvd_channel::mobility::{Crowd, MobilityTrace, RandomWaypoint};

@@ -14,9 +14,21 @@
 //! with [`std::thread::scope`]; the per-estimator arithmetic is identical
 //! either way, which makes the parallel results bit-identical to the
 //! sequential ones.
+//!
+//! On top of the per-combination core, [`run_scenario_sweep`] fans the
+//! same machinery out over a (scenario × estimator) grid: each scenario
+//! spec generates its own campaign (batched CIR/waveform synthesis on
+//! worker threads, see `crate::campaign`), every estimator spec streams
+//! through every combination of it, and the scenarios themselves are
+//! spread round-robin over workers with the remaining cores divided among
+//! them as synthesis threads — so one call evaluates, say, 4 scenarios ×
+//! 14 techniques × all combinations without leaving cores idle.
 
 use crate::campaign::{Campaign, FrameRecord, MeasurementSet};
-use crate::combinations::SetCombination;
+use crate::combinations::{combinations_for, SetCombination};
+use crate::evaluate::{evaluate_specs, CombinationResult, EvalOptions, EvaluationSummary};
+use std::fmt;
+use vvd_channel::scenario::{BoxedScenario, ScenarioRegistry, SpecParseError};
 use vvd_core::VvdVariant;
 use vvd_dsp::FirFilter;
 use vvd_estimation::decode::decode_with_reference;
@@ -355,6 +367,195 @@ fn stream_chunk(
     traces
 }
 
+// ---------------------------------------------------------------------------
+// Scenario × estimator sweeps
+// ---------------------------------------------------------------------------
+
+/// A spec failed to validate before a sweep started (no compute is spent
+/// on a sweep with an invalid cell).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SweepSpecError {
+    /// A scenario spec was rejected by the [`ScenarioRegistry`].
+    Scenario(SpecParseError),
+    /// An estimator spec was rejected by the
+    /// [`EstimatorRegistry`](vvd_estimation::EstimatorRegistry).
+    Estimator(vvd_estimation::registry::SpecError),
+}
+
+impl fmt::Display for SweepSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SweepSpecError::Scenario(e) => write!(f, "{e}"),
+            SweepSpecError::Estimator(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SweepSpecError {}
+
+impl From<SpecParseError> for SweepSpecError {
+    fn from(e: SpecParseError) -> Self {
+        SweepSpecError::Scenario(e)
+    }
+}
+
+impl From<vvd_estimation::registry::SpecError> for SweepSpecError {
+    fn from(e: vvd_estimation::registry::SpecError) -> Self {
+        SweepSpecError::Estimator(e)
+    }
+}
+
+/// Everything one scenario contributed to a sweep.
+#[derive(Debug, Clone)]
+pub struct ScenarioOutcome {
+    /// Canonical spec of the scenario (also the campaign label).
+    pub scenario: String,
+    /// Per-combination results, keyed exactly like
+    /// [`crate::evaluate::evaluate_specs`] keys them.
+    pub results: Vec<CombinationResult>,
+    /// Box statistics over the combinations.
+    pub summary: EvaluationSummary,
+    /// `true` when the scenario produced no physical blockers (static
+    /// camera view): estimators whose
+    /// [`uses_camera`](vvd_estimation::ChannelEstimator::uses_camera) is
+    /// `true` can at best learn the mean channel here.
+    pub camera_blind: bool,
+}
+
+/// Runs the full (scenario × estimator) grid: every estimator spec is
+/// streamed through every combination of every scenario's campaign.
+///
+/// All specs are validated up front — an invalid cell fails the call
+/// before any campaign is generated.  With [`EvalOptions::parallel`],
+/// scenarios are spread round-robin over `std::thread::scope` workers and
+/// the remaining hardware parallelism is divided among them as each
+/// worker's campaign-synthesis thread budget (a 2-scenario sweep on 16
+/// cores runs 2 scenario workers with 8 synthesis threads each); inner
+/// estimator streaming stays sequential per worker to avoid a third
+/// fan-out level.  With a single scenario the inner pipeline fans out over
+/// estimators instead.  Either way the outcome list is in input order and
+/// bit-identical to the sequential path.
+pub fn run_scenario_sweep(
+    config: &crate::config::EvalConfig,
+    scenario_specs: &[&str],
+    estimator_specs: &[&str],
+    options: &EvalOptions,
+) -> Result<Vec<ScenarioOutcome>, SweepSpecError> {
+    // Validate every cell before spending compute.
+    let estimator_registry = vvd_estimation::EstimatorRegistry::new();
+    for spec in estimator_specs {
+        estimator_registry.build(spec)?;
+    }
+    let scenario_registry = ScenarioRegistry::new().with_cir_config(config.cir);
+    let mut scenarios: Vec<BoxedScenario> = scenario_specs
+        .iter()
+        .map(|spec| scenario_registry.build(spec))
+        .collect::<Result<_, _>>()?;
+
+    let available = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let workers = if options.parallel {
+        available.min(scenarios.len().max(1))
+    } else {
+        1
+    };
+
+    if workers <= 1 {
+        let synthesis_workers = if options.parallel { available } else { 1 };
+        return Ok(scenarios
+            .iter_mut()
+            .map(|scenario| {
+                evaluate_scenario(
+                    config,
+                    scenario,
+                    estimator_specs,
+                    options,
+                    synthesis_workers,
+                )
+            })
+            .collect());
+    }
+
+    // Round-robin over workers; each worker evaluates its scenarios with a
+    // sequential inner pipeline but a share of the synthesis threads, and
+    // results are stitched back in input order.
+    let synthesis_workers = (available / workers).max(1);
+    let inner = EvalOptions { parallel: false };
+    let mut indexed: Vec<(usize, ScenarioOutcome)> = std::thread::scope(|scope| {
+        let inner = &inner;
+        // Distribute the stateful scenario objects round-robin, by mutable
+        // reference (each lives on exactly one worker).
+        let mut buckets: Vec<Vec<(usize, &mut BoxedScenario)>> =
+            (0..workers).map(|_| Vec::new()).collect();
+        for (i, scenario) in scenarios.iter_mut().enumerate() {
+            buckets[i % workers].push((i, scenario));
+        }
+        let worker_handles: Vec<_> = buckets
+            .into_iter()
+            .map(|bucket| {
+                scope.spawn(move || {
+                    bucket
+                        .into_iter()
+                        .map(|(i, scenario)| {
+                            (
+                                i,
+                                evaluate_scenario(
+                                    config,
+                                    scenario,
+                                    estimator_specs,
+                                    inner,
+                                    synthesis_workers,
+                                ),
+                            )
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        worker_handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("scenario sweep worker panicked"))
+            .collect()
+    });
+    indexed.sort_by_key(|(i, _)| *i);
+    Ok(indexed.into_iter().map(|(_, outcome)| outcome).collect())
+}
+
+/// Evaluates one scenario cell of a sweep: generate the campaign (with the
+/// given synthesis-thread budget), stream every estimator spec through
+/// every combination, aggregate.
+fn evaluate_scenario(
+    config: &crate::config::EvalConfig,
+    scenario: &mut BoxedScenario,
+    estimator_specs: &[&str],
+    options: &EvalOptions,
+    synthesis_workers: usize,
+) -> ScenarioOutcome {
+    let campaign = Campaign::generate_scenario_with(config, scenario.as_mut(), synthesis_workers);
+    let camera_blind = campaign
+        .sets
+        .iter()
+        .all(|set| set.frames.iter().all(|f| f.blockers.is_empty()));
+
+    let combos = combinations_for(config.n_sets, config.n_combinations);
+    let results: Vec<CombinationResult> = combos
+        .iter()
+        .map(|combo| {
+            evaluate_specs(&campaign, combo, estimator_specs, options)
+                .expect("sweep specs are validated before evaluation starts")
+        })
+        .collect();
+    let summary = EvaluationSummary::from_results(&results);
+
+    ScenarioOutcome {
+        scenario: campaign.scenario.clone(),
+        results,
+        summary,
+        camera_blind,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -432,5 +633,87 @@ mod tests {
     #[should_panic(expected = "empty training set")]
     fn nominal_energy_rejects_an_empty_training_sequence() {
         let _ = nominal_energy(&[]);
+    }
+
+    #[test]
+    fn scenario_sweep_covers_the_grid_in_input_order() {
+        let mut cfg = EvalConfig::smoke();
+        cfg.n_sets = 3;
+        cfg.packets_per_set = 16;
+        cfg.kalman_warmup_packets = 2;
+        let scenarios = ["paper", "rayleigh:doppler=10", "paper+snr-offset:db=10"];
+        let estimators = ["ground-truth", "previous:100ms"];
+        let outcomes = run_scenario_sweep(
+            &cfg,
+            &scenarios,
+            &estimators,
+            &crate::evaluate::EvalOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(outcomes.len(), 3);
+        for (outcome, spec) in outcomes.iter().zip(&scenarios) {
+            assert_eq!(outcome.scenario, *spec);
+            assert_eq!(outcome.results.len(), cfg.n_combinations);
+            for result in &outcome.results {
+                assert_eq!(result.metrics.len(), estimators.len());
+                for metrics in result.metrics.values() {
+                    assert!((0.0..=1.0).contains(&metrics.per));
+                    assert!(metrics.packets > 0);
+                }
+            }
+        }
+        // Camera-blindness is a property of the scenario, not the specs.
+        assert!(!outcomes[0].camera_blind);
+        assert!(outcomes[1].camera_blind);
+        assert!(!outcomes[2].camera_blind);
+        // 10 dB of extra SNR headroom can only help the stale estimator.
+        let per_of =
+            |o: &ScenarioOutcome, label: &str| o.summary.per.get(label).map(|s| s.mean).unwrap();
+        assert!(
+            per_of(&outcomes[2], "100ms Previous") <= per_of(&outcomes[0], "100ms Previous") + 1e-9
+        );
+    }
+
+    #[test]
+    fn scenario_sweep_parallel_matches_sequential() {
+        let mut cfg = EvalConfig::smoke();
+        cfg.n_sets = 3;
+        cfg.packets_per_set = 12;
+        cfg.kalman_warmup_packets = 2;
+        let scenarios = ["paper", "rician:k=6,doppler=30"];
+        let estimators = ["ground-truth", "standard"];
+        let run = |parallel: bool| {
+            run_scenario_sweep(
+                &cfg,
+                &scenarios,
+                &estimators,
+                &crate::evaluate::EvalOptions { parallel },
+            )
+            .unwrap()
+        };
+        let sequential = run(false);
+        let parallel = run(true);
+        assert_eq!(sequential.len(), parallel.len());
+        for (s, p) in sequential.iter().zip(&parallel) {
+            assert_eq!(s.scenario, p.scenario);
+            assert_eq!(s.camera_blind, p.camera_blind);
+            for (rs, rp) in s.results.iter().zip(&p.results) {
+                assert_eq!(rs.metrics, rp.metrics);
+            }
+        }
+    }
+
+    #[test]
+    fn scenario_sweep_rejects_invalid_cells_before_computing() {
+        let cfg = EvalConfig::smoke();
+        let options = crate::evaluate::EvalOptions::default();
+        match run_scenario_sweep(&cfg, &["warp-drive"], &["standard"], &options) {
+            Err(SweepSpecError::Scenario(e)) => assert!(!e.to_string().is_empty()),
+            other => panic!("expected a scenario spec error, got {other:?}"),
+        }
+        match run_scenario_sweep(&cfg, &["paper"], &["nonsense"], &options) {
+            Err(SweepSpecError::Estimator(e)) => assert!(!e.to_string().is_empty()),
+            other => panic!("expected an estimator spec error, got {other:?}"),
+        }
     }
 }

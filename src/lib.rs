@@ -6,7 +6,11 @@
 //!
 //! * [`dsp`] — complex arithmetic, linear algebra and DSP primitives,
 //! * [`phy`] — the IEEE 802.15.4 O-QPSK DSSS physical layer,
-//! * [`channel`] — the geometric indoor multipath channel simulator,
+//! * [`channel`] — the geometric indoor multipath channel simulator, the
+//!   blocker mobility models, and the pluggable scenario engine (the
+//!   `ChannelScenario` trait plus the `ScenarioRegistry` building
+//!   scenarios from spec strings like `"room:large,humans=4,speed=1.5"`,
+//!   `"rician:k=6,doppler=30"` or `"paper+burst-noise:p=0.01"`),
 //! * [`vision`] — the depth-camera simulator and image preprocessing,
 //! * [`nn`] — the from-scratch CNN library,
 //! * [`estimation`] — channel estimation, equalization and metrics, plus

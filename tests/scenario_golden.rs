@@ -1,0 +1,135 @@
+//! Scenario-engine parity: the `"paper"` scenario routed through the new
+//! `ChannelScenario` trait must reproduce the pre-refactor CIR generation
+//! path bit for bit.
+//!
+//! The golden values below were captured from the harness as it existed
+//! *before* the scenario engine (hard-wired `Room::laboratory()` +
+//! `RandomWaypoint` + `CirSynthesizer` inside `Campaign::generate`), on
+//! `EvalConfig::smoke()`.  Every literal is the shortest round-trip
+//! representation of the exact `f64` the old code produced; comparisons
+//! are `==`, not approximate.  The sums run in packet/frame order, so they
+//! also pin the ordering of the parallel synthesis phase.
+
+use vvd::testbed::{Campaign, EvalConfig};
+
+/// Per-set digests of the pre-scenario-engine `Campaign::generate`:
+/// `(fir_sum, perfect_sum, phase_sum, p0_tap5, p10_blocker, img_sum,
+/// detected)` where the sums fold over packets/frames in order.
+#[allow(clippy::type_complexity)]
+const GOLDEN_SETS: [(
+    (f64, f64),
+    (f64, f64),
+    f64,
+    (f64, f64),
+    (f64, f64),
+    f64,
+    usize,
+); 3] = [
+    (
+        (0.019980989282112713, -0.0907941135884553),
+        (0.016115583747991588, 0.000824998841149958),
+        9.912800639258185,
+        (-0.0012991372551372404, 0.000981944326910276),
+        (4.4114927901283165, 3.6245451564536957),
+        239363.32049164176,
+        21,
+    ),
+    (
+        (0.022452424459116438, -0.08830151550231068),
+        (0.0069809762458664, -0.00942200965318777),
+        -1.959094273518017,
+        (-0.00027012268804959107, 0.0005121352238666736),
+        (2.8337377118451657, 3.106186526938442),
+        241991.69531804323,
+        25,
+    ),
+    (
+        (0.013865017609426426, -0.08978690767673918),
+        (0.004600146396810119, -0.006959807015239769),
+        14.018372012065075,
+        (-0.0009730795650267697, 0.0013399170340813117),
+        (4.341025051669475, 3.7826358863378866),
+        243054.7396442592,
+        26,
+    ),
+];
+
+/// The exact noise standard deviation the old harness calibrated for the
+/// smoke preset (identical across sets).
+const GOLDEN_NOISE_STD: f64 = 0.0049960073143747825;
+
+fn assert_matches_golden(campaign: &Campaign) {
+    assert_eq!(campaign.sets.len(), GOLDEN_SETS.len());
+    for (set, golden) in campaign.sets.iter().zip(&GOLDEN_SETS) {
+        let (fir_sum, perfect_sum, phase_sum, p0_tap5, p10_blocker, img_sum, detected) = *golden;
+
+        let mut fir = (0.0f64, 0.0f64);
+        let mut perfect = (0.0f64, 0.0f64);
+        let mut phase = 0.0f64;
+        for p in &set.packets {
+            for t in p.realization.fir.taps().iter() {
+                fir.0 += t.re;
+                fir.1 += t.im;
+            }
+            for t in p.perfect_cir.taps().iter() {
+                perfect.0 += t.re;
+                perfect.1 += t.im;
+            }
+            phase += p.realization.phase_offset;
+        }
+        assert_eq!(fir, fir_sum, "set {}: fir digest", set.set_id);
+        assert_eq!(
+            perfect, perfect_sum,
+            "set {}: perfect-CIR digest",
+            set.set_id
+        );
+        assert_eq!(phase, phase_sum, "set {}: crystal-phase digest", set.set_id);
+
+        let p0 = &set.packets[0];
+        assert_eq!(p0.realization.noise_std, GOLDEN_NOISE_STD);
+        assert_eq!(
+            (
+                p0.realization.fir.taps()[5].re,
+                p0.realization.fir.taps()[5].im
+            ),
+            p0_tap5,
+            "set {}: packet-0 tap 5",
+            set.set_id
+        );
+
+        assert_eq!(set.packets[10].blockers.len(), 1);
+        assert_eq!(
+            set.packets[10].blockers[0], p10_blocker,
+            "set {}: interpolated blocker position",
+            set.set_id
+        );
+
+        let img: f64 = set
+            .frames
+            .iter()
+            .flat_map(|f| f.image.data().iter())
+            .map(|&v| v as f64)
+            .sum();
+        assert_eq!(img, img_sum, "set {}: depth-image digest", set.set_id);
+
+        let n_detected = set.packets.iter().filter(|p| p.preamble_detected).count();
+        assert_eq!(
+            n_detected, detected,
+            "set {}: preamble detections",
+            set.set_id
+        );
+    }
+}
+
+#[test]
+fn paper_scenario_reproduces_the_prerefactor_cir_path_exactly() {
+    let campaign = Campaign::generate(&EvalConfig::smoke());
+    assert_eq!(campaign.scenario, "paper");
+    assert_matches_golden(&campaign);
+}
+
+#[test]
+fn registry_built_paper_scenario_is_identical_to_the_default_path() {
+    let campaign = Campaign::generate_spec(&EvalConfig::smoke(), "paper").unwrap();
+    assert_matches_golden(&campaign);
+}

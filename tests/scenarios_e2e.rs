@@ -1,0 +1,83 @@
+//! New scenarios end-to-end: every scenario family added by the scenario
+//! engine must run through `run_evaluation` with all 14 paper techniques —
+//! VVD training included — and produce sane metrics.
+
+use vvd::estimation::Technique;
+use vvd::testbed::evaluate::run_evaluation;
+use vvd::testbed::{Campaign, EvalConfig};
+
+/// A campaign small enough that 14 techniques × 3 scenarios stay test-fast
+/// while still exercising training, warm-up, streaming and aggregation.
+fn e2e_config() -> EvalConfig {
+    let mut cfg = EvalConfig::smoke();
+    cfg.n_sets = 3;
+    cfg.packets_per_set = 24;
+    cfg.n_combinations = 1;
+    cfg.kalman_warmup_packets = 4;
+    cfg.max_vvd_training_samples = 40;
+    cfg.vvd.epochs = 2;
+    cfg
+}
+
+fn run_all_techniques(spec: &str) {
+    let cfg = e2e_config();
+    let campaign = Campaign::generate_spec(&cfg, spec)
+        .unwrap_or_else(|e| panic!("`{spec}` should build: {e}"));
+    assert_eq!(campaign.scenario, spec);
+
+    let (results, summary) = run_evaluation(&campaign, &Technique::ALL);
+    assert_eq!(results.len(), cfg.n_combinations);
+    for result in &results {
+        assert_eq!(
+            result.metrics.len(),
+            Technique::ALL.len(),
+            "{spec}: every technique must report metrics"
+        );
+        for technique in Technique::ALL {
+            let m = result
+                .metric(technique)
+                .unwrap_or_else(|| panic!("{spec}: no metrics for {technique}"));
+            assert!(
+                (0.0..=1.0).contains(&m.per),
+                "{spec}/{technique}: PER {} out of range",
+                m.per
+            );
+            assert!(
+                (0.0..=1.0).contains(&m.cer),
+                "{spec}/{technique}: CER {} out of range",
+                m.cer
+            );
+            assert!(m.packets > 0, "{spec}/{technique}: no packets scored");
+            if let Some(mse) = m.mse {
+                assert!(
+                    mse.is_finite() && mse >= 0.0,
+                    "{spec}/{technique}: bad MSE {mse}"
+                );
+            }
+        }
+        // The three VVD variants trained (once each, via the pool).
+        assert_eq!(result.vvd_reports.len(), 3, "{spec}: VVD training reports");
+    }
+    // Aggregation covers every technique label.
+    assert_eq!(summary.per.len(), Technique::ALL.len());
+}
+
+#[test]
+fn crowd_scenario_runs_all_14_techniques_end_to_end() {
+    run_all_techniques("room:large,humans=4,speed=1.5");
+}
+
+#[test]
+fn rician_scenario_runs_all_14_techniques_end_to_end() {
+    run_all_techniques("rician:k=6,doppler=30");
+}
+
+#[test]
+fn snr_sweep_scenario_runs_all_14_techniques_end_to_end() {
+    run_all_techniques("paper+snr-sweep:from=-10,to=0");
+}
+
+#[test]
+fn rayleigh_overlay_composition_runs_all_14_techniques_end_to_end() {
+    run_all_techniques("rayleigh:doppler=10+burst-noise:p=0.05,db=10");
+}
