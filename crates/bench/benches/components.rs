@@ -74,7 +74,7 @@ fn bench_channel_and_vision(c: &mut Criterion) {
 fn bench_cnn(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(5);
     let cfg = VvdConfig::quick();
-    let mut model = build_vvd_cnn(50, 90, &cfg, &mut rng);
+    let model = build_vvd_cnn(50, 90, &cfg, &mut rng);
     let input = Tensor::zeros(&[1, 1, 50, 90]);
     c.bench_function("cnn/vvd_inference_quick_arch", |b| {
         b.iter(|| model.predict(&input))

@@ -11,7 +11,7 @@
 
 use vvd_bench::{bench_config, print_header};
 use vvd_testbed::report::format_box_row;
-use vvd_testbed::run_scenario_sweep;
+use vvd_testbed::run_scenario_sweep_report;
 use vvd_testbed::EvalOptions;
 
 /// The swept scenarios: the paper's baseline plus the three new families.
@@ -40,10 +40,10 @@ fn main() {
     let mut cfg = bench_config();
     cfg.n_combinations = cfg.n_combinations.min(2);
 
-    let outcomes = run_scenario_sweep(&cfg, &SCENARIOS, &ESTIMATORS, &EvalOptions::default())
+    let report = run_scenario_sweep_report(&cfg, &SCENARIOS, &ESTIMATORS, &EvalOptions::default())
         .expect("built-in sweep specs are valid");
 
-    for outcome in &outcomes {
+    for outcome in &report.outcomes {
         println!(
             "\nscenario: {}{}",
             outcome.scenario,
@@ -61,4 +61,5 @@ fn main() {
             println!("{}", format_box_row(label, stats));
         }
     }
+    println!("\nmodel cache: {}", report.model_cache);
 }

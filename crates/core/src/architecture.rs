@@ -80,7 +80,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         let mut cfg = VvdConfig::quick();
         cfg.conv_filters = 4; // keep the test fast
-        let mut model = build_vvd_cnn(50, 90, &cfg, &mut rng);
+        let model = build_vvd_cnn(50, 90, &cfg, &mut rng);
         let x = Tensor::zeros(&[2, 1, 50, 90]);
         let y = model.predict(&x);
         assert_eq!(y.shape(), &[2, 22]);

@@ -20,14 +20,19 @@
 //! * [`model`] — training (Nadam, MSE, best-validation-epoch selection) and
 //!   inference ([`VvdModel::predict_cir`] returns a denormalised
 //!   [`vvd_dsp::FirFilter`] ready for the shared ZF-equalization pipeline of
-//!   `vvd-estimation`).
+//!   `vvd-estimation`); trained weights are immutable and `Arc`-shared, and
+//!   models serialise to JSON for the content-addressed model cache,
+//! * [`key`] — [`ModelKey`], the stable digest of (variant, architecture,
+//!   training configuration, dataset content) that content-addresses a
+//!   trained model.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![deny(unsafe_code)]
 
 pub mod architecture;
 pub mod config;
 pub mod dataset;
+pub mod key;
 pub mod model;
 pub mod preprocess;
 pub mod variant;
@@ -35,6 +40,7 @@ pub mod variant;
 pub use architecture::build_vvd_cnn;
 pub use config::{PoolingKind, VvdConfig};
 pub use dataset::{VvdDataset, VvdSample};
+pub use key::ModelKey;
 pub use model::{VvdModel, VvdTrainingReport};
 pub use preprocess::{cir_to_targets, targets_to_cir, CirNormalizer};
 pub use variant::VvdVariant;

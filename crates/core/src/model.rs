@@ -13,9 +13,16 @@ use crate::variant::VvdVariant;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 use vvd_dsp::FirFilter;
+use vvd_nn::serialize::ModelCheckpoint;
 use vvd_nn::{Nadam, Sequential, Tensor, TrainConfig, Trainer};
 use vvd_vision::DepthImage;
+
+/// Images per inference chunk of [`VvdModel::predict_batch`]: large enough
+/// that the convolution runs as one batched GEMM, small enough to keep the
+/// column matrices cache-friendly.
+const PREDICT_CHUNK: usize = 32;
 
 /// Summary of a VVD training run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -32,20 +39,40 @@ pub struct VvdTrainingReport {
     pub best_val_loss: f32,
 }
 
-/// A trained VVD model.
-///
-/// Cloning duplicates the full network state; clones predict identically,
-/// which lets the evaluation harness train each variant once and hand an
-/// owned copy to every estimator (including estimators running on worker
-/// threads).
-#[derive(Clone)]
-pub struct VvdModel {
+/// The immutable state of a trained model, shared between clones.
+struct ModelState {
     network: Sequential,
     normalizer: CirNormalizer,
     config: VvdConfig,
     variant: VvdVariant,
     image_height: usize,
     image_width: usize,
+}
+
+/// A trained VVD model.
+///
+/// The trained weights are immutable and shared behind an [`Arc`]:
+/// cloning a model is a reference-count bump, every clone predicts
+/// identically, and prediction takes `&self` (the network's inference path
+/// writes no caches), so one training can serve any number of estimators —
+/// including estimators running concurrently on worker threads — without
+/// duplicating the network.
+#[derive(Clone)]
+pub struct VvdModel {
+    state: Arc<ModelState>,
+}
+
+/// Serialised form of a trained model: everything needed to rebuild it and
+/// predict bit-identically (architecture + weights + buffers + the
+/// training-set normaliser).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct SavedVvdModel {
+    variant: VvdVariant,
+    config: VvdConfig,
+    normalizer: CirNormalizer,
+    image_height: usize,
+    image_width: usize,
+    checkpoint: ModelCheckpoint,
 }
 
 impl VvdModel {
@@ -103,12 +130,14 @@ impl VvdModel {
         );
 
         let model = VvdModel {
-            network,
-            normalizer,
-            config: *config,
-            variant,
-            image_height: h,
-            image_width: w,
+            state: Arc::new(ModelState {
+                network,
+                normalizer,
+                config: *config,
+                variant,
+                image_height: h,
+                image_width: w,
+            }),
         };
         let report = VvdTrainingReport {
             variant,
@@ -122,17 +151,17 @@ impl VvdModel {
 
     /// The prediction-horizon variant this model was trained for.
     pub fn variant(&self) -> VvdVariant {
-        self.variant
+        self.state.variant
     }
 
     /// The configuration the model was trained with.
     pub fn config(&self) -> &VvdConfig {
-        &self.config
+        &self.state.config
     }
 
     /// The CIR normalisation factor learned from the training set.
     pub fn normalizer(&self) -> &CirNormalizer {
-        &self.normalizer
+        &self.state.normalizer
     }
 
     /// Predicts the complex channel impulse response for one preprocessed
@@ -140,36 +169,125 @@ impl VvdModel {
     ///
     /// # Panics
     /// Panics if the image dimensions differ from the training images.
-    pub fn predict_cir(&mut self, image: &DepthImage) -> FirFilter {
+    pub fn predict_cir(&self, image: &DepthImage) -> FirFilter {
+        let s = &*self.state;
         assert_eq!(
             (image.height(), image.width()),
-            (self.image_height, self.image_width),
+            (s.image_height, s.image_width),
             "image dimensions do not match the trained model"
         );
         let x = Tensor::from_vec(
-            &[1, 1, self.image_height, self.image_width],
+            &[1, 1, s.image_height, s.image_width],
             image.data().to_vec(),
         );
-        let y = self.network.predict(&x);
-        self.normalizer.denormalize(y.item(0))
+        let y = s.network.infer(&x);
+        s.normalizer.denormalize(y.item(0))
+    }
+
+    /// Predicts CIRs for a batch of images, chunking them into batched
+    /// network passes (each chunk's convolution is one GEMM).  Bit-identical
+    /// to calling [`VvdModel::predict_cir`] per image.
+    ///
+    /// # Panics
+    /// Panics if any image's dimensions differ from the training images.
+    pub fn predict_batch<'a, I>(&self, images: I) -> Vec<FirFilter>
+    where
+        I: IntoIterator<Item = &'a DepthImage>,
+    {
+        let s = &*self.state;
+        let images: Vec<&DepthImage> = images.into_iter().collect();
+        let mut out = Vec::with_capacity(images.len());
+        for chunk in images.chunks(PREDICT_CHUNK) {
+            let mut data = Vec::with_capacity(chunk.len() * s.image_height * s.image_width);
+            for image in chunk {
+                assert_eq!(
+                    (image.height(), image.width()),
+                    (s.image_height, s.image_width),
+                    "image dimensions do not match the trained model"
+                );
+                data.extend_from_slice(image.data());
+            }
+            let x = Tensor::from_vec(&[chunk.len(), 1, s.image_height, s.image_width], data);
+            let y = s.network.infer(&x);
+            for i in 0..chunk.len() {
+                out.push(s.normalizer.denormalize(y.item(i)));
+            }
+        }
+        out
     }
 
     /// Predicts CIRs for a whole dataset (used by the evaluation harness and
-    /// the MSE metric).
-    pub fn predict_dataset(&mut self, dataset: &VvdDataset) -> Vec<FirFilter> {
-        dataset
-            .samples
-            .iter()
-            .map(|s| {
-                let x = Tensor::from_vec(
-                    &[1, 1, self.image_height, self.image_width],
-                    s.image.data().to_vec(),
-                );
-                let y = self.network.predict(&x);
-                self.normalizer.denormalize(y.item(0))
-            })
-            .collect()
+    /// the MSE metric), in batched network passes.
+    pub fn predict_dataset(&self, dataset: &VvdDataset) -> Vec<FirFilter> {
+        self.predict_batch(dataset.samples.iter().map(|s| &s.image))
     }
+
+    /// Serialises the trained model (architecture tag, weights, buffers,
+    /// normaliser) to JSON — the on-disk format of the model cache.
+    pub fn to_json(&self) -> String {
+        let s = &*self.state;
+        let tag = architecture_tag(s.variant, &s.config, s.image_height, s.image_width);
+        let mut network = s.network.clone();
+        let checkpoint = ModelCheckpoint::capture(&tag, &mut network);
+        let saved = SavedVvdModel {
+            variant: s.variant,
+            config: s.config,
+            normalizer: s.normalizer,
+            image_height: s.image_height,
+            image_width: s.image_width,
+            checkpoint,
+        };
+        serde_json::to_string(&saved).expect("model serialisation cannot fail")
+    }
+
+    /// Restores a model serialised with [`VvdModel::to_json`].  The loaded
+    /// model predicts bit-identically to the one that was saved.
+    ///
+    /// # Errors
+    /// Returns an error string on malformed JSON or a checkpoint that does
+    /// not match the architecture it declares.
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        let saved: SavedVvdModel = serde_json::from_str(json).map_err(|e| e.to_string())?;
+        let tag = architecture_tag(
+            saved.variant,
+            &saved.config,
+            saved.image_height,
+            saved.image_width,
+        );
+        let mut rng = StdRng::seed_from_u64(saved.config.seed);
+        let mut network = build_vvd_cnn(
+            saved.image_height,
+            saved.image_width,
+            &saved.config,
+            &mut rng,
+        );
+        saved.checkpoint.restore(&tag, &mut network)?;
+        Ok(VvdModel {
+            state: Arc::new(ModelState {
+                network,
+                normalizer: saved.normalizer,
+                config: saved.config,
+                variant: saved.variant,
+                image_height: saved.image_height,
+                image_width: saved.image_width,
+            }),
+        })
+    }
+}
+
+/// The architecture tag stored in (and checked against) model checkpoints.
+fn architecture_tag(variant: VvdVariant, config: &VvdConfig, h: usize, w: usize) -> String {
+    format!(
+        "vvd-cnn:{:?}:{}x{}:f{}:d{}:t{}:{:?}:bn{}",
+        variant,
+        h,
+        w,
+        config.conv_filters,
+        config.dense_units,
+        config.channel_taps,
+        config.pooling,
+        config.batch_norm
+    )
 }
 
 #[cfg(test)]
@@ -222,8 +340,7 @@ mod tests {
     fn training_learns_image_to_cir_mapping() {
         let train = synthetic_dataset(60, 0);
         let val = synthetic_dataset(12, 3);
-        let (mut model, report) =
-            VvdModel::train(VvdVariant::Current, &tiny_config(), &train, &val);
+        let (model, report) = VvdModel::train(VvdVariant::Current, &tiny_config(), &train, &val);
         assert!(
             report.best_val_loss < report.val_loss[0],
             "validation loss should improve: {} -> {}",
@@ -256,7 +373,7 @@ mod tests {
     #[test]
     fn prediction_has_configured_tap_count_and_scale() {
         let train = synthetic_dataset(30, 1);
-        let (mut model, _) = VvdModel::train(
+        let (model, _) = VvdModel::train(
             VvdVariant::Future33ms,
             &tiny_config(),
             &train,
@@ -285,7 +402,7 @@ mod tests {
     #[should_panic]
     fn wrong_image_size_at_inference_panics() {
         let train = synthetic_dataset(20, 0);
-        let (mut model, _) = VvdModel::train(
+        let (model, _) = VvdModel::train(
             VvdVariant::Current,
             &tiny_config(),
             &train,
@@ -293,5 +410,57 @@ mod tests {
         );
         let wrong = DepthImage::filled(10, 10, 0.5);
         let _ = model.predict_cir(&wrong);
+    }
+
+    #[test]
+    fn batched_prediction_is_bit_identical_to_per_image() {
+        let train = synthetic_dataset(40, 2);
+        let (model, _) = VvdModel::train(
+            VvdVariant::Current,
+            &tiny_config(),
+            &train,
+            &VvdDataset::new(),
+        );
+        let batched = model.predict_dataset(&train);
+        for (p, s) in batched.iter().zip(train.samples.iter()) {
+            let single = model.predict_cir(&s.image);
+            assert_eq!(p.taps(), single.taps(), "batched != per-image");
+        }
+    }
+
+    #[test]
+    fn clones_share_weights_and_predict_identically() {
+        let train = synthetic_dataset(25, 4);
+        let (model, _) = VvdModel::train(
+            VvdVariant::Current,
+            &tiny_config(),
+            &train,
+            &VvdDataset::new(),
+        );
+        let clone = model.clone();
+        // Cloning is a reference-count bump, not a deep copy.
+        assert!(Arc::ptr_eq(&model.state, &clone.state));
+        let a = model.predict_cir(&train.samples[0].image);
+        let b = clone.predict_cir(&train.samples[0].image);
+        assert_eq!(a.taps(), b.taps());
+    }
+
+    #[test]
+    fn json_roundtrip_predicts_bit_identically() {
+        let train = synthetic_dataset(30, 5);
+        let val = synthetic_dataset(8, 1);
+        let (model, _) = VvdModel::train(VvdVariant::Future100ms, &tiny_config(), &train, &val);
+        let json = model.to_json();
+        let restored = VvdModel::from_json(&json).expect("roundtrip load");
+        assert_eq!(restored.variant(), model.variant());
+        assert_eq!(restored.normalizer().factor, model.normalizer().factor);
+        for s in &train.samples {
+            assert_eq!(
+                restored.predict_cir(&s.image).taps(),
+                model.predict_cir(&s.image).taps(),
+                "restored model must predict bit-identically"
+            );
+        }
+        assert!(VvdModel::from_json("not json").is_err());
     }
 }

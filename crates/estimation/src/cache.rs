@@ -1,0 +1,329 @@
+//! Content-addressed cache of trained VVD models.
+//!
+//! Training a VVD CNN dominates end-to-end evaluation wall-clock, and
+//! sweeps multiply the number of (scenario × estimator × combination)
+//! trainings — many of which are *identical*: same variant, same
+//! hyper-parameters, same training data.  [`ModelCache`] turns those
+//! repeats into lookups.  Entries are keyed by [`ModelKey`], a digest of
+//! the full training provenance (variant, architecture, training
+//! configuration, dataset
+//! content), so a hit is guaranteed to hand back a model that a fresh
+//! training would have reproduced bit for bit — cached and fresh results
+//! are indistinguishable.
+//!
+//! The cache is two-level: an in-memory map (optionally LRU-bounded) and an
+//! optional on-disk directory of `<key>.json` files written with
+//! [`VvdModel::to_json`], which persists trainings across processes.  All
+//! operations are `&self` behind a mutex, so one cache can be shared across
+//! the worker threads of a sweep.  Hit/miss/eviction counters are exposed
+//! through [`ModelCache::stats`] and surfaced in sweep reports.
+
+use std::collections::{HashMap, VecDeque};
+use std::path::PathBuf;
+use std::sync::Mutex;
+use vvd_core::{ModelKey, VvdModel, VvdTrainingReport};
+
+/// Counters describing how a [`ModelCache`] has been used.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ModelCacheStats {
+    /// Lookups answered from memory.
+    pub hits: u64,
+    /// Lookups answered from the on-disk store.
+    pub disk_hits: u64,
+    /// Lookups that had to train.
+    pub misses: u64,
+    /// Entries dropped to respect the capacity bound.
+    pub evictions: u64,
+    /// Models currently held in memory.
+    pub entries: usize,
+}
+
+impl ModelCacheStats {
+    /// Total lookups served.
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.disk_hits + self.misses
+    }
+}
+
+impl std::fmt::Display for ModelCacheStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} lookups: {} hits, {} disk hits, {} misses ({} trained), {} evictions, {} resident",
+            self.lookups(),
+            self.hits,
+            self.disk_hits,
+            self.misses,
+            self.misses,
+            self.evictions,
+            self.entries
+        )
+    }
+}
+
+struct CacheInner {
+    map: HashMap<ModelKey, VvdModel>,
+    /// Keys in least-recently-used-first order.
+    lru: VecDeque<ModelKey>,
+    stats: ModelCacheStats,
+}
+
+/// A thread-safe, content-addressed store of trained [`VvdModel`]s.
+pub struct ModelCache {
+    inner: Mutex<CacheInner>,
+    /// 0 = unbounded.
+    capacity: usize,
+    disk_dir: Option<PathBuf>,
+}
+
+impl ModelCache {
+    /// An unbounded in-memory cache.
+    pub fn new() -> Self {
+        Self::with_capacity(0)
+    }
+
+    /// An in-memory cache holding at most `capacity` models (`0` =
+    /// unbounded), evicting least-recently-used entries.
+    pub fn with_capacity(capacity: usize) -> Self {
+        ModelCache {
+            inner: Mutex::new(CacheInner {
+                map: HashMap::new(),
+                lru: VecDeque::new(),
+                stats: ModelCacheStats::default(),
+            }),
+            capacity,
+            disk_dir: None,
+        }
+    }
+
+    /// Adds an on-disk layer: misses consult `dir/<key>.json` before
+    /// training, and freshly trained models are written there (best
+    /// effort — I/O errors fall back to memory-only operation).
+    pub fn with_disk_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.disk_dir = Some(dir.into());
+        self
+    }
+
+    /// Returns the model for `key`, training it with `train` on a miss.
+    ///
+    /// The training report is returned only when a training actually ran
+    /// (callers surface reports once per distinct training, exactly like
+    /// the pre-cache harness did).  Models handed out are `Arc`-shared
+    /// clones: no weight duplication.
+    ///
+    /// Training runs outside the cache lock, so concurrent misses on
+    /// *different* keys train in parallel.  Two racing misses on the same
+    /// key both train — deterministically to bit-identical weights, so
+    /// whichever insert wins, every caller sees the same model.
+    pub fn get_or_train(
+        &self,
+        key: ModelKey,
+        train: impl FnOnce() -> (VvdModel, VvdTrainingReport),
+    ) -> (VvdModel, Option<VvdTrainingReport>) {
+        {
+            let mut inner = self.inner.lock().expect("model cache poisoned");
+            if let Some(model) = inner.map.get(&key).cloned() {
+                inner.stats.hits += 1;
+                touch(&mut inner.lru, key);
+                return (model, None);
+            }
+        }
+
+        if let Some(model) = self.load_from_disk(key) {
+            let mut inner = self.inner.lock().expect("model cache poisoned");
+            inner.stats.disk_hits += 1;
+            self.insert_locked(&mut inner, key, model.clone());
+            return (model, None);
+        }
+
+        let (model, report) = train();
+        self.store_to_disk(key, &model);
+        let mut inner = self.inner.lock().expect("model cache poisoned");
+        inner.stats.misses += 1;
+        self.insert_locked(&mut inner, key, model.clone());
+        (model, Some(report))
+    }
+
+    /// A snapshot of the usage counters.
+    pub fn stats(&self) -> ModelCacheStats {
+        self.inner.lock().expect("model cache poisoned").stats
+    }
+
+    /// Number of models resident in memory.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("model cache poisoned").map.len()
+    }
+
+    /// `true` when no model is resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn insert_locked(&self, inner: &mut CacheInner, key: ModelKey, model: VvdModel) {
+        if inner.map.insert(key, model).is_none() {
+            inner.lru.push_back(key);
+        } else {
+            touch(&mut inner.lru, key);
+        }
+        if self.capacity > 0 {
+            while inner.map.len() > self.capacity {
+                let Some(oldest) = inner.lru.pop_front() else {
+                    break;
+                };
+                inner.map.remove(&oldest);
+                inner.stats.evictions += 1;
+            }
+        }
+        inner.stats.entries = inner.map.len();
+    }
+
+    fn disk_path(&self, key: ModelKey) -> Option<PathBuf> {
+        self.disk_dir
+            .as_ref()
+            .map(|dir| dir.join(format!("{}.json", key.to_hex())))
+    }
+
+    fn load_from_disk(&self, key: ModelKey) -> Option<VvdModel> {
+        let path = self.disk_path(key)?;
+        let json = std::fs::read_to_string(path).ok()?;
+        VvdModel::from_json(&json).ok()
+    }
+
+    fn store_to_disk(&self, key: ModelKey, model: &VvdModel) {
+        let Some(path) = self.disk_path(key) else {
+            return;
+        };
+        if let Some(dir) = path.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        // Publish atomically (write + rename) so concurrent processes
+        // sharing the directory never observe a torn file.
+        let tmp = path.with_extension(format!("tmp-{}", std::process::id()));
+        if std::fs::write(&tmp, model.to_json()).is_ok() && std::fs::rename(&tmp, &path).is_err() {
+            let _ = std::fs::remove_file(&tmp);
+        }
+    }
+}
+
+impl Default for ModelCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Moves `key` to the most-recently-used end.
+fn touch(lru: &mut VecDeque<ModelKey>, key: ModelKey) {
+    if let Some(pos) = lru.iter().position(|k| *k == key) {
+        lru.remove(pos);
+    }
+    lru.push_back(key);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vvd_core::{VvdConfig, VvdDataset, VvdSample, VvdVariant};
+    use vvd_dsp::{Complex, FirFilter};
+    use vvd_vision::DepthImage;
+
+    fn dataset(n: usize, offset: usize) -> VvdDataset {
+        let mut ds = VvdDataset::new();
+        for k in 0..n {
+            let mut img = DepthImage::filled(30, 26, 0.8);
+            img.set(4, (k * 3 + offset) % 20, 0.2);
+            let mut taps = vec![Complex::ZERO; 3];
+            taps[1] = Complex::new(1e-3 + 1e-5 * k as f64, -5e-4);
+            ds.push(VvdSample {
+                image: img,
+                target_cir: FirFilter::from_taps(&taps),
+            });
+        }
+        ds
+    }
+
+    fn config() -> VvdConfig {
+        let mut cfg = VvdConfig::quick();
+        cfg.conv_filters = 2;
+        cfg.dense_units = 8;
+        cfg.channel_taps = 3;
+        cfg.epochs = 1;
+        cfg
+    }
+
+    fn train_pair(offset: usize) -> (ModelKey, VvdModel, VvdTrainingReport) {
+        let cfg = config();
+        let train = dataset(6, offset);
+        let key = ModelKey::for_training(VvdVariant::Current, &cfg, &train, &VvdDataset::new());
+        let (model, report) =
+            VvdModel::train(VvdVariant::Current, &cfg, &train, &VvdDataset::new());
+        (key, model, report)
+    }
+
+    #[test]
+    fn second_lookup_is_a_hit_with_identical_predictions() {
+        let cache = ModelCache::new();
+        let (key, model, report) = train_pair(0);
+        let probe = dataset(1, 0).samples[0].image.clone();
+
+        let (first, first_report) = cache.get_or_train(key, || (model.clone(), report.clone()));
+        assert!(first_report.is_some(), "first lookup trains");
+        let (second, second_report) = cache.get_or_train(key, || panic!("hit must not retrain"));
+        assert!(second_report.is_none(), "second lookup hits");
+        assert_eq!(
+            first.predict_cir(&probe).taps(),
+            second.predict_cir(&probe).taps()
+        );
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn capacity_bound_evicts_least_recently_used() {
+        let cache = ModelCache::with_capacity(1);
+        let (key_a, model_a, report_a) = train_pair(0);
+        let (key_b, model_b, report_b) = train_pair(1);
+        assert_ne!(key_a, key_b);
+        let _ = cache.get_or_train(key_a, || (model_a.clone(), report_a.clone()));
+        let _ = cache.get_or_train(key_b, || (model_b.clone(), report_b.clone()));
+        assert_eq!(cache.len(), 1);
+        // key_a was evicted: looking it up again must retrain.
+        let (_, retrained) = cache.get_or_train(key_a, || (model_a.clone(), report_a.clone()));
+        assert!(retrained.is_some());
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 2);
+        assert_eq!(stats.misses, 3);
+    }
+
+    #[test]
+    fn disk_layer_survives_a_new_cache_instance() {
+        let dir = std::env::temp_dir().join(format!("vvd-model-cache-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (key, model, report) = train_pair(2);
+        let probe = dataset(1, 2).samples[0].image.clone();
+        let expected = model.predict_cir(&probe);
+
+        let warm = ModelCache::new().with_disk_dir(&dir);
+        let _ = warm.get_or_train(key, || (model.clone(), report.clone()));
+        assert_eq!(warm.stats().misses, 1);
+
+        // A fresh cache over the same directory loads from disk.
+        let cold = ModelCache::new().with_disk_dir(&dir);
+        let (loaded, loaded_report) =
+            cold.get_or_train(key, || panic!("disk hit must not retrain"));
+        assert!(loaded_report.is_none());
+        assert_eq!(cold.stats().disk_hits, 1);
+        assert_eq!(
+            loaded.predict_cir(&probe).taps(),
+            expected.taps(),
+            "disk-loaded model must predict bit-identically"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stats_display_is_informative() {
+        let cache = ModelCache::new();
+        let s = cache.stats().to_string();
+        assert!(s.contains("0 lookups"));
+    }
+}

@@ -28,14 +28,18 @@
 //! the test set is streamed, `observe` is called once per test packet in
 //! transmission order (including warm-up packets that are never scored), and
 //! `estimate` may be skipped for packets the harness does not score.  Two
-//! estimators never share state — when two techniques need the same
-//! expensive artefact (a trained VVD network), the [`VvdModelPool`] trains
-//! it once and hands each estimator an owned clone.
+//! estimators never share *mutable* state — when two techniques need the
+//! same expensive artefact (a trained VVD network), the [`VvdModelPool`]
+//! trains it once through a content-addressed [`ModelCache`] and hands each
+//! estimator an [`std::sync::Arc`]-shared reference to the immutable
+//! trained weights (prediction takes `&self`, so sharing is safe; any
+//! per-estimator mutable state stays in the estimator itself).
 
+use crate::cache::{ModelCache, ModelCacheStats};
 use crate::kalman::KalmanChannelEstimator;
 use std::cell::RefCell;
 use std::collections::VecDeque;
-use vvd_core::{VvdConfig, VvdDataset, VvdModel, VvdTrainingReport, VvdVariant};
+use vvd_core::{ModelKey, VvdConfig, VvdDataset, VvdModel, VvdTrainingReport, VvdVariant};
 use vvd_dsp::FirFilter;
 use vvd_vision::DepthImage;
 
@@ -73,50 +77,117 @@ pub trait VvdDatasetSource: Sync {
     fn datasets(&self, variant: VvdVariant) -> (VvdDataset, VvdDataset);
 }
 
-/// Lazily trains and caches one [`VvdModel`] per prediction-horizon variant.
+/// Lazily trains [`VvdModel`]s through a content-addressed [`ModelCache`].
 ///
-/// Estimators request models during [`ChannelEstimator::fit`]; the first
-/// request for a variant trains it (deterministically, from the config
-/// seed), later requests clone the cached network.  Keying is by the typed
-/// [`VvdVariant`] — not by label strings — and the insertion order of the
-/// cache is the order training reports are returned in.
+/// Estimators request models during [`ChannelEstimator::fit`].  Each
+/// request builds the variant's datasets, digests them into a
+/// [`ModelKey`], and asks the cache: the first request for a given
+/// training provenance trains (deterministically, from the config seed),
+/// every later request — from another estimator, another age of an aging
+/// sweep, or another cell of a scenario grid sharing the same training
+/// data — is a cache hit handing back the `Arc`-shared trained weights.
+///
+/// By default each pool owns a private cache (the historical
+/// train-once-per-variant behaviour); [`VvdModelPool::with_cache`] shares
+/// one cache across pools, which is how sweeps reuse trainings across grid
+/// cells.  Training reports are recorded only when a training actually
+/// ran, in training order.
 pub struct VvdModelPool<'a> {
     config: &'a VvdConfig,
     source: &'a dyn VvdDatasetSource,
-    trained: RefCell<Vec<(VvdVariant, VvdModel)>>,
+    owned_cache: Option<ModelCache>,
+    shared_cache: Option<&'a ModelCache>,
+    /// Variant → key memo: a pool's dataset source is fixed for its
+    /// lifetime, so the (dataset build + content digest) cost is paid once
+    /// per variant and repeat requests go straight to the cache lookup.
+    keys: RefCell<Vec<(VvdVariant, ModelKey)>>,
     reports: RefCell<Vec<VvdTrainingReport>>,
 }
 
 impl<'a> VvdModelPool<'a> {
-    /// Creates an empty pool over a dataset source.
+    /// Creates a pool over a dataset source with a private model cache.
     pub fn new(config: &'a VvdConfig, source: &'a dyn VvdDatasetSource) -> Self {
         VvdModelPool {
             config,
             source,
-            trained: RefCell::new(Vec::new()),
+            owned_cache: Some(ModelCache::new()),
+            shared_cache: None,
+            keys: RefCell::new(Vec::new()),
             reports: RefCell::new(Vec::new()),
         }
     }
 
-    /// Returns an owned model for the variant, training it on first use.
+    /// Creates a pool that resolves models through a shared cache —
+    /// trainings with identical provenance are shared across every pool
+    /// (and thread) using the same cache.
+    pub fn with_cache(
+        config: &'a VvdConfig,
+        source: &'a dyn VvdDatasetSource,
+        cache: &'a ModelCache,
+    ) -> Self {
+        VvdModelPool {
+            config,
+            source,
+            owned_cache: None,
+            shared_cache: Some(cache),
+            keys: RefCell::new(Vec::new()),
+            reports: RefCell::new(Vec::new()),
+        }
+    }
+
+    fn cache(&self) -> &ModelCache {
+        self.shared_cache
+            .unwrap_or_else(|| self.owned_cache.as_ref().expect("pool always has a cache"))
+    }
+
+    /// Returns the model for the variant, training it when its provenance
+    /// has not been seen before (by this pool's cache).
+    ///
+    /// The first request per variant builds the datasets and digests their
+    /// content into the [`ModelKey`]; repeat requests reuse the memoized
+    /// key, so a cache hit costs a map lookup and an `Arc` clone (the
+    /// datasets are rebuilt only if the cache has to train again, e.g.
+    /// after an eviction).
     ///
     /// # Panics
     /// Panics if the dataset source produces an empty training set
     /// (mirroring [`VvdModel::train`]).
     pub fn model(&self, variant: VvdVariant) -> VvdModel {
-        if let Some((_, model)) = self.trained.borrow().iter().find(|(v, _)| *v == variant) {
-            return model.clone();
+        let memoized = self
+            .keys
+            .borrow()
+            .iter()
+            .find(|(v, _)| *v == variant)
+            .map(|(_, k)| *k);
+        let (model, report) = match memoized {
+            Some(key) => self.cache().get_or_train(key, || {
+                let (train, validation) = self.source.datasets(variant);
+                VvdModel::train(variant, self.config, &train, &validation)
+            }),
+            None => {
+                let (train, validation) = self.source.datasets(variant);
+                let key = ModelKey::for_training(variant, self.config, &train, &validation);
+                self.keys.borrow_mut().push((variant, key));
+                self.cache().get_or_train(key, || {
+                    VvdModel::train(variant, self.config, &train, &validation)
+                })
+            }
+        };
+        if let Some(report) = report {
+            self.reports.borrow_mut().push(report);
         }
-        let (train, validation) = self.source.datasets(variant);
-        let (model, report) = VvdModel::train(variant, self.config, &train, &validation);
-        self.reports.borrow_mut().push(report);
-        self.trained.borrow_mut().push((variant, model.clone()));
         model
     }
 
-    /// Training reports of every variant trained so far, in training order.
+    /// Training reports of every training this pool actually ran, in
+    /// training order (cache hits run no training and add no report).
     pub fn reports(&self) -> Vec<VvdTrainingReport> {
         self.reports.borrow().clone()
+    }
+
+    /// Usage counters of the backing cache.
+    pub fn cache_stats(&self) -> ModelCacheStats {
+        self.cache().stats()
     }
 }
 
@@ -504,7 +575,7 @@ impl ChannelEstimator for Vvd {
         let lag = self.lag_frames();
         let model = self
             .model
-            .as_mut()
+            .as_ref()
             .expect("VVD estimator used before fit()");
         if req.frame_index < lag {
             return Estimate::Skip;

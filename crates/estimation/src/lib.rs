@@ -26,6 +26,10 @@
 //!   streaming, per-packet) and the built-in estimator implementations of
 //!   every paper technique, including the generic [`estimator::Fallback`]
 //!   combinator,
+//! * [`cache`] — the content-addressed [`ModelCache`] of trained VVD
+//!   models (keyed by full training provenance, with hit/miss/eviction
+//!   accounting and an optional on-disk layer) that the
+//!   [`estimator::VvdModelPool`] resolves trainings through,
 //! * [`registry`] — the pluggable [`EstimatorRegistry`] that builds boxed
 //!   estimators from a [`Technique`] or from a spec string such as
 //!   `"kalman:ar=7"` or `"fallback:preamble,vvd:current"`.
@@ -37,6 +41,7 @@
 #![deny(unsafe_code)]
 
 pub mod ar;
+pub mod cache;
 pub mod decode;
 pub mod estimator;
 pub mod kalman;
@@ -48,6 +53,7 @@ pub mod techniques;
 pub mod zf;
 
 pub use ar::fit_ar_coefficients;
+pub use cache::{ModelCache, ModelCacheStats};
 pub use decode::{decode_with_estimate, decode_with_reference, EqualizerConfig};
 pub use estimator::{
     BoxedEstimator, ChannelEstimator, Estimate, EstimateRequest, FrameSource, PacketObservation,

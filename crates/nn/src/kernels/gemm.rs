@@ -1,0 +1,269 @@
+//! Cache-blocked GEMM kernels, bit-identical to the naive references.
+//!
+//! The blocking strategy only tiles the *output*: every output element is
+//! still produced by one straight, ascending-`k` chain of fused
+//! multiply-adds starting from `+0.0`, exactly like the reference kernels
+//! in [`super::reference`].  Column panels keep the streamed operand
+//! resident in cache while the panel is reused across output rows, and row
+//! chunks fan out to scoped worker threads (disjoint writes, so the worker
+//! count cannot affect any bit of the result).
+
+use super::run_row_chunks;
+
+/// Column-panel width in `f32` elements (1 KiB per panel row): the panel of
+/// the streamed operand stays in L1/L2 while it is reused across rows.
+const COL_BLOCK: usize = 256;
+
+/// Row-tile height of the dot-product kernel: the tile of `A` rows stays
+/// hot while the whole of `B` streams past it once per tile.
+const ROW_BLOCK: usize = 32;
+
+/// Minimum output rows per worker before a thread is spawned.
+const MIN_ROWS_PER_WORKER: usize = 4;
+
+/// `B` matrices at most this many `f32`s (2 MiB) are treated as cache
+/// resident and processed without column panelling — the panel bookkeeping
+/// only pays for itself once `B` is streamed from memory.  Blocking never
+/// changes per-output-element accumulation order, so the threshold cannot
+/// affect any result bit.
+const PANEL_THRESHOLD: usize = 512 * 1024;
+
+/// Panel width for a `(k × n)` streamed operand: full-width (no panelling)
+/// while it plausibly stays in cache, `COL_BLOCK` once it does not.
+fn panel_width(k: usize, n: usize) -> usize {
+    if k * n <= PANEL_THRESHOLD {
+        n
+    } else {
+        COL_BLOCK
+    }
+}
+
+/// Row-major matrix multiply `C = A(m×k) · B(k×n)`, blocked and threaded.
+///
+/// Bit-identical to [`super::reference::matmul`].
+pub fn gemm(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    assert_eq!(a.len(), m * k, "gemm: A size mismatch");
+    assert_eq!(b.len(), k * n, "gemm: B size mismatch");
+    let mut c = vec![0.0f32; m * n];
+    if n == 0 {
+        return c;
+    }
+    let panel = panel_width(k, n);
+    run_row_chunks(&mut c, m, n, MIN_ROWS_PER_WORKER, |first, rows, chunk| {
+        let a_chunk = &a[first * k..(first + rows) * k];
+        let mut j0 = 0;
+        while j0 < n {
+            let jb = panel.min(n - j0);
+            for i in 0..rows {
+                let a_row = &a_chunk[i * k..(i + 1) * k];
+                let c_row = &mut chunk[i * n + j0..i * n + j0 + jb];
+                for (kk, &a_val) in a_row.iter().enumerate() {
+                    if a_val == 0.0 {
+                        continue;
+                    }
+                    let b_row = &b[kk * n + j0..kk * n + j0 + jb];
+                    for (c_v, &b_v) in c_row.iter_mut().zip(b_row.iter()) {
+                        *c_v += a_val * b_v;
+                    }
+                }
+            }
+            j0 += jb;
+        }
+    });
+    c
+}
+
+/// `C = Aᵀ · B` with `a` stored `(k × m)`, blocked and threaded.
+///
+/// Bit-identical to [`super::reference::matmul_at`].
+pub fn gemm_at(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    assert_eq!(a.len(), k * m, "gemm_at: A size mismatch");
+    assert_eq!(b.len(), k * n, "gemm_at: B size mismatch");
+    let mut c = vec![0.0f32; m * n];
+    if n == 0 {
+        return c;
+    }
+    // Here the panel keeps the *output* resident: every column panel of C
+    // is revisited k times (once per kk), so C is the operand to protect.
+    let panel = panel_width(m, n);
+    run_row_chunks(&mut c, m, n, MIN_ROWS_PER_WORKER, |first, rows, chunk| {
+        let mut j0 = 0;
+        while j0 < n {
+            let jb = panel.min(n - j0);
+            for kk in 0..k {
+                let b_row = &b[kk * n + j0..kk * n + j0 + jb];
+                let a_col = &a[kk * m + first..kk * m + first + rows];
+                for (i, &a_val) in a_col.iter().enumerate() {
+                    if a_val == 0.0 {
+                        continue;
+                    }
+                    let c_row = &mut chunk[i * n + j0..i * n + j0 + jb];
+                    for (c_v, &b_v) in c_row.iter_mut().zip(b_row.iter()) {
+                        *c_v += a_val * b_v;
+                    }
+                }
+            }
+            j0 += jb;
+        }
+    });
+    c
+}
+
+/// `C = A(m×k) · Bᵀ` with `b` stored `(n × k)`, tiled and threaded.
+///
+/// Bit-identical to [`super::reference::matmul_bt`].
+pub fn gemm_bt(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    assert_eq!(a.len(), m * k, "gemm_bt: A size mismatch");
+    assert_eq!(b.len(), n * k, "gemm_bt: B size mismatch");
+    let mut c = vec![0.0f32; m * n];
+    run_row_chunks(&mut c, m, n, MIN_ROWS_PER_WORKER, |first, rows, chunk| {
+        let mut i0 = 0;
+        while i0 < rows {
+            let ib = ROW_BLOCK.min(rows - i0);
+            for j in 0..n {
+                let b_row = &b[j * k..(j + 1) * k];
+                for i in i0..i0 + ib {
+                    let a_row = &a[(first + i) * k..(first + i + 1) * k];
+                    let mut acc = 0.0f32;
+                    for (av, bv) in a_row.iter().zip(b_row.iter()) {
+                        acc += av * bv;
+                    }
+                    chunk[i * n + j] = acc;
+                }
+            }
+            i0 += ib;
+        }
+    });
+    c
+}
+
+/// `C = A(m×k) · Bᵀ` where the rows of `B` are *strided* slices of a larger
+/// matrix: row `j` is `b[b_offset + j·b_stride .. + k]`.
+///
+/// Used by the convolution backward pass to compute one sample's
+/// weight-gradient partial out of the batched column matrix.  The kernel
+/// first transposes the strided block to a contiguous `(k × n)` scratch,
+/// then accumulates rank-1 updates with a `kk`-outer loop whose inner
+/// saxpy vectorises — per output element the products still arrive in
+/// ascending-`kk` order from a `+0.0` start, so for finite inputs the
+/// result is bit-identical to [`super::reference::matmul_bt`] on the
+/// equivalent contiguous `B` (the zero-skip differs from the reference
+/// only when a skipped `0.0` would have multiplied an `Inf`/`NaN`; see
+/// the module docs).
+pub fn gemm_bt_strided(
+    a: &[f32],
+    b: &[f32],
+    b_offset: usize,
+    b_stride: usize,
+    m: usize,
+    k: usize,
+    n: usize,
+) -> Vec<f32> {
+    assert_eq!(a.len(), m * k, "gemm_bt_strided: A size mismatch");
+    assert!(
+        n == 0 || b_offset + (n - 1) * b_stride + k <= b.len(),
+        "gemm_bt_strided: B slice out of bounds"
+    );
+    // bt[kk*n + j] = b[b_offset + j*b_stride + kk]
+    let mut bt = vec![0.0f32; k * n];
+    for j in 0..n {
+        let src = &b[b_offset + j * b_stride..b_offset + j * b_stride + k];
+        for (kk, &v) in src.iter().enumerate() {
+            bt[kk * n + j] = v;
+        }
+    }
+    let mut c = vec![0.0f32; m * n];
+    for kk in 0..k {
+        let b_row = &bt[kk * n..(kk + 1) * n];
+        for i in 0..m {
+            let a_val = a[i * k + kk];
+            if a_val == 0.0 {
+                continue;
+            }
+            let c_row = &mut c[i * n..(i + 1) * n];
+            for (c_v, &b_v) in c_row.iter_mut().zip(b_row.iter()) {
+                *c_v += a_val * b_v;
+            }
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::reference;
+    use super::*;
+
+    fn pattern(len: usize, seed: f32) -> Vec<f32> {
+        (0..len).map(|i| ((i as f32) * 0.37 + seed).sin()).collect()
+    }
+
+    #[test]
+    fn gemm_matches_reference_bitwise_across_shapes() {
+        for &(m, k, n) in &[(1, 1, 1), (3, 4, 5), (8, 72, 300), (5, 513, 7)] {
+            let a = pattern(m * k, 0.1);
+            let b = pattern(k * n, 0.7);
+            assert_eq!(gemm(&a, &b, m, k, n), reference::matmul(&a, &b, m, k, n));
+        }
+    }
+
+    #[test]
+    fn gemm_at_matches_reference_bitwise_across_shapes() {
+        for &(m, k, n) in &[(1, 1, 1), (4, 3, 6), (72, 8, 300), (9, 2, 513)] {
+            let a = pattern(k * m, 0.2);
+            let b = pattern(k * n, 0.9);
+            assert_eq!(
+                gemm_at(&a, &b, m, k, n),
+                reference::matmul_at(&a, &b, m, k, n)
+            );
+        }
+    }
+
+    #[test]
+    fn gemm_bt_matches_reference_bitwise_across_shapes() {
+        for &(m, k, n) in &[(1, 1, 1), (5, 4, 3), (40, 100, 6), (33, 7, 33)] {
+            let a = pattern(m * k, 0.3);
+            let b = pattern(n * k, 0.5);
+            assert_eq!(
+                gemm_bt(&a, &b, m, k, n),
+                reference::matmul_bt(&a, &b, m, k, n)
+            );
+        }
+    }
+
+    #[test]
+    fn strided_bt_equals_contiguous_bt_on_extracted_block() {
+        let (m, k, n) = (3, 5, 4);
+        let stride = 11;
+        let offset = 2;
+        let a = pattern(m * k, 0.4);
+        let big = pattern(offset + (n - 1) * stride + k, 0.6);
+        let mut contiguous = Vec::with_capacity(n * k);
+        for j in 0..n {
+            contiguous.extend_from_slice(&big[offset + j * stride..offset + j * stride + k]);
+        }
+        assert_eq!(
+            gemm_bt_strided(&a, &big, offset, stride, m, k, n),
+            reference::matmul_bt(&a, &contiguous, m, k, n)
+        );
+    }
+
+    #[test]
+    fn zeros_in_either_operand_do_not_break_parity() {
+        let (m, k, n) = (4, 6, 5);
+        let mut a = pattern(m * k, 0.0);
+        let mut b = pattern(k * n, 1.0);
+        for i in (0..a.len()).step_by(3) {
+            a[i] = 0.0;
+        }
+        for i in (0..b.len()).step_by(4) {
+            b[i] = -0.0;
+        }
+        assert_eq!(gemm(&a, &b, m, k, n), reference::matmul(&a, &b, m, k, n));
+        let at = pattern(k * m, 0.0);
+        assert_eq!(
+            gemm_at(&at, &b, m, k, n),
+            reference::matmul_at(&at, &b, m, k, n)
+        );
+    }
+}

@@ -1,0 +1,278 @@
+//! The im2col convolution lowering, with stride and zero-padding, batched
+//! over a whole mini-batch.
+//!
+//! A convolution over `[N, C, H, W]` is lowered to one GEMM: the batched
+//! column matrix is `(patch × N·oh·ow)` with the columns of sample `i`
+//! occupying the contiguous column range `[i·oh·ow, (i+1)·oh·ow)` of every
+//! row, so `weights (out_c × patch) · columns` computes the whole batch's
+//! forward pass in a single [`super::gemm`] call.
+
+use super::run_row_chunks;
+
+/// Geometry of a 2-D convolution lowering (square kernel, symmetric
+/// zero-padding).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConvGeometry {
+    /// Input channels.
+    pub in_channels: usize,
+    /// Input height.
+    pub height: usize,
+    /// Input width.
+    pub width: usize,
+    /// Square kernel size.
+    pub kernel: usize,
+    /// Stride (both dimensions).
+    pub stride: usize,
+    /// Zero-padding (both dimensions, both sides).
+    pub pad: usize,
+}
+
+impl ConvGeometry {
+    /// Geometry of a stride-1, valid-padding convolution (the paper's CNN).
+    pub fn valid(in_channels: usize, height: usize, width: usize, kernel: usize) -> Self {
+        ConvGeometry {
+            in_channels,
+            height,
+            width,
+            kernel,
+            stride: 1,
+            pad: 0,
+        }
+    }
+
+    /// Output spatial size.
+    ///
+    /// # Panics
+    /// Panics when the kernel does not fit the padded input or the stride
+    /// is zero.
+    pub fn output_hw(&self) -> (usize, usize) {
+        assert!(self.stride >= 1, "stride must be at least 1");
+        assert!(
+            self.height + 2 * self.pad >= self.kernel && self.width + 2 * self.pad >= self.kernel,
+            "kernel larger than the padded input"
+        );
+        (
+            (self.height + 2 * self.pad - self.kernel) / self.stride + 1,
+            (self.width + 2 * self.pad - self.kernel) / self.stride + 1,
+        )
+    }
+
+    /// Rows of the column matrix: `in_channels · kernel²`.
+    pub fn patch(&self) -> usize {
+        self.in_channels * self.kernel * self.kernel
+    }
+
+    /// Elements of one input item: `in_channels · height · width`.
+    pub fn item_len(&self) -> usize {
+        self.in_channels * self.height * self.width
+    }
+}
+
+/// Lowers one `[C, H, W]` item to its `(patch × oh·ow)` column matrix.
+pub fn im2col(item: &[f32], geometry: &ConvGeometry) -> Vec<f32> {
+    im2col_batch(item, 1, geometry)
+}
+
+/// Lowers a batch of `n` items (stored back to back) to the batched
+/// `(patch × n·oh·ow)` column matrix, filling patch-row chunks on scoped
+/// worker threads (disjoint rows, bit-identical at any worker count).
+pub fn im2col_batch(input: &[f32], n: usize, geometry: &ConvGeometry) -> Vec<f32> {
+    let g = *geometry;
+    assert_eq!(input.len(), n * g.item_len(), "im2col: input size mismatch");
+    let (oh, ow) = g.output_hw();
+    let ohow = oh * ow;
+    let n_cols = n * ohow;
+    let patch = g.patch();
+    let mut col = vec![0.0f32; patch * n_cols];
+    if n_cols == 0 {
+        return col;
+    }
+    run_row_chunks(&mut col, patch, n_cols, 8, |first, _rows, chunk| {
+        for (r, col_row) in chunk.chunks_mut(n_cols).enumerate() {
+            let p = first + r;
+            let c = p / (g.kernel * g.kernel);
+            let ky = (p / g.kernel) % g.kernel;
+            let kx = p % g.kernel;
+            for i in 0..n {
+                let channel =
+                    &input[i * g.item_len() + c * g.height * g.width..][..g.height * g.width];
+                fill_patch_row(&mut col_row[i * ohow..(i + 1) * ohow], channel, &g, ky, kx);
+            }
+        }
+    });
+    col
+}
+
+/// Fills one sample's stretch of a patch row: `dst[oy·ow + ox] =
+/// channel[oy·stride + ky − pad][ox·stride + kx − pad]` (zero outside).
+fn fill_patch_row(dst: &mut [f32], channel: &[f32], g: &ConvGeometry, ky: usize, kx: usize) {
+    let (oh, ow) = g.output_hw();
+    for oy in 0..oh {
+        let iy = (oy * g.stride + ky) as isize - g.pad as isize;
+        let row_dst = &mut dst[oy * ow..(oy + 1) * ow];
+        if iy < 0 || iy >= g.height as isize {
+            continue; // stays zero
+        }
+        let src_row = &channel[iy as usize * g.width..][..g.width];
+        if g.stride == 1 {
+            // Contiguous copy of the in-bounds overlap.
+            let ix0 = kx as isize - g.pad as isize;
+            let ox_start = (-ix0).max(0) as usize;
+            let ox_end = ow.min(((g.width as isize) - ix0).max(0) as usize);
+            if ox_start < ox_end {
+                row_dst[ox_start..ox_end].copy_from_slice(
+                    &src_row[(ix0 + ox_start as isize) as usize..(ix0 + ox_end as isize) as usize],
+                );
+            }
+        } else {
+            for (ox, d) in row_dst.iter_mut().enumerate() {
+                let ix = (ox * g.stride + kx) as isize - g.pad as isize;
+                if ix >= 0 && ix < g.width as isize {
+                    *d = src_row[ix as usize];
+                }
+            }
+        }
+    }
+}
+
+/// Accumulates one sample's gradient columns back into its input-gradient
+/// item (`+=`), reading the sample's column range out of the batched
+/// `(patch × n_cols)` matrix at `col_base = i·oh·ow`.
+///
+/// Additions per input element happen in ascending `(c, ky, kx, oy, ox)`
+/// order — the order the pre-kernel per-sample `col2im` used.
+pub fn col2im_item(
+    col: &[f32],
+    n_cols: usize,
+    col_base: usize,
+    geometry: &ConvGeometry,
+    out: &mut [f32],
+) {
+    let g = geometry;
+    let (oh, ow) = g.output_hw();
+    assert_eq!(out.len(), g.item_len(), "col2im: output size mismatch");
+    for c in 0..g.in_channels {
+        let channel = &mut out[c * g.height * g.width..][..g.height * g.width];
+        for ky in 0..g.kernel {
+            for kx in 0..g.kernel {
+                let p = c * g.kernel * g.kernel + ky * g.kernel + kx;
+                let row = &col[p * n_cols + col_base..p * n_cols + col_base + oh * ow];
+                for oy in 0..oh {
+                    let iy = (oy * g.stride + ky) as isize - g.pad as isize;
+                    if iy < 0 || iy >= g.height as isize {
+                        continue;
+                    }
+                    for ox in 0..ow {
+                        let ix = (ox * g.stride + kx) as isize - g.pad as isize;
+                        if ix < 0 || ix >= g.width as isize {
+                            continue;
+                        }
+                        channel[iy as usize * g.width + ix as usize] += row[oy * ow + ox];
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn item(c: usize, h: usize, w: usize) -> Vec<f32> {
+        (0..c * h * w).map(|i| i as f32 * 0.25 - 3.0).collect()
+    }
+
+    #[test]
+    fn valid_stride1_matches_manual_patches() {
+        let g = ConvGeometry::valid(1, 3, 3, 2);
+        let x = item(1, 3, 3);
+        let col = im2col(&x, &g);
+        let (oh, ow) = g.output_hw();
+        assert_eq!((oh, ow), (2, 2));
+        // Patch row (ky=0, kx=0) reads the top-left 2x2 positions.
+        assert_eq!(&col[0..4], &[x[0], x[1], x[3], x[4]]);
+        // Patch row (ky=1, kx=1) reads the bottom-right positions.
+        assert_eq!(&col[3 * 4..4 * 4], &[x[4], x[5], x[7], x[8]]);
+    }
+
+    #[test]
+    fn padding_produces_zero_border_columns() {
+        let g = ConvGeometry {
+            in_channels: 1,
+            height: 2,
+            width: 2,
+            kernel: 3,
+            stride: 1,
+            pad: 1,
+        };
+        let x = vec![1.0, 2.0, 3.0, 4.0];
+        let col = im2col(&x, &g);
+        let (oh, ow) = g.output_hw();
+        assert_eq!((oh, ow), (2, 2));
+        // Patch position (ky=0, kx=0) looks one up-left of each output: the
+        // only in-bounds read is for output (1,1), which sees input (0,0).
+        assert_eq!(&col[0..4], &[0.0, 0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn batch_is_the_concatenation_of_per_sample_columns() {
+        let g = ConvGeometry {
+            in_channels: 2,
+            height: 4,
+            width: 5,
+            kernel: 2,
+            stride: 2,
+            pad: 1,
+        };
+        let a = item(2, 4, 5);
+        let b: Vec<f32> = a.iter().map(|v| v * -0.5 + 1.0).collect();
+        let mut both = a.clone();
+        both.extend_from_slice(&b);
+        let batched = im2col_batch(&both, 2, &g);
+        let col_a = im2col(&a, &g);
+        let col_b = im2col(&b, &g);
+        let (oh, ow) = g.output_hw();
+        let ohow = oh * ow;
+        for p in 0..g.patch() {
+            assert_eq!(
+                &batched[p * 2 * ohow..p * 2 * ohow + ohow],
+                &col_a[p * ohow..(p + 1) * ohow]
+            );
+            assert_eq!(
+                &batched[p * 2 * ohow + ohow..(p + 1) * 2 * ohow],
+                &col_b[p * ohow..(p + 1) * ohow]
+            );
+        }
+    }
+
+    #[test]
+    fn col2im_is_the_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> for random-ish x, y.
+        let g = ConvGeometry {
+            in_channels: 1,
+            height: 4,
+            width: 4,
+            kernel: 3,
+            stride: 1,
+            pad: 1,
+        };
+        let x = item(1, 4, 4);
+        let col_x = im2col(&x, &g);
+        let y: Vec<f32> = (0..col_x.len()).map(|i| (i as f32 * 0.11).cos()).collect();
+        let lhs: f64 = col_x
+            .iter()
+            .zip(y.iter())
+            .map(|(a, b)| (*a as f64) * (*b as f64))
+            .sum();
+        let mut back = vec![0.0f32; g.item_len()];
+        let (oh, ow) = g.output_hw();
+        col2im_item(&y, oh * ow, 0, &g, &mut back);
+        let rhs: f64 = x
+            .iter()
+            .zip(back.iter())
+            .map(|(a, b)| (*a as f64) * (*b as f64))
+            .sum();
+        assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+}

@@ -1,0 +1,109 @@
+//! The compute kernels behind the layers: cache-blocked GEMM and the
+//! im2col convolution lowering.
+//!
+//! Every layer's arithmetic bottoms out in one of the kernels here.  The
+//! kernels are written around one hard invariant:
+//!
+//! > **Per-output-element accumulation order is preserved.**  Each output
+//! > element is produced by exactly the same sequence of floating-point
+//! > additions as the naive reference kernels in [`mod@reference`], so the
+//! > blocked kernels are *bit-identical* to the references — blocking,
+//! > batching and worker threads only reorder work *between* output
+//! > elements, never *within* one.
+//!
+//! This is what lets the evaluation goldens (`tests/parity_golden.rs`,
+//! `tests/scenario_golden.rs`) survive the kernel rewrite unchanged, and
+//! what makes a cached trained model indistinguishable from a freshly
+//! trained one.
+//!
+//! Two well-definedness notes the property tests rely on:
+//!
+//! * Skipping a multiplicand that is exactly `±0.0` is bit-equivalent to
+//!   adding its product, because an accumulator that starts at `+0.0` and
+//!   only ever has values added to it can never become `-0.0` (IEEE 754
+//!   round-to-nearest: `x + y == -0.0` only when both `x` and `y` are
+//!   `-0.0`).  The kernels therefore use zero-skips freely for speed.
+//!   The equivalence assumes finite data: a skipped `0.0` that would have
+//!   multiplied an `Inf`/`NaN` suppresses the `NaN` a no-skip kernel
+//!   produces.  Training that reaches non-finite values is broken either
+//!   way, so the kernels do not pay to preserve `NaN` propagation.
+//! * Worker threads only ever write disjoint, contiguous row chunks of the
+//!   output, so the result is bit-identical at any worker count.
+
+mod gemm;
+mod im2col;
+pub mod reference;
+
+pub use gemm::{gemm, gemm_at, gemm_bt, gemm_bt_strided};
+pub use im2col::{col2im_item, im2col, im2col_batch, ConvGeometry};
+
+use std::num::NonZeroUsize;
+
+/// Number of hardware workers available to the kernels.
+pub fn hardware_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Runs `f` over contiguous row chunks of the `m × n` row-major buffer `c`,
+/// fanning the chunks out to [`std::thread::scope`] workers when more than
+/// one chunk is worth spawning.
+///
+/// `f(first_row, rows, chunk)` receives the index of its first row, its row
+/// count and the mutable chunk.  Chunks are disjoint, so the worker count
+/// cannot affect any result; `min_rows` bounds the smallest chunk a worker
+/// is spawned for.
+pub(crate) fn run_row_chunks<F>(c: &mut [f32], m: usize, n: usize, min_rows: usize, f: F)
+where
+    F: Fn(usize, usize, &mut [f32]) + Sync,
+{
+    if m == 0 {
+        return;
+    }
+    let workers = hardware_workers().min(m.div_ceil(min_rows.max(1))).max(1);
+    if workers <= 1 {
+        f(0, m, c);
+        return;
+    }
+    let chunk_rows = m.div_ceil(workers);
+    std::thread::scope(|scope| {
+        let f = &f;
+        let mut rest = c;
+        let mut row = 0usize;
+        while row < m {
+            let rows = chunk_rows.min(m - row);
+            let (head, tail) = rest.split_at_mut(rows * n);
+            rest = tail;
+            let first = row;
+            scope.spawn(move || f(first, rows, head));
+            row += rows;
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_chunks_cover_every_row_exactly_once() {
+        let mut c = vec![0.0f32; 7 * 3];
+        run_row_chunks(&mut c, 7, 3, 1, |first, rows, chunk| {
+            for r in 0..rows {
+                for v in &chunk[r * 3..(r + 1) * 3] {
+                    assert_eq!(*v, 0.0);
+                }
+                let _ = first;
+            }
+            chunk.iter_mut().for_each(|v| *v += 1.0);
+        });
+        assert!(c.iter().all(|&v| v == 1.0));
+    }
+
+    #[test]
+    fn empty_output_is_a_no_op() {
+        let mut c: Vec<f32> = Vec::new();
+        run_row_chunks(&mut c, 0, 4, 1, |_, _, _| panic!("no rows to visit"));
+    }
+}

@@ -1,0 +1,123 @@
+//! Naive reference kernels.
+//!
+//! These are the original, loop-nest implementations the blocked kernels in
+//! [`super`] are verified against: the property tests in
+//! `crates/nn/tests/kernel_properties.rs` assert *bit-identical* results
+//! across randomized shapes, strides and paddings.  They are kept small and
+//! obviously correct; do not optimise them.
+
+use super::im2col::ConvGeometry;
+
+/// Row-major matrix multiply `C = A(m×k) · B(k×n)`.
+pub fn matmul(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    assert_eq!(a.len(), m * k, "matmul: A size mismatch");
+    assert_eq!(b.len(), k * n, "matmul: B size mismatch");
+    let mut c = vec![0.0f32; m * n];
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let c_row = &mut c[i * n..(i + 1) * n];
+        for (kk, &a_val) in a_row.iter().enumerate() {
+            if a_val == 0.0 {
+                continue;
+            }
+            let b_row = &b[kk * n..(kk + 1) * n];
+            for (c_v, &b_v) in c_row.iter_mut().zip(b_row.iter()) {
+                *c_v += a_val * b_v;
+            }
+        }
+    }
+    c
+}
+
+/// Row-major matrix multiply with the first operand transposed:
+/// `C = Aᵀ · B` where `a` is stored as `(k × m)`.
+pub fn matmul_at(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    assert_eq!(a.len(), k * m, "matmul_at: A size mismatch");
+    assert_eq!(b.len(), k * n, "matmul_at: B size mismatch");
+    let mut c = vec![0.0f32; m * n];
+    for kk in 0..k {
+        let a_row = &a[kk * m..(kk + 1) * m];
+        let b_row = &b[kk * n..(kk + 1) * n];
+        for (i, &a_val) in a_row.iter().enumerate() {
+            if a_val == 0.0 {
+                continue;
+            }
+            let c_row = &mut c[i * n..(i + 1) * n];
+            for (c_v, &b_v) in c_row.iter_mut().zip(b_row.iter()) {
+                *c_v += a_val * b_v;
+            }
+        }
+    }
+    c
+}
+
+/// Row-major matrix multiply with the second operand transposed:
+/// `C = A(m×k) · Bᵀ` where `b` is stored as `(n × k)`.
+pub fn matmul_bt(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    assert_eq!(a.len(), m * k, "matmul_bt: A size mismatch");
+    assert_eq!(b.len(), n * k, "matmul_bt: B size mismatch");
+    let mut c = vec![0.0f32; m * n];
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        for j in 0..n {
+            let b_row = &b[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (av, bv) in a_row.iter().zip(b_row.iter()) {
+                acc += av * bv;
+            }
+            c[i * n + j] = acc;
+        }
+    }
+    c
+}
+
+/// Direct 2-D convolution of one `[C, H, W]` item, the reference the
+/// im2col + GEMM lowering is verified against.
+///
+/// `weight` is stored `(out_channels × patch)` with patch index
+/// `c·k² + ky·k + kx`; each output element accumulates its products in
+/// ascending patch order (the same per-element order the lowering
+/// produces), then adds the bias.
+pub fn conv2d_direct(
+    item: &[f32],
+    weight: &[f32],
+    bias: &[f32],
+    out_channels: usize,
+    geometry: &ConvGeometry,
+) -> Vec<f32> {
+    let g = geometry;
+    let (oh, ow) = g.output_hw();
+    let patch = g.patch();
+    assert_eq!(item.len(), g.in_channels * g.height * g.width);
+    assert_eq!(weight.len(), out_channels * patch);
+    assert_eq!(bias.len(), out_channels);
+    let mut out = vec![0.0f32; out_channels * oh * ow];
+    for oc in 0..out_channels {
+        let w_row = &weight[oc * patch..(oc + 1) * patch];
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut acc = 0.0f32;
+                for c in 0..g.in_channels {
+                    let channel = &item[c * g.height * g.width..][..g.height * g.width];
+                    for ky in 0..g.kernel {
+                        let iy = (oy * g.stride + ky) as isize - g.pad as isize;
+                        for kx in 0..g.kernel {
+                            let ix = (ox * g.stride + kx) as isize - g.pad as isize;
+                            let w_val = w_row[c * g.kernel * g.kernel + ky * g.kernel + kx];
+                            if w_val == 0.0 {
+                                continue;
+                            }
+                            if iy < 0 || iy >= g.height as isize || ix < 0 || ix >= g.width as isize
+                            {
+                                continue;
+                            }
+                            acc += w_val * channel[iy as usize * g.width + ix as usize];
+                        }
+                    }
+                }
+                out[oc * oh * ow + oy * ow + ox] = acc + bias[oc];
+            }
+        }
+    }
+    out
+}

@@ -37,6 +37,10 @@ impl Layer for Relu {
     fn forward(&mut self, input: &Tensor, _training: bool) -> Tensor {
         self.cached_mask = input.data().iter().map(|&v| v > 0.0).collect();
         self.cached_shape = input.shape().to_vec();
+        self.infer(input)
+    }
+
+    fn infer(&self, input: &Tensor) -> Tensor {
         Tensor::from_vec(
             input.shape(),
             input.data().iter().map(|&v| v.max(0.0)).collect(),

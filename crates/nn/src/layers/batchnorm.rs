@@ -73,6 +73,26 @@ impl BatchNorm2d {
         }
         (mean, var)
     }
+
+    /// Normalises the input with the given per-channel statistics.
+    fn normalize(&self, input: &Tensor, mean: &[f32], var: &[f32]) -> Tensor {
+        let shape = input.shape();
+        let (n, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
+        let mut out = Tensor::zeros(shape);
+        for i in 0..n {
+            let item = input.item(i);
+            let out_item = out.item_mut(i);
+            for ch in 0..c {
+                let inv_std = 1.0 / (var[ch] + self.epsilon).sqrt();
+                let g = self.gamma.value[ch];
+                let b = self.beta.value[ch];
+                for idx in ch * h * w..(ch + 1) * h * w {
+                    out_item[idx] = (item[idx] - mean[ch]) * inv_std * g + b;
+                }
+            }
+        }
+        out
+    }
 }
 
 impl Layer for BatchNorm2d {
@@ -84,7 +104,7 @@ impl Layer for BatchNorm2d {
         let shape = input.shape();
         assert_eq!(shape.len(), 4, "BatchNorm2d expects [N, C, H, W]");
         assert_eq!(shape[1], self.channels, "BatchNorm2d channel mismatch");
-        let (n, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
+        let c = shape[1];
 
         let (mean, var) = if training {
             let (m, v) = self.channel_stats(input);
@@ -99,23 +119,30 @@ impl Layer for BatchNorm2d {
             (self.running_mean.clone(), self.running_var.clone())
         };
 
-        let mut out = Tensor::zeros(shape);
-        for i in 0..n {
-            let item = input.item(i);
-            let out_item = out.item_mut(i);
-            for ch in 0..c {
-                let inv_std = 1.0 / (var[ch] + self.epsilon).sqrt();
-                let g = self.gamma.value[ch];
-                let b = self.beta.value[ch];
-                for idx in ch * h * w..(ch + 1) * h * w {
-                    out_item[idx] = (item[idx] - mean[ch]) * inv_std * g + b;
-                }
-            }
-        }
+        let out = self.normalize(input, &mean, &var);
         self.cached_input = Some(input.clone());
         self.cached_mean = mean;
         self.cached_var = var;
         out
+    }
+
+    fn infer(&self, input: &Tensor) -> Tensor {
+        let shape = input.shape();
+        assert_eq!(shape.len(), 4, "BatchNorm2d expects [N, C, H, W]");
+        assert_eq!(shape[1], self.channels, "BatchNorm2d channel mismatch");
+        self.normalize(input, &self.running_mean, &self.running_var)
+    }
+
+    fn buffers(&self) -> Vec<Vec<f32>> {
+        vec![self.running_mean.clone(), self.running_var.clone()]
+    }
+
+    fn load_buffers(&mut self, buffers: &[Vec<f32>]) {
+        assert_eq!(buffers.len(), 2, "BatchNorm2d expects 2 buffers");
+        assert_eq!(buffers[0].len(), self.channels, "running-mean size");
+        assert_eq!(buffers[1].len(), self.channels, "running-var size");
+        self.running_mean.copy_from_slice(&buffers[0]);
+        self.running_var.copy_from_slice(&buffers[1]);
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {

@@ -1,13 +1,22 @@
-//! 2-D convolution (valid padding, stride 1) via im2col + GEMM.
+//! 2-D convolution (valid padding, stride 1) via batched im2col + GEMM.
 //!
 //! The paper's CNN (Fig. 8) stacks 3 × 3 convolutions with ReLU activations
 //! and pooling; Keras' default "valid" padding is used, so each convolution
 //! shrinks the spatial size by `kernel - 1`.
+//!
+//! The whole mini-batch is lowered to one `(patch × N·oh·ow)` column matrix
+//! and convolved with a single blocked GEMM per pass (`crate::kernels`);
+//! the backward pass computes per-sample weight-gradient partials on scoped
+//! worker threads and reduces them in fixed sample order, so results are
+//! bit-identical to the historical per-sample loops at any worker count.
 
 use crate::init::glorot_uniform;
+use crate::kernels::{
+    self, col2im_item, gemm, gemm_at, gemm_bt_strided, im2col_batch, ConvGeometry,
+};
 use crate::layers::Layer;
 use crate::param::Parameter;
-use crate::tensor::{matmul, matmul_at, matmul_bt, Tensor};
+use crate::tensor::Tensor;
 use rand::Rng;
 
 /// A 2-D convolution layer with square kernels, stride 1 and valid padding.
@@ -21,7 +30,8 @@ pub struct Conv2d {
     /// Bias stored as `[out_channels]`.
     bias: Parameter,
     cached_input: Option<Tensor>,
-    cached_cols: Vec<Vec<f32>>,
+    /// Batched `(patch × N·oh·ow)` column matrix of the last forward pass.
+    cached_cols: Vec<f32>,
 }
 
 impl Conv2d {
@@ -58,46 +68,121 @@ impl Conv2d {
         self.weight.len() + self.bias.len()
     }
 
-    fn im2col(&self, item: &[f32], h: usize, w: usize) -> Vec<f32> {
-        let (oh, ow) = self.output_hw(h, w);
-        let k = self.kernel;
-        let patch = self.in_channels * k * k;
-        let mut col = vec![0.0f32; patch * oh * ow];
-        // col is (patch, oh*ow) row-major.
-        for c in 0..self.in_channels {
-            let channel = &item[c * h * w..(c + 1) * h * w];
-            for ky in 0..k {
-                for kx in 0..k {
-                    let row_idx = (c * k * k + ky * k + kx) * (oh * ow);
-                    for oy in 0..oh {
-                        let src_row = &channel[(oy + ky) * w + kx..(oy + ky) * w + kx + ow];
-                        let dst = &mut col[row_idx + oy * ow..row_idx + oy * ow + ow];
-                        dst.copy_from_slice(src_row);
-                    }
-                }
-            }
-        }
-        col
+    fn geometry(&self, h: usize, w: usize) -> ConvGeometry {
+        ConvGeometry::valid(self.in_channels, h, w, self.kernel)
     }
 
-    fn col2im(&self, col: &[f32], h: usize, w: usize) -> Vec<f32> {
-        let (oh, ow) = self.output_hw(h, w);
-        let k = self.kernel;
-        let mut out = vec![0.0f32; self.in_channels * h * w];
-        for c in 0..self.in_channels {
-            for ky in 0..k {
-                for kx in 0..k {
-                    let row_idx = (c * k * k + ky * k + kx) * (oh * ow);
-                    for oy in 0..oh {
-                        for ox in 0..ow {
-                            out[c * h * w + (oy + ky) * w + (ox + kx)] +=
-                                col[row_idx + oy * ow + ox];
-                        }
+    /// The batched forward arithmetic shared by `forward` and `infer`:
+    /// lowers the whole batch to one column matrix, convolves it with a
+    /// single GEMM and scatters the result (plus bias) into `[N, C', oh,
+    /// ow]` layout.  Returns the output and the column matrix.
+    fn forward_batch(&self, input: &Tensor) -> (Tensor, Vec<f32>) {
+        let shape = input.shape();
+        assert_eq!(shape.len(), 4, "Conv2d expects [N, C, H, W]");
+        assert_eq!(shape[1], self.in_channels, "Conv2d channel mismatch");
+        let (n, h, w) = (shape[0], shape[2], shape[3]);
+        let geometry = self.geometry(h, w);
+        let (oh, ow) = geometry.output_hw();
+        let (ohow, patch) = (oh * ow, geometry.patch());
+        let n_cols = n * ohow;
+
+        let col = im2col_batch(input.data(), n, &geometry);
+        // One GEMM for the whole batch: (out_channels × patch) · (patch ×
+        // N·oh·ow).  Per output element this is the same ascending-patch
+        // accumulation the per-sample lowering produced.
+        let y = gemm(&self.weight.value, &col, self.out_channels, patch, n_cols);
+
+        let mut out = Tensor::zeros(&[n, self.out_channels, oh, ow]);
+        let item_len = self.out_channels * ohow;
+        let (bias, out_channels) = (&self.bias.value, self.out_channels);
+        // min_rows = 8: the scatter is memcpy-scale work, only worth a
+        // thread for large batches.
+        kernels::run_row_chunks(out.data_mut(), n, item_len, 8, |first, _rows, chunk| {
+            for (r, item) in chunk.chunks_mut(item_len).enumerate() {
+                let i = first + r;
+                for oc in 0..out_channels {
+                    let b = bias[oc];
+                    let src = &y[oc * n_cols + i * ohow..oc * n_cols + (i + 1) * ohow];
+                    for (d, &s) in item[oc * ohow..(oc + 1) * ohow].iter_mut().zip(src) {
+                        *d = s + b;
                     }
                 }
             }
+        });
+        (out, col)
+    }
+
+    /// Accumulates the weight and bias gradients for the cached forward
+    /// pass (shared by `backward` and `backward_head`).  Returns the
+    /// cached input's `(n, h, w)` and the lowering geometry.
+    ///
+    /// dW is computed as per-sample partials `gᵢ · colᵢᵀ` on
+    /// `std::thread::scope` worker threads, then reduced on the calling
+    /// thread in ascending sample order — exactly the accumulation
+    /// sequence of the historical per-sample loop, and independent of the
+    /// worker count.
+    fn accumulate_parameter_grads(
+        &mut self,
+        grad_output: &Tensor,
+    ) -> (usize, usize, usize, ConvGeometry) {
+        let input = self
+            .cached_input
+            .as_ref()
+            .expect("backward called before forward");
+        let shape = input.shape();
+        let (n, h, w) = (shape[0], shape[2], shape[3]);
+        let geometry = self.geometry(h, w);
+        let (oh, ow) = geometry.output_hw();
+        let (ohow, patch) = (oh * ow, geometry.patch());
+        let n_cols = n * ohow;
+        let out_channels = self.out_channels;
+
+        let mut partials: Vec<Vec<f32>> = vec![Vec::new(); n];
+        let workers = kernels::hardware_workers().min(n.max(1));
+        let cols = &self.cached_cols;
+        let compute_partial = |i: usize| {
+            gemm_bt_strided(
+                grad_output.item(i),
+                cols,
+                i * ohow,
+                n_cols,
+                out_channels,
+                ohow,
+                patch,
+            )
+        };
+        if workers <= 1 {
+            for (i, slot) in partials.iter_mut().enumerate() {
+                *slot = compute_partial(i);
+            }
+        } else {
+            let chunk = n.div_ceil(workers);
+            std::thread::scope(|scope| {
+                for (ci, slots) in partials.chunks_mut(chunk).enumerate() {
+                    let compute_partial = &compute_partial;
+                    scope.spawn(move || {
+                        for (r, slot) in slots.iter_mut().enumerate() {
+                            *slot = compute_partial(ci * chunk + r);
+                        }
+                    });
+                }
+            });
         }
-        out
+        for dw in &partials {
+            for (acc, v) in self.weight.grad.iter_mut().zip(dw.iter()) {
+                *acc += v;
+            }
+        }
+
+        // db: per-sample row sums of g, in sample order.
+        for i in 0..n {
+            let g = grad_output.item(i);
+            for oc in 0..out_channels {
+                let s: f32 = g[oc * ohow..(oc + 1) * ohow].iter().sum();
+                self.bias.grad[oc] += s;
+            }
+        }
+        (n, h, w, geometry)
     }
 }
 
@@ -107,61 +192,66 @@ impl Layer for Conv2d {
     }
 
     fn forward(&mut self, input: &Tensor, _training: bool) -> Tensor {
-        let shape = input.shape();
-        assert_eq!(shape.len(), 4, "Conv2d expects [N, C, H, W]");
-        assert_eq!(shape[1], self.in_channels, "Conv2d channel mismatch");
-        let (n, h, w) = (shape[0], shape[2], shape[3]);
-        let (oh, ow) = self.output_hw(h, w);
-        let patch = self.in_channels * self.kernel * self.kernel;
-        let mut out = Tensor::zeros(&[n, self.out_channels, oh, ow]);
-        self.cached_cols.clear();
-        for i in 0..n {
-            let col = self.im2col(input.item(i), h, w);
-            // (out_channels x patch) * (patch x oh*ow)
-            let mut y = matmul(&self.weight.value, &col, self.out_channels, patch, oh * ow);
-            for oc in 0..self.out_channels {
-                let b = self.bias.value[oc];
-                for v in &mut y[oc * oh * ow..(oc + 1) * oh * ow] {
-                    *v += b;
-                }
-            }
-            out.item_mut(i).copy_from_slice(&y);
-            self.cached_cols.push(col);
-        }
+        let (out, col) = self.forward_batch(input);
+        self.cached_cols = col;
         self.cached_input = Some(input.clone());
         out
     }
 
-    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        let input = self
-            .cached_input
-            .as_ref()
-            .expect("backward called before forward");
-        let shape = input.shape();
-        let (n, h, w) = (shape[0], shape[2], shape[3]);
-        let (oh, ow) = self.output_hw(h, w);
-        let patch = self.in_channels * self.kernel * self.kernel;
-        let mut grad_input = Tensor::zeros(&[n, self.in_channels, h, w]);
-        for i in 0..n {
-            let g = grad_output.item(i); // (out_channels x oh*ow)
-            let col = &self.cached_cols[i]; // (patch x oh*ow)
+    fn infer(&self, input: &Tensor) -> Tensor {
+        self.forward_batch(input).0
+    }
 
-            // dW += g * col^T : (out_channels x patch)
-            let dw = matmul_bt(g, col, self.out_channels, oh * ow, patch);
-            for (acc, v) in self.weight.grad.iter_mut().zip(dw.iter()) {
-                *acc += v;
-            }
-            // db += row sums of g
-            for oc in 0..self.out_channels {
-                let s: f32 = g[oc * oh * ow..(oc + 1) * oh * ow].iter().sum();
-                self.bias.grad[oc] += s;
-            }
-            // dcol = W^T * g : (patch x oh*ow); weight stored (out_channels x patch).
-            let dcol = matmul_at(&self.weight.value, g, patch, self.out_channels, oh * ow);
-            let dinput = self.col2im(&dcol, h, w);
-            grad_input.item_mut(i).copy_from_slice(&dinput);
-        }
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let (n, h, w, geometry) = self.accumulate_parameter_grads(grad_output);
+        let (oh, ow) = geometry.output_hw();
+        let (ohow, patch) = (oh * ow, geometry.patch());
+        let n_cols = n * ohow;
+        let out_channels = self.out_channels;
+
+        // dX: gather g into its batched (out_channels × N·oh·ow) layout,
+        // run one GEMM for the whole batch and scatter per sample.
+        // min_rows = 8: the gather is memcpy-scale work, not worth a
+        // thread per channel.
+        let mut g_big = vec![0.0f32; out_channels * n_cols];
+        kernels::run_row_chunks(
+            &mut g_big,
+            out_channels,
+            n_cols,
+            8,
+            |first, _rows, chunk| {
+                for (r, row) in chunk.chunks_mut(n_cols).enumerate() {
+                    let oc = first + r;
+                    for i in 0..n {
+                        row[i * ohow..(i + 1) * ohow]
+                            .copy_from_slice(&grad_output.item(i)[oc * ohow..(oc + 1) * ohow]);
+                    }
+                }
+            },
+        );
+        let dcol = gemm_at(&self.weight.value, &g_big, patch, out_channels, n_cols);
+        // col2im does real accumulation work; parallelise from 4 samples.
+        let mut grad_input = Tensor::zeros(&[n, self.in_channels, h, w]);
+        let in_item = self.in_channels * h * w;
+        kernels::run_row_chunks(
+            grad_input.data_mut(),
+            n,
+            in_item,
+            4,
+            |first, _rows, chunk| {
+                for (r, item) in chunk.chunks_mut(in_item).enumerate() {
+                    col2im_item(&dcol, n_cols, (first + r) * ohow, &geometry, item);
+                }
+            },
+        );
         grad_input
+    }
+
+    fn backward_head(&mut self, grad_output: &Tensor) {
+        // First layer of the network: nobody consumes the input gradient,
+        // so only the parameter gradients are accumulated (bit-identical
+        // to the ones `backward` produces).
+        let _ = self.accumulate_parameter_grads(grad_output);
     }
 
     fn parameters(&mut self) -> Vec<&mut Parameter> {
@@ -300,5 +390,66 @@ mod tests {
         let g = Tensor::zeros(y.shape());
         let gi = conv.backward(&g);
         assert_eq!(gi.shape(), x.shape());
+    }
+
+    #[test]
+    fn backward_head_accumulates_identical_parameter_grads() {
+        let x = Tensor::from_vec(
+            &[2, 1, 5, 6],
+            (0..60).map(|i| (i as f32 * 0.19).sin()).collect(),
+        );
+        let mut full = layer(1, 3, 3);
+        let mut head = full.clone();
+        let y = full.forward(&x, true);
+        let _ = head.forward(&x, true);
+        let g = Tensor::from_vec(
+            y.shape(),
+            (0..y.len()).map(|i| (i as f32 * 0.07).cos()).collect(),
+        );
+        let _ = full.backward(&g);
+        head.backward_head(&g);
+        assert_eq!(full.weight.grad, head.weight.grad);
+        assert_eq!(full.bias.grad, head.bias.grad);
+    }
+
+    #[test]
+    fn infer_matches_forward_bitwise() {
+        let mut conv = layer(2, 3, 3);
+        let x = Tensor::from_vec(
+            &[2, 2, 5, 6],
+            (0..120).map(|i| (i as f32 * 0.37).sin()).collect(),
+        );
+        let trained = conv.forward(&x, false);
+        assert_eq!(conv.infer(&x).data(), trained.data());
+    }
+
+    #[test]
+    fn batched_backward_equals_per_sample_accumulation() {
+        // Gradients from one batched pass must equal the sum of per-sample
+        // passes accumulated in sample order — bit for bit.
+        let x = Tensor::from_vec(
+            &[3, 1, 4, 5],
+            (0..60).map(|i| (i as f32 * 0.13).cos()).collect(),
+        );
+        let g_data: Vec<f32> = (0..3 * 2 * 3 * 4)
+            .map(|i| (i as f32 * 0.21).sin())
+            .collect();
+        let mut batched = layer(1, 2, 2);
+        let y = batched.forward(&x, true);
+        assert_eq!(y.shape(), &[3, 2, 3, 4]);
+        let g = Tensor::from_vec(&[3, 2, 3, 4], g_data.clone());
+        let gi = batched.backward(&g);
+
+        let mut per_sample = layer(1, 2, 2);
+        let mut gi_items: Vec<f32> = Vec::new();
+        for i in 0..3 {
+            let xi = Tensor::from_vec(&[1, 1, 4, 5], x.item(i).to_vec());
+            let _ = per_sample.forward(&xi, true);
+            let gi_item = per_sample.backward(&Tensor::from_vec(&[1, 2, 3, 4], g.item(i).to_vec()));
+            gi_items.extend_from_slice(gi_item.data());
+        }
+        assert_eq!(batched.weight.grad, per_sample.weight.grad);
+        assert_eq!(batched.bias.grad, per_sample.bias.grad);
+        assert_eq!(gi.data(), &gi_items[..]);
     }
 }

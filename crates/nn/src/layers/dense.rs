@@ -1,9 +1,10 @@
 //! Fully connected (dense) layer.
 
 use crate::init::glorot_uniform;
+use crate::kernels::{gemm, gemm_at, gemm_bt};
 use crate::layers::Layer;
 use crate::param::Parameter;
-use crate::tensor::{matmul, matmul_at, matmul_bt, Tensor};
+use crate::tensor::Tensor;
 use rand::Rng;
 
 /// A fully connected layer `y = x Wᵀ + b`.
@@ -51,14 +52,10 @@ impl Dense {
     pub fn parameter_count(&self) -> usize {
         self.weight.len() + self.bias.len()
     }
-}
 
-impl Layer for Dense {
-    fn clone_box(&self) -> Box<dyn Layer> {
-        Box::new(self.clone())
-    }
-
-    fn forward(&mut self, input: &Tensor, _training: bool) -> Tensor {
+    /// The affine map `x Wᵀ + b` over a whole batch (one blocked GEMM),
+    /// shared by `forward` and `infer`.
+    fn affine(&self, input: &Tensor) -> Tensor {
         let n = input.batch_size();
         assert_eq!(
             input.item_len(),
@@ -66,7 +63,7 @@ impl Layer for Dense {
             "Dense input feature mismatch"
         );
         // y (n x out) = x (n x in) * W^T, W stored (out x in).
-        let mut y = matmul_bt(
+        let mut y = gemm_bt(
             input.data(),
             &self.weight.value,
             n,
@@ -78,8 +75,23 @@ impl Layer for Dense {
                 y[row * self.out_features + o] += b;
             }
         }
-        self.cached_input = Some(input.clone());
         Tensor::from_vec(&[n, self.out_features], y)
+    }
+}
+
+impl Layer for Dense {
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
+    fn forward(&mut self, input: &Tensor, _training: bool) -> Tensor {
+        let y = self.affine(input);
+        self.cached_input = Some(input.clone());
+        y
+    }
+
+    fn infer(&self, input: &Tensor) -> Tensor {
+        self.affine(input)
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
@@ -89,7 +101,7 @@ impl Layer for Dense {
             .expect("backward called before forward");
         let n = input.batch_size();
         // dW (out x in) = g^T (out x n) * x (n x in)
-        let dw = matmul_at(
+        let dw = gemm_at(
             grad_output.data(),
             input.data(),
             self.out_features,
@@ -106,7 +118,7 @@ impl Layer for Dense {
             }
         }
         // dx (n x in) = g (n x out) * W (out x in)
-        let dx = matmul(
+        let dx = gemm(
             grad_output.data(),
             &self.weight.value,
             n,

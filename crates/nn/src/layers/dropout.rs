@@ -39,6 +39,11 @@ impl Layer for Dropout {
         Box::new(self.clone())
     }
 
+    fn infer(&self, input: &Tensor) -> Tensor {
+        // Inverted dropout is the identity at inference time.
+        input.clone()
+    }
+
     fn forward(&mut self, input: &Tensor, training: bool) -> Tensor {
         if !training || self.p == 0.0 {
             self.cached_mask = vec![1.0; input.len()];

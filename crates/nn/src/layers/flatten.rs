@@ -31,6 +31,10 @@ impl Layer for Flatten {
 
     fn forward(&mut self, input: &Tensor, _training: bool) -> Tensor {
         self.cached_shape = input.shape().to_vec();
+        self.infer(input)
+    }
+
+    fn infer(&self, input: &Tensor) -> Tensor {
         input.reshaped(&[input.batch_size(), input.item_len()])
     }
 

@@ -29,14 +29,21 @@ use crate::tensor::Tensor;
 
 /// A differentiable network layer.
 ///
-/// Layers are `Send` and clonable through [`Layer::clone_box`] so that whole
-/// trained models can be duplicated into worker threads (the evaluation
-/// harness clones one trained VVD model per estimator instance).
-pub trait Layer: Send {
+/// Layers are `Send + Sync` and clonable through [`Layer::clone_box`]:
+/// trained models can be duplicated into worker threads, and — because
+/// [`Layer::infer`] takes `&self` — a single trained model behind an
+/// [`std::sync::Arc`] can serve predictions from many estimators at once
+/// without cloning its weights.
+pub trait Layer: Send + Sync {
     /// Computes the layer output for a batch.  `training` toggles
     /// behaviour that differs between training and inference (dropout,
     /// batch-norm statistics).
     fn forward(&mut self, input: &Tensor, training: bool) -> Tensor;
+
+    /// Inference-only forward pass: bit-identical to
+    /// `forward(input, false)` but without any cache writes, so a shared
+    /// (immutably borrowed) trained layer can serve predictions.
+    fn infer(&self, input: &Tensor) -> Tensor;
 
     /// Clones the layer behind the trait object (deep copy of parameters,
     /// caches and any RNG state).
@@ -48,9 +55,37 @@ pub trait Layer: Send {
     /// Must be called after a corresponding `forward` call.
     fn backward(&mut self, grad_output: &Tensor) -> Tensor;
 
+    /// Backward pass for the *first* layer of a network, whose input
+    /// gradient nobody consumes: accumulates parameter gradients only.
+    /// The default computes and discards the input gradient; layers with
+    /// an expensive input-gradient path (convolution) override it.
+    /// Parameter gradients are bit-identical to [`Layer::backward`]'s.
+    fn backward_head(&mut self, grad_output: &Tensor) {
+        let _ = self.backward(grad_output);
+    }
+
     /// The layer's trainable parameters (empty for stateless layers).
     fn parameters(&mut self) -> Vec<&mut Parameter> {
         Vec::new()
+    }
+
+    /// Non-trainable state that inference depends on (batch-norm running
+    /// statistics), in a fixed per-layer order.  Empty for most layers.
+    fn buffers(&self) -> Vec<Vec<f32>> {
+        Vec::new()
+    }
+
+    /// Restores state captured by [`Layer::buffers`].
+    ///
+    /// # Panics
+    /// Panics when the buffer layout does not match the layer.
+    fn load_buffers(&mut self, buffers: &[Vec<f32>]) {
+        assert!(
+            buffers.is_empty(),
+            "{} has no buffers, got {}",
+            self.name(),
+            buffers.len()
+        );
     }
 
     /// Human-readable layer name for summaries.

@@ -27,14 +27,8 @@ impl AvgPool2d {
     fn out_hw(&self, h: usize, w: usize) -> (usize, usize) {
         (h / self.window, w / self.window)
     }
-}
 
-impl Layer for AvgPool2d {
-    fn clone_box(&self) -> Box<dyn Layer> {
-        Box::new(self.clone())
-    }
-
-    fn forward(&mut self, input: &Tensor, _training: bool) -> Tensor {
+    fn pool(&self, input: &Tensor) -> Tensor {
         let shape = input.shape();
         assert_eq!(shape.len(), 4, "AvgPool2d expects [N, C, H, W]");
         let (n, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
@@ -61,8 +55,23 @@ impl Layer for AvgPool2d {
                 }
             }
         }
-        self.cached_shape = shape.to_vec();
         out
+    }
+}
+
+impl Layer for AvgPool2d {
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
+    fn forward(&mut self, input: &Tensor, _training: bool) -> Tensor {
+        let out = self.pool(input);
+        self.cached_shape = input.shape().to_vec();
+        out
+    }
+
+    fn infer(&self, input: &Tensor) -> Tensor {
+        self.pool(input)
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
@@ -120,20 +129,14 @@ impl MaxPool2d {
     fn out_hw(&self, h: usize, w: usize) -> (usize, usize) {
         (h / self.window, w / self.window)
     }
-}
 
-impl Layer for MaxPool2d {
-    fn clone_box(&self) -> Box<dyn Layer> {
-        Box::new(self.clone())
-    }
-
-    fn forward(&mut self, input: &Tensor, _training: bool) -> Tensor {
+    fn pool_with_argmax(&self, input: &Tensor) -> (Tensor, Vec<usize>) {
         let shape = input.shape();
         assert_eq!(shape.len(), 4, "MaxPool2d expects [N, C, H, W]");
         let (n, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
         let (oh, ow) = self.out_hw(h, w);
         let mut out = Tensor::zeros(&[n, c, oh, ow]);
-        self.cached_argmax = vec![0; n * c * oh * ow];
+        let mut argmax = vec![0; n * c * oh * ow];
         for i in 0..n {
             let item = input.item(i);
             let out_item = out.item_mut(i);
@@ -156,13 +159,29 @@ impl Layer for MaxPool2d {
                         }
                         let out_idx = ch * oh * ow + oy * ow + ox;
                         out_item[out_idx] = best;
-                        self.cached_argmax[i * c * oh * ow + out_idx] = best_idx;
+                        argmax[i * c * oh * ow + out_idx] = best_idx;
                     }
                 }
             }
         }
-        self.cached_shape = shape.to_vec();
+        (out, argmax)
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
+    fn forward(&mut self, input: &Tensor, _training: bool) -> Tensor {
+        let (out, argmax) = self.pool_with_argmax(input);
+        self.cached_argmax = argmax;
+        self.cached_shape = input.shape().to_vec();
         out
+    }
+
+    fn infer(&self, input: &Tensor) -> Tensor {
+        self.pool_with_argmax(input).0
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {

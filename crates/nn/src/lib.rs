@@ -12,9 +12,11 @@
 //!
 //! * a dense row-major [`tensor::Tensor`] with an `[N, C, H, W]` layout
 //!   convention for image batches,
-//! * layers: 2-D convolution (im2col + GEMM), average / max pooling, fully
-//!   connected, ReLU, flatten, batch normalisation and dropout
-//!   ([`layers`]),
+//! * cache-blocked GEMM and batched im2col lowering kernels that are
+//!   bit-identical to their naive references ([`kernels`]),
+//! * layers: 2-D convolution (batched im2col + GEMM), average / max
+//!   pooling, fully connected, ReLU, flatten, batch normalisation and
+//!   dropout ([`layers`]),
 //! * mean-squared-error loss ([`loss`]),
 //! * SGD, Adam and Nadam optimizers (the paper uses Nadam, lr 1e-4, decay
 //!   0.004) ([`optim`]),
@@ -27,10 +29,11 @@
 //! evaluation presets in `vvd-testbed` size the network and dataset so that
 //! end-to-end runs remain laptop-scale.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![deny(unsafe_code)]
 
 pub mod init;
+pub mod kernels;
 pub mod layers;
 pub mod loss;
 pub mod model;

@@ -56,17 +56,36 @@ impl Sequential {
         x
     }
 
-    /// Inference helper (no training-mode behaviour).
-    pub fn predict(&mut self, input: &Tensor) -> Tensor {
-        self.forward(input, false)
+    /// Inference pass through every layer without touching any layer
+    /// caches — bit-identical to `forward(input, false)`, but usable
+    /// through a shared reference (e.g. a trained model behind an
+    /// [`std::sync::Arc`] serving many estimators at once).
+    pub fn infer(&self, input: &Tensor) -> Tensor {
+        let mut x = input.clone();
+        for layer in self.layers.iter() {
+            x = layer.infer(&x);
+        }
+        x
+    }
+
+    /// Inference helper (no training-mode behaviour, no cache writes).
+    pub fn predict(&self, input: &Tensor) -> Tensor {
+        self.infer(input)
     }
 
     /// Backward pass: propagates the loss gradient through every layer,
-    /// accumulating parameter gradients.
+    /// accumulating parameter gradients.  The first layer's input gradient
+    /// is not consumed by anything, so it takes the cheaper
+    /// [`Layer::backward_head`] path (same parameter gradients).
     pub fn backward(&mut self, grad_output: &Tensor) {
         let mut g = grad_output.clone();
-        for layer in self.layers.iter_mut().rev() {
-            g = layer.backward(&g);
+        let n = self.layers.len();
+        for (idx, layer) in self.layers.iter_mut().rev().enumerate() {
+            if idx + 1 == n {
+                layer.backward_head(&g);
+            } else {
+                g = layer.backward(&g);
+            }
         }
     }
 
@@ -98,6 +117,27 @@ impl Sequential {
             .flat_map(|l| l.parameters())
             .map(|p| p.value.clone())
             .collect()
+    }
+
+    /// Snapshot of every layer's non-trainable buffers (batch-norm running
+    /// statistics), in layer order.
+    pub fn buffers_state(&self) -> Vec<Vec<f32>> {
+        self.layers.iter().flat_map(|l| l.buffers()).collect()
+    }
+
+    /// Restores a snapshot produced by [`Sequential::buffers_state`].
+    ///
+    /// # Panics
+    /// Panics if the snapshot does not match the model's buffer layout.
+    pub fn load_buffers_state(&mut self, buffers: &[Vec<f32>]) {
+        let mut idx = 0usize;
+        for layer in self.layers.iter_mut() {
+            let count = layer.buffers().len();
+            assert!(idx + count <= buffers.len(), "buffer state layout mismatch");
+            layer.load_buffers(&buffers[idx..idx + count]);
+            idx += count;
+        }
+        assert_eq!(idx, buffers.len(), "buffer state layout mismatch");
     }
 
     /// Restores a snapshot produced by [`Sequential::state`].
@@ -201,7 +241,7 @@ mod tests {
 
     #[test]
     fn cloned_model_predicts_identically_and_is_independent() {
-        let mut m = tiny_model(4);
+        let m = tiny_model(4);
         let x = Tensor::from_vec(&[1, 2], vec![0.7, -0.2]);
         let mut c = m.clone();
         assert_eq!(m.predict(&x).data(), c.predict(&x).data());

@@ -184,66 +184,27 @@ impl Tensor {
 
 /// Row-major matrix multiply `C = A(m×k) · B(k×n)`, the workhorse behind the
 /// convolution and dense layers.
+///
+/// Delegates to the cache-blocked [`crate::kernels::gemm`]; bit-identical
+/// to the naive [`crate::kernels::reference::matmul`].
 pub fn matmul(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
-    assert_eq!(a.len(), m * k, "matmul: A size mismatch");
-    assert_eq!(b.len(), k * n, "matmul: B size mismatch");
-    let mut c = vec![0.0f32; m * n];
-    for i in 0..m {
-        let a_row = &a[i * k..(i + 1) * k];
-        let c_row = &mut c[i * n..(i + 1) * n];
-        for (kk, &a_val) in a_row.iter().enumerate() {
-            if a_val == 0.0 {
-                continue;
-            }
-            let b_row = &b[kk * n..(kk + 1) * n];
-            for (c_v, &b_v) in c_row.iter_mut().zip(b_row.iter()) {
-                *c_v += a_val * b_v;
-            }
-        }
-    }
-    c
+    crate::kernels::gemm(a, b, m, k, n)
 }
 
 /// Row-major matrix multiply with the first operand transposed:
 /// `C = Aᵀ(m×k)ᵀ · B(...)` where `a` is stored as `(k × m)`.
+///
+/// Delegates to the cache-blocked [`crate::kernels::gemm_at`].
 pub fn matmul_at(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
-    assert_eq!(a.len(), k * m, "matmul_at: A size mismatch");
-    assert_eq!(b.len(), k * n, "matmul_at: B size mismatch");
-    let mut c = vec![0.0f32; m * n];
-    for kk in 0..k {
-        let a_row = &a[kk * m..(kk + 1) * m];
-        let b_row = &b[kk * n..(kk + 1) * n];
-        for (i, &a_val) in a_row.iter().enumerate() {
-            if a_val == 0.0 {
-                continue;
-            }
-            let c_row = &mut c[i * n..(i + 1) * n];
-            for (c_v, &b_v) in c_row.iter_mut().zip(b_row.iter()) {
-                *c_v += a_val * b_v;
-            }
-        }
-    }
-    c
+    crate::kernels::gemm_at(a, b, m, k, n)
 }
 
 /// Row-major matrix multiply with the second operand transposed:
 /// `C = A(m×k) · Bᵀ` where `b` is stored as `(n × k)`.
+///
+/// Delegates to the tiled [`crate::kernels::gemm_bt`].
 pub fn matmul_bt(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
-    assert_eq!(a.len(), m * k, "matmul_bt: A size mismatch");
-    assert_eq!(b.len(), n * k, "matmul_bt: B size mismatch");
-    let mut c = vec![0.0f32; m * n];
-    for i in 0..m {
-        let a_row = &a[i * k..(i + 1) * k];
-        for j in 0..n {
-            let b_row = &b[j * k..(j + 1) * k];
-            let mut acc = 0.0f32;
-            for (av, bv) in a_row.iter().zip(b_row.iter()) {
-                acc += av * bv;
-            }
-            c[i * n + j] = acc;
-        }
-    }
-    c
+    crate::kernels::gemm_bt(a, b, m, k, n)
 }
 
 #[cfg(test)]

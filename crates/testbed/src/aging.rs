@@ -23,7 +23,7 @@ use crate::stream::{
 use vvd_core::VvdVariant;
 use vvd_estimation::estimator::{AgedPreamble, BoxedEstimator, Inactive, Vvd, VvdModelPool};
 use vvd_estimation::metrics::{mean_squared_error, packet_error_rate};
-use vvd_estimation::Technique;
+use vvd_estimation::{ModelCache, Technique};
 
 /// The ages swept in Figs. 16–17, in seconds (0 = "Original").
 pub const PAPER_AGES_S: [f64; 8] = [0.0, 0.1, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0];
@@ -80,6 +80,20 @@ pub fn aging_sweep_with(
     techniques: &[Technique],
     options: &EvalOptions,
 ) -> Vec<AgingCurve> {
+    aging_sweep_cached(campaign, combination, ages_s, techniques, options, None)
+}
+
+/// [`aging_sweep_with`] resolving VVD trainings through a shared
+/// [`ModelCache`] — every age of the sweep (and any other consumer of the
+/// cache) reuses the one training of each provenance.
+pub fn aging_sweep_cached(
+    campaign: &Campaign,
+    combination: &SetCombination,
+    ages_s: &[f64],
+    techniques: &[Technique],
+    options: &EvalOptions,
+    cache: Option<&ModelCache>,
+) -> Vec<AgingCurve> {
     let cfg = &campaign.config;
     let packet_period = cfg.packet_period_s();
     let frame_period = cfg.frame_period_s();
@@ -89,10 +103,14 @@ pub fn aging_sweep_with(
     let score_from = max_lag_packets.max(cfg.kalman_warmup_packets);
 
     // One dataset source + model pool for the whole sweep: the VVD network
-    // is trained on the first age that needs it and shared afterwards.
+    // is trained on the first age that needs it; every later age's fit is
+    // a model-cache hit on the same training provenance.
     let cirs = training_cirs(campaign, combination);
     let source = CombinationDatasets::new(campaign, combination);
-    let pool = VvdModelPool::new(&cfg.vvd, &source);
+    let pool = match cache {
+        Some(cache) => VvdModelPool::with_cache(&cfg.vvd, &source, cache),
+        None => VvdModelPool::new(&cfg.vvd, &source),
+    };
 
     let mut curves: Vec<AgingCurve> = techniques
         .iter()

@@ -25,7 +25,7 @@ use vvd_dsp::stats::BoxStats;
 use vvd_estimation::estimator::VvdModelPool;
 use vvd_estimation::metrics::{chip_error_rate, mean_squared_error, packet_error_rate};
 use vvd_estimation::registry::SpecError;
-use vvd_estimation::{EstimatorRegistry, Technique};
+use vvd_estimation::{EstimatorRegistry, ModelCache, Technique};
 
 /// Aggregate metrics of one technique over one test set.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -181,12 +181,24 @@ pub fn evaluate_combination_with(
     techniques: &[Technique],
     options: &EvalOptions,
 ) -> CombinationResult {
+    evaluate_combination_with_cache(campaign, combination, techniques, options, None)
+}
+
+/// [`evaluate_combination_with`] resolving VVD trainings through a shared
+/// [`ModelCache`].
+pub fn evaluate_combination_with_cache(
+    campaign: &Campaign,
+    combination: &SetCombination,
+    techniques: &[Technique],
+    options: &EvalOptions,
+    cache: Option<&ModelCache>,
+) -> CombinationResult {
     let registry = EstimatorRegistry::new();
     let estimators = techniques
         .iter()
         .map(|&t| LabeledEstimator::new(t.label(), registry.technique(t)))
         .collect();
-    evaluate_estimators(campaign, combination, estimators, options)
+    evaluate_estimators_with_cache(campaign, combination, estimators, options, cache)
 }
 
 /// Evaluates one set combination with estimators built from registry spec
@@ -197,6 +209,19 @@ pub fn evaluate_specs(
     combination: &SetCombination,
     specs: &[&str],
     options: &EvalOptions,
+) -> Result<CombinationResult, SpecError> {
+    evaluate_specs_with_cache(campaign, combination, specs, options, None)
+}
+
+/// [`evaluate_specs`] resolving VVD trainings through a shared
+/// [`ModelCache`] — cells of a sweep that share training provenance train
+/// once and hit the cache afterwards.
+pub fn evaluate_specs_with_cache(
+    campaign: &Campaign,
+    combination: &SetCombination,
+    specs: &[&str],
+    options: &EvalOptions,
+    cache: Option<&ModelCache>,
 ) -> Result<CombinationResult, SpecError> {
     let registry = EstimatorRegistry::new();
     let estimators = specs
@@ -209,11 +234,12 @@ pub fn evaluate_specs(
             Ok(LabeledEstimator::new(label, registry.build(spec)?))
         })
         .collect::<Result<Vec<_>, SpecError>>()?;
-    Ok(evaluate_estimators(
+    Ok(evaluate_estimators_with_cache(
         campaign,
         combination,
         estimators,
         options,
+        cache,
     ))
 }
 
@@ -225,11 +251,27 @@ pub fn evaluate_estimators(
     estimators: Vec<LabeledEstimator>,
     options: &EvalOptions,
 ) -> CombinationResult {
+    evaluate_estimators_with_cache(campaign, combination, estimators, options, None)
+}
+
+/// [`evaluate_estimators`] resolving VVD trainings through a shared
+/// [`ModelCache`] (`None` = a private per-call cache, the historical
+/// behaviour).
+pub fn evaluate_estimators_with_cache(
+    campaign: &Campaign,
+    combination: &SetCombination,
+    estimators: Vec<LabeledEstimator>,
+    options: &EvalOptions,
+    cache: Option<&ModelCache>,
+) -> CombinationResult {
     let cfg = &campaign.config;
     let cirs = training_cirs(campaign, combination);
     let reference_energy = nominal_energy(&cirs);
     let source = CombinationDatasets::new(campaign, combination);
-    let pool = VvdModelPool::new(&cfg.vvd, &source);
+    let pool = match cache {
+        Some(cache) => VvdModelPool::with_cache(&cfg.vvd, &source, cache),
+        None => VvdModelPool::new(&cfg.vvd, &source),
+    };
 
     let score_from = cfg.kalman_warmup_packets;
     let traces = stream_estimators(
@@ -325,6 +367,18 @@ pub fn run_evaluation_with(
     techniques: &[Technique],
     options: &EvalOptions,
 ) -> (Vec<CombinationResult>, EvaluationSummary) {
+    run_evaluation_with_cache(campaign, techniques, options, None)
+}
+
+/// [`run_evaluation_with`] resolving every combination's VVD trainings
+/// through one shared [`ModelCache`]: combinations whose training splits
+/// coincide (or repeated evaluations over the same campaign) train once.
+pub fn run_evaluation_with_cache(
+    campaign: &Campaign,
+    techniques: &[Technique],
+    options: &EvalOptions,
+    cache: Option<&ModelCache>,
+) -> (Vec<CombinationResult>, EvaluationSummary) {
     let combos = combinations_for(campaign.config.n_sets, campaign.config.n_combinations);
     let workers = if options.parallel {
         std::thread::available_parallelism()
@@ -338,7 +392,7 @@ pub fn run_evaluation_with(
     let results: Vec<CombinationResult> = if workers <= 1 {
         combos
             .iter()
-            .map(|c| evaluate_combination_with(campaign, c, techniques, options))
+            .map(|c| evaluate_combination_with_cache(campaign, c, techniques, options, cache))
             .collect()
     } else {
         // Deterministic round-robin assignment; results are stitched back
@@ -359,7 +413,12 @@ pub fn run_evaluation_with(
                             .skip(w)
                             .step_by(workers)
                             .map(|(i, c)| {
-                                (i, evaluate_combination_with(campaign, c, techniques, inner))
+                                (
+                                    i,
+                                    evaluate_combination_with_cache(
+                                        campaign, c, techniques, inner, cache,
+                                    ),
+                                )
                             })
                             .collect::<Vec<_>>()
                     })

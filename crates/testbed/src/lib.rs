@@ -58,12 +58,13 @@ pub use campaign::{Campaign, FrameRecord, MeasurementSet, PacketRecord};
 pub use combinations::{combinations_for, SetCombination};
 pub use config::EvalConfig;
 pub use evaluate::{
-    evaluate_combination, evaluate_combination_with, evaluate_estimators, evaluate_specs,
-    run_evaluation, run_evaluation_with, CombinationResult, EvalOptions, EvaluationSummary,
-    TechniqueMetrics,
+    evaluate_combination, evaluate_combination_with, evaluate_combination_with_cache,
+    evaluate_estimators, evaluate_estimators_with_cache, evaluate_specs, evaluate_specs_with_cache,
+    run_evaluation, run_evaluation_with, run_evaluation_with_cache, CombinationResult, EvalOptions,
+    EvaluationSummary, TechniqueMetrics,
 };
 pub use mobility::RandomWaypoint;
 pub use stream::{
-    run_scenario_sweep, stream_estimators, EstimatorTrace, LabeledEstimator, ScenarioOutcome,
-    StreamOptions, SweepSpecError,
+    run_scenario_sweep, run_scenario_sweep_report, stream_estimators, EstimatorTrace,
+    LabeledEstimator, ScenarioOutcome, StreamOptions, SweepReport, SweepSpecError,
 };

@@ -22,11 +22,17 @@
 //! through every combination of it, and the scenarios themselves are
 //! spread round-robin over workers with the remaining cores divided among
 //! them as synthesis threads — so one call evaluates, say, 4 scenarios ×
-//! 14 techniques × all combinations without leaving cores idle.
+//! 14 techniques × all combinations without leaving cores idle.  One
+//! content-addressed model cache is shared across the whole grid, so grid
+//! cells whose VVD trainings have identical provenance train once and hit
+//! the cache afterwards ([`run_scenario_sweep_report`] returns the
+//! hit/miss accounting alongside the outcomes).
 
 use crate::campaign::{Campaign, FrameRecord, MeasurementSet};
 use crate::combinations::{combinations_for, SetCombination};
-use crate::evaluate::{evaluate_specs, CombinationResult, EvalOptions, EvaluationSummary};
+use crate::evaluate::{
+    evaluate_specs_with_cache, CombinationResult, EvalOptions, EvaluationSummary,
+};
 use std::fmt;
 use vvd_channel::scenario::{BoxedScenario, ScenarioRegistry, SpecParseError};
 use vvd_core::VvdVariant;
@@ -39,6 +45,7 @@ use vvd_estimation::estimator::{
 use vvd_estimation::ls::preamble_estimate;
 use vvd_estimation::phase::align_mean_phase;
 use vvd_estimation::EqualizerConfig;
+use vvd_estimation::{ModelCache, ModelCacheStats};
 use vvd_phy::{DecodeOutcome, Receiver};
 
 /// An estimator plus the label its results are reported under.
@@ -422,6 +429,16 @@ pub struct ScenarioOutcome {
     pub camera_blind: bool,
 }
 
+/// A scenario sweep's outcomes plus the shared model-cache accounting.
+#[derive(Debug)]
+pub struct SweepReport {
+    /// Per-scenario outcomes, in input order.
+    pub outcomes: Vec<ScenarioOutcome>,
+    /// Usage counters of the model cache shared across the whole grid —
+    /// every hit is a CNN training the sweep did *not* repeat.
+    pub model_cache: ModelCacheStats,
+}
+
 /// Runs the full (scenario × estimator) grid: every estimator spec is
 /// streamed through every combination of every scenario's campaign.
 ///
@@ -435,12 +452,38 @@ pub struct ScenarioOutcome {
 /// fan-out level.  With a single scenario the inner pipeline fans out over
 /// estimators instead.  Either way the outcome list is in input order and
 /// bit-identical to the sequential path.
+///
+/// One content-addressed [`ModelCache`] is shared across the entire grid:
+/// cells whose VVD trainings have identical provenance (same variant,
+/// hyper-parameters and training data — e.g. several estimator specs
+/// wrapping the same `vvd:…` head, or every age of an aging column) train
+/// once; see [`run_scenario_sweep_report`] for the hit/miss accounting.
 pub fn run_scenario_sweep(
     config: &crate::config::EvalConfig,
     scenario_specs: &[&str],
     estimator_specs: &[&str],
     options: &EvalOptions,
 ) -> Result<Vec<ScenarioOutcome>, SweepSpecError> {
+    run_scenario_sweep_report(config, scenario_specs, estimator_specs, options)
+        .map(|report| report.outcomes)
+}
+
+/// [`run_scenario_sweep`], additionally reporting the shared model cache's
+/// hit/miss/eviction counters.
+///
+/// Setting `VVD_MODEL_CACHE_DIR` persists trained models to that
+/// directory and consults it on misses.  Cache hits (memory or disk) run
+/// no training, so the corresponding
+/// [`CombinationResult::vvd_reports`] entries are absent — on a fully warm
+/// disk cache every cell's report list is empty.  Decoded results are
+/// unaffected: a hit returns the bit-identical model a fresh training
+/// would have produced.
+pub fn run_scenario_sweep_report(
+    config: &crate::config::EvalConfig,
+    scenario_specs: &[&str],
+    estimator_specs: &[&str],
+    options: &EvalOptions,
+) -> Result<SweepReport, SweepSpecError> {
     // Validate every cell before spending compute.
     let estimator_registry = vvd_estimation::EstimatorRegistry::new();
     for spec in estimator_specs {
@@ -451,6 +494,17 @@ pub fn run_scenario_sweep(
         .iter()
         .map(|spec| scenario_registry.build(spec))
         .collect::<Result<_, _>>()?;
+
+    // One model cache for the whole grid, shared across scenario workers.
+    // With `VVD_MODEL_CACHE_DIR` set, trained models also persist to disk,
+    // so re-running a sweep (or running sibling figure benches over the
+    // same campaigns) skips every training whose provenance is on disk —
+    // bit-identically, since a key collision requires identical variant,
+    // hyper-parameters, seed and dataset content.
+    let cache = match std::env::var_os("VVD_MODEL_CACHE_DIR") {
+        Some(dir) => ModelCache::new().with_disk_dir(std::path::PathBuf::from(dir)),
+        None => ModelCache::new(),
+    };
 
     let available = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -463,7 +517,7 @@ pub fn run_scenario_sweep(
 
     if workers <= 1 {
         let synthesis_workers = if options.parallel { available } else { 1 };
-        return Ok(scenarios
+        let outcomes = scenarios
             .iter_mut()
             .map(|scenario| {
                 evaluate_scenario(
@@ -472,9 +526,14 @@ pub fn run_scenario_sweep(
                     estimator_specs,
                     options,
                     synthesis_workers,
+                    &cache,
                 )
             })
-            .collect());
+            .collect();
+        return Ok(SweepReport {
+            outcomes,
+            model_cache: cache.stats(),
+        });
     }
 
     // Round-robin over workers; each worker evaluates its scenarios with a
@@ -484,6 +543,7 @@ pub fn run_scenario_sweep(
     let inner = EvalOptions { parallel: false };
     let mut indexed: Vec<(usize, ScenarioOutcome)> = std::thread::scope(|scope| {
         let inner = &inner;
+        let cache = &cache;
         // Distribute the stateful scenario objects round-robin, by mutable
         // reference (each lives on exactly one worker).
         let mut buckets: Vec<Vec<(usize, &mut BoxedScenario)>> =
@@ -506,6 +566,7 @@ pub fn run_scenario_sweep(
                                     estimator_specs,
                                     inner,
                                     synthesis_workers,
+                                    cache,
                                 ),
                             )
                         })
@@ -519,18 +580,23 @@ pub fn run_scenario_sweep(
             .collect()
     });
     indexed.sort_by_key(|(i, _)| *i);
-    Ok(indexed.into_iter().map(|(_, outcome)| outcome).collect())
+    Ok(SweepReport {
+        outcomes: indexed.into_iter().map(|(_, outcome)| outcome).collect(),
+        model_cache: cache.stats(),
+    })
 }
 
 /// Evaluates one scenario cell of a sweep: generate the campaign (with the
 /// given synthesis-thread budget), stream every estimator spec through
-/// every combination, aggregate.
+/// every combination (resolving VVD trainings through the sweep-wide model
+/// cache), aggregate.
 fn evaluate_scenario(
     config: &crate::config::EvalConfig,
     scenario: &mut BoxedScenario,
     estimator_specs: &[&str],
     options: &EvalOptions,
     synthesis_workers: usize,
+    cache: &ModelCache,
 ) -> ScenarioOutcome {
     let campaign = Campaign::generate_scenario_with(config, scenario.as_mut(), synthesis_workers);
     let camera_blind = campaign
@@ -542,7 +608,7 @@ fn evaluate_scenario(
     let results: Vec<CombinationResult> = combos
         .iter()
         .map(|combo| {
-            evaluate_specs(&campaign, combo, estimator_specs, options)
+            evaluate_specs_with_cache(&campaign, combo, estimator_specs, options, Some(cache))
                 .expect("sweep specs are validated before evaluation starts")
         })
         .collect();
@@ -700,6 +766,39 @@ mod tests {
             for (rs, rp) in s.results.iter().zip(&p.results) {
                 assert_eq!(rs.metrics, rp.metrics);
             }
+        }
+    }
+
+    #[test]
+    fn sweep_shares_trainings_across_cells_through_the_model_cache() {
+        let mut cfg = EvalConfig::smoke();
+        cfg.packets_per_set = 24;
+        cfg.kalman_warmup_packets = 2;
+        cfg.max_vvd_training_samples = 30;
+        let scenarios = ["paper", "rician:k=6,doppler=30"];
+        let estimators = ["vvd:current", "fallback:preamble,vvd:current"];
+        let report = run_scenario_sweep_report(
+            &cfg,
+            &scenarios,
+            &estimators,
+            &crate::evaluate::EvalOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(report.outcomes.len(), 2);
+        let stats = report.model_cache;
+        // Each scenario's combination trains VVD-Current once (a miss);
+        // the fallback's inner vvd:current head shares that training
+        // through the cache (a hit per shared training config).
+        assert_eq!(stats.misses, 2, "one training per scenario");
+        assert!(
+            stats.hits >= 2,
+            "every cell sharing a training config must hit the cache, got {stats}"
+        );
+        // The shared model decodes identically for both specs: the pure
+        // vvd:current column and the fallback's vvd arm disagree only
+        // where the preamble primary produced the estimate.
+        for outcome in &report.outcomes {
+            assert_eq!(outcome.results.len(), cfg.n_combinations);
         }
     }
 

@@ -40,7 +40,7 @@ fn main() {
         VvdVariant::Current,
         30,
     );
-    let (mut vvd, _) = VvdModel::train(VvdVariant::Current, &config.vvd, &train, &validation);
+    let (vvd, _) = VvdModel::train(VvdVariant::Current, &config.vvd, &train, &validation);
 
     let receiver = Receiver::new(config.phy);
     let eq = config.equalizer;
