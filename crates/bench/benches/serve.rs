@@ -1,0 +1,115 @@
+//! Multi-link serving: 64 concurrent sessions over a mixed-scenario
+//! campaign, with cross-session batched VVD inference.
+//!
+//! Builds a 64-session workload (two scenarios, six estimator families,
+//! heterogeneous arrival intervals) through the `vvd-serve` load
+//! generator, runs it once sharded and once on a single shard, and
+//! reports throughput, batch occupancy (NN images per forward call — the
+//! quantity the serving layer exists to maximise), and the shared model
+//! cache's counters.  The two runs must digest identically: sharding and
+//! batch composition are invisible in every decoded result.
+
+use std::collections::BTreeMap;
+use vvd_bench::{bench_config, print_header};
+use vvd_serve::{mixed_session_specs, serve, LoadGenerator, ServeOptions};
+
+const SCENARIOS: [&str; 2] = ["paper", "rician:k=6,doppler=30"];
+
+const ESTIMATORS: [&str; 6] = [
+    "vvd:current",
+    "fallback:preamble,vvd:current",
+    "kalman:ar=5",
+    "previous:100ms",
+    "ground-truth",
+    "preamble",
+];
+
+const SESSIONS: usize = 64;
+
+fn main() {
+    print_header(
+        "Serve campaign",
+        "64 concurrent link sessions, sharded serving with batched VVD inference",
+    );
+    let mut cfg = bench_config();
+    // One combination per session keeps the bench in minutes at every
+    // preset; the serving layer itself is combination-agnostic.
+    cfg.n_combinations = cfg.n_combinations.min(2);
+
+    let specs = mixed_session_specs(SESSIONS, &SCENARIOS, &ESTIMATORS);
+    let generator = LoadGenerator::new(cfg);
+
+    println!(
+        "\nbuilding workload: {} sessions over {} scenarios … ",
+        SESSIONS,
+        SCENARIOS.len()
+    );
+    let workload = generator.build(&specs).expect("bench specs are valid");
+    let campaigns = workload.campaigns.clone();
+
+    let shards = vvd_dsp::worker_budget();
+    let report = serve(workload, &ServeOptions { shards });
+    println!(
+        "sharded ({shards} shards): {} packets ({} scored) in {} ticks, {:.2?} wall ({:.0} pkt/s)",
+        report.packets_streamed,
+        report.packets_served,
+        report.ticks,
+        report.wall,
+        report.packets_streamed as f64 / report.wall.as_secs_f64().max(1e-9),
+    );
+    println!(
+        "batched inference: {} forward calls / {} images — occupancy {:.2}, max batch {}",
+        report.batches.batch_calls,
+        report.batches.images,
+        report.batch_occupancy(),
+        report.batches.max_batch,
+    );
+    println!("model cache: {}", report.model_cache);
+
+    // Aggregate quality per estimator label.
+    let mut per: BTreeMap<&str, (f64, usize)> = BTreeMap::new();
+    for s in &report.sessions {
+        let entry = per.entry(s.estimator.as_str()).or_insert((0.0, 0));
+        entry.0 += s.per;
+        entry.1 += 1;
+    }
+    println!(
+        "\n{:<32} {:>10} {:>10}",
+        "estimator", "sessions", "mean PER"
+    );
+    for (label, (sum, n)) in &per {
+        println!("{:<32} {:>10} {:>10.3}", label, n, sum / *n as f64);
+    }
+
+    // The serving layer's raison d'être, enforced on every smoke run: the
+    // engine issued fewer NN forward calls than it served packets.
+    assert!(
+        report.batch_occupancy() > 1.0,
+        "batch occupancy {} must exceed 1",
+        report.batch_occupancy()
+    );
+    assert!(report.batches.batch_calls < report.packets_served);
+
+    // Single-shard rerun over the same campaigns: bit-identical outcomes,
+    // whatever the speedup.
+    let mut generator = generator;
+    for (spec, campaign) in &campaigns {
+        generator = generator.with_campaign(spec.clone(), campaign.clone());
+    }
+    let workload = generator.build(&specs).expect("bench specs are valid");
+    let single = serve(workload, &ServeOptions { shards: 1 });
+    println!(
+        "\nsingle shard: {:.2?} wall — sharded speedup {:.2}x",
+        single.wall,
+        single.wall.as_secs_f64() / report.wall.as_secs_f64().max(1e-9),
+    );
+    assert_eq!(
+        report.digest(),
+        single.digest(),
+        "shard count must be invisible in the served results"
+    );
+    println!(
+        "digest: {:016x} (identical at 1 and {shards} shards)",
+        report.digest()
+    );
+}

@@ -394,13 +394,25 @@ mod tests {
 
     #[test]
     fn custom_bases_and_overlays_compose() {
-        struct Fixed;
+        // A full (panic-free) test double: if the trait grows a caller
+        // that touches the room — campaign generation does — the helper
+        // still behaves like a real scenario.
+        struct Fixed {
+            room: crate::Room,
+        }
+        impl Default for Fixed {
+            fn default() -> Self {
+                Fixed {
+                    room: crate::Room::laboratory(),
+                }
+            }
+        }
         impl ChannelScenario for Fixed {
             fn spec(&self) -> String {
                 "fixed".into()
             }
             fn room(&self) -> &crate::Room {
-                unimplemented!("not needed in this test")
+                &self.room
             }
             fn nominal_cir(&self) -> vvd_dsp::FirFilter {
                 vvd_dsp::FirFilter::identity()
@@ -430,11 +442,14 @@ mod tests {
         let mut registry = ScenarioRegistry::new();
         registry.register("fixed", |_, args| {
             if args.is_empty() {
-                Ok(Box::new(Fixed) as BoxedScenario)
+                Ok(Box::new(Fixed::default()) as BoxedScenario)
             } else {
                 Err(SpecParseError::new("fixed", "`fixed` takes no arguments"))
             }
         });
+        // The double answers every trait method, room geometry included.
+        let fixed = registry.build("fixed").unwrap();
+        assert!(fixed.room().width > 0.0);
 
         // Custom base composes with built-in overlays.
         let mut scenario = registry.build("fixed+snr-offset:db=-6").unwrap();

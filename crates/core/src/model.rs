@@ -8,6 +8,7 @@
 use crate::architecture::build_vvd_cnn;
 use crate::config::VvdConfig;
 use crate::dataset::VvdDataset;
+use crate::key::ModelKey;
 use crate::preprocess::CirNormalizer;
 use crate::variant::VvdVariant;
 use rand::rngs::StdRng;
@@ -47,6 +48,7 @@ struct ModelState {
     variant: VvdVariant,
     image_height: usize,
     image_width: usize,
+    key: ModelKey,
 }
 
 /// A trained VVD model.
@@ -72,6 +74,7 @@ struct SavedVvdModel {
     normalizer: CirNormalizer,
     image_height: usize,
     image_width: usize,
+    key: ModelKey,
     checkpoint: ModelCheckpoint,
 }
 
@@ -95,6 +98,11 @@ impl VvdModel {
             config.channel_taps,
             "dataset tap count does not match the configuration"
         );
+
+        // The training-provenance digest is the model's identity: batched
+        // serving layers group same-key models into one forward pass, and
+        // the model cache files models under it on disk.
+        let key = ModelKey::for_training(variant, config, train, validation);
 
         let normalizer = train.normalizer();
         let train_x = train.input_tensor();
@@ -137,6 +145,7 @@ impl VvdModel {
                 variant,
                 image_height: h,
                 image_width: w,
+                key,
             }),
         };
         let report = VvdTrainingReport {
@@ -162,6 +171,17 @@ impl VvdModel {
     /// The CIR normalisation factor learned from the training set.
     pub fn normalizer(&self) -> &CirNormalizer {
         &self.state.normalizer
+    }
+
+    /// The content digest of this model's training provenance (variant,
+    /// configuration incl. seed, training + validation dataset content).
+    ///
+    /// Two models with equal keys predict bit-identically (training is
+    /// deterministic in its provenance), which is what lets serving layers
+    /// coalesce prediction requests from *different* estimator instances
+    /// into one batched forward pass keyed by this value.
+    pub fn key(&self) -> ModelKey {
+        self.state.key
     }
 
     /// Predicts the complex channel impulse response for one preprocessed
@@ -235,6 +255,7 @@ impl VvdModel {
             normalizer: s.normalizer,
             image_height: s.image_height,
             image_width: s.image_width,
+            key: s.key,
             checkpoint,
         };
         serde_json::to_string(&saved).expect("model serialisation cannot fail")
@@ -270,6 +291,7 @@ impl VvdModel {
                 variant: saved.variant,
                 image_height: saved.image_height,
                 image_width: saved.image_width,
+                key: saved.key,
             }),
         })
     }
@@ -443,6 +465,25 @@ mod tests {
         let a = model.predict_cir(&train.samples[0].image);
         let b = clone.predict_cir(&train.samples[0].image);
         assert_eq!(a.taps(), b.taps());
+    }
+
+    #[test]
+    fn model_key_matches_its_training_provenance() {
+        let cfg = tiny_config();
+        let train = synthetic_dataset(20, 0);
+        let val = synthetic_dataset(5, 2);
+        let (model, _) = VvdModel::train(VvdVariant::Current, &cfg, &train, &val);
+        assert_eq!(
+            model.key(),
+            ModelKey::for_training(VvdVariant::Current, &cfg, &train, &val)
+        );
+        // The key survives serialisation (the cache and serving layers key
+        // disk files and batch plans by it).
+        let restored = VvdModel::from_json(&model.to_json()).unwrap();
+        assert_eq!(restored.key(), model.key());
+        // A different provenance yields a different key.
+        let (other, _) = VvdModel::train(VvdVariant::Future33ms, &cfg, &train, &val);
+        assert_ne!(other.key(), model.key());
     }
 
     #[test]

@@ -27,6 +27,7 @@ pub mod fir;
 pub mod resample;
 pub mod solve;
 pub mod stats;
+pub mod workers;
 
 pub use cmatrix::CMatrix;
 pub use complex::Complex;
@@ -35,3 +36,4 @@ pub use correlation::{autocorrelation, autocorrelation_coefficients, cross_corre
 pub use cvec::CVec;
 pub use fir::FirFilter;
 pub use solve::{least_squares, solve_linear};
+pub use workers::worker_budget;

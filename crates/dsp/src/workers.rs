@@ -1,0 +1,48 @@
+//! The shared worker-budget policy of every parallel fan-out in the
+//! workspace.
+//!
+//! All parallelism in this repository is *deterministic*: workers only ever
+//! process disjoint work items (estimators, packets, sessions, GEMM row
+//! chunks) whose per-item arithmetic is independent of the worker count, so
+//! results are bit-identical whether a fan-out runs on 1 thread or 64.
+//! [`worker_budget`] is the single knob that sizes those fan-outs:
+//!
+//! * by default it follows [`std::thread::available_parallelism`];
+//! * setting the `VVD_WORKERS` environment variable to a positive integer
+//!   overrides it, which is how CI runs the whole test suite at fixed
+//!   worker counts (1 and 4) to enforce the
+//!   any-worker-count-bit-identical invariant on every push.
+//!
+//! `vvd-nn` duplicates this 5-line policy in `kernels::hardware_workers`
+//! rather than growing a dependency edge on this crate; keep the two in
+//! sync.
+
+/// Name of the environment variable overriding the worker budget.
+pub const WORKERS_ENV: &str = "VVD_WORKERS";
+
+/// The number of worker threads parallel fan-outs should size themselves
+/// for: `VVD_WORKERS` when set to a positive integer, the available
+/// hardware parallelism otherwise (1 when even that is unknown).
+pub fn worker_budget() -> usize {
+    match std::env::var(WORKERS_ENV)
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+    {
+        Some(n) if n >= 1 => n,
+        _ => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_is_at_least_one() {
+        // Whatever the environment says, a budget of zero would deadlock
+        // every fan-out.
+        assert!(worker_budget() >= 1);
+    }
+}

@@ -326,4 +326,120 @@ mod tests {
         let s = cache.stats().to_string();
         assert!(s.contains("0 lookups"));
     }
+
+    #[test]
+    fn capacity_zero_is_unbounded() {
+        let cache = ModelCache::with_capacity(0);
+        for offset in 0..3 {
+            let (key, model, report) = train_pair(offset);
+            let _ = cache.get_or_train(key, || (model.clone(), report.clone()));
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 0, "capacity 0 must never evict");
+        assert_eq!(stats.entries, 3);
+        assert_eq!(cache.len(), 3);
+    }
+
+    #[test]
+    fn capacity_one_keeps_exactly_the_last_model_and_repeat_lookups_hit() {
+        let cache = ModelCache::with_capacity(1);
+        let (key, model, report) = train_pair(0);
+        let _ = cache.get_or_train(key, || (model.clone(), report.clone()));
+        // Re-looking-up the resident key must not evict it.
+        for _ in 0..3 {
+            let (_, retrained) = cache.get_or_train(key, || panic!("hit must not retrain"));
+            assert!(retrained.is_none());
+        }
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.evictions), (3, 1, 0));
+        assert_eq!(stats.entries, 1);
+    }
+
+    #[test]
+    fn lru_order_follows_recency_of_use() {
+        let cache = ModelCache::with_capacity(2);
+        let (key_a, model_a, report_a) = train_pair(0);
+        let (key_b, model_b, report_b) = train_pair(1);
+        let (key_c, model_c, report_c) = train_pair(2);
+        let _ = cache.get_or_train(key_a, || (model_a.clone(), report_a.clone()));
+        let _ = cache.get_or_train(key_b, || (model_b.clone(), report_b.clone()));
+        // Touch A so that B becomes the least recently used entry …
+        let _ = cache.get_or_train(key_a, || panic!("A is resident"));
+        // … and C's insertion must evict B, not A.
+        let _ = cache.get_or_train(key_c, || (model_c.clone(), report_c.clone()));
+        let (_, a_again) = cache.get_or_train(key_a, || panic!("A must have survived"));
+        assert!(a_again.is_none());
+        let (_, b_again) = cache.get_or_train(key_b, || (model_b.clone(), report_b.clone()));
+        assert!(b_again.is_some(), "B was evicted and must retrain");
+    }
+
+    #[test]
+    fn corrupt_and_truncated_disk_entries_degrade_to_misses() {
+        let dir = std::env::temp_dir().join(format!(
+            "vvd-model-cache-corrupt-test-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let (key, model, report) = train_pair(3);
+        let probe = dataset(1, 3).samples[0].image.clone();
+        let expected = model.predict_cir(&probe);
+        let path = dir.join(format!("{}.json", key.to_hex()));
+
+        for garbage in ["not json at all", "{\"variant\":", ""] {
+            std::fs::write(&path, garbage).unwrap();
+            let cache = ModelCache::new().with_disk_dir(&dir);
+            let (loaded, retrained) = cache.get_or_train(key, || (model.clone(), report.clone()));
+            assert!(
+                retrained.is_some(),
+                "a corrupt entry ({garbage:?}) must retrain, not panic"
+            );
+            let stats = cache.stats();
+            assert_eq!(
+                (stats.hits, stats.disk_hits, stats.misses),
+                (0, 0, 1),
+                "a corrupt entry counts as a plain miss"
+            );
+            assert_eq!(loaded.predict_cir(&probe).taps(), expected.taps());
+        }
+
+        // A truncated valid document (half of a real serialisation) is
+        // also just a miss — and retraining heals the on-disk entry.
+        let full = model.to_json();
+        std::fs::write(&path, &full[..full.len() / 2]).unwrap();
+        let cache = ModelCache::new().with_disk_dir(&dir);
+        let (_, retrained) = cache.get_or_train(key, || (model.clone(), report.clone()));
+        assert!(retrained.is_some(), "a truncated entry must retrain");
+        let healed = ModelCache::new().with_disk_dir(&dir);
+        let (_, from_disk) = healed.get_or_train(key, || panic!("healed entry must load"));
+        assert!(from_disk.is_none());
+        assert_eq!(healed.stats().disk_hits, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn counters_stay_consistent_across_mixed_traffic() {
+        let cache = ModelCache::with_capacity(1);
+        let (key_a, model_a, report_a) = train_pair(0);
+        let (key_b, model_b, report_b) = train_pair(1);
+        let mut expected_lookups = 0u64;
+        for _ in 0..3 {
+            let _ = cache.get_or_train(key_a, || (model_a.clone(), report_a.clone()));
+            let _ = cache.get_or_train(key_b, || (model_b.clone(), report_b.clone()));
+            expected_lookups += 2;
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.lookups(), expected_lookups);
+        assert_eq!(
+            stats.hits + stats.disk_hits + stats.misses,
+            expected_lookups
+        );
+        // Thrashing between two keys with capacity 1: every lookup misses
+        // and every insert beyond the first evicts.
+        assert_eq!(stats.misses, 6);
+        assert_eq!(stats.evictions, 5);
+        assert_eq!(stats.entries, 1);
+        assert_eq!(stats.entries, cache.len());
+        assert!(!cache.is_empty());
+    }
 }

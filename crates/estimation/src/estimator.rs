@@ -294,6 +294,24 @@ pub enum Estimate {
     },
 }
 
+/// A VVD forward pass an estimator would run for the packet about to be
+/// decoded, surfaced through [`ChannelEstimator::vvd_plan`] so that serving
+/// layers can coalesce same-model plans from *many* concurrent estimator
+/// instances into one [`VvdModel::predict_batch`] call.
+///
+/// The model is `Arc`-shared (cloning is a refcount bump) and carries its
+/// training-provenance [`ModelKey`] — the batch grouping key: plans whose
+/// models share a key are interchangeable, since equal provenance implies
+/// bit-identical weights.
+pub struct VvdInferencePlan {
+    /// The trained model the estimator would run.
+    pub model: VvdModel,
+    /// Index of the input frame in the request's
+    /// [`frames`](EstimateRequest::frames) source, with the estimator's lag
+    /// already applied.
+    pub frame_index: usize,
+}
+
 impl Estimate {
     /// Convenience constructor for an estimate that wants phase alignment.
     pub fn aligned(cir: FirFilter) -> Self {
@@ -345,6 +363,64 @@ pub trait ChannelEstimator: Send {
     /// it is opt-in).
     fn wants_preamble_observations(&self) -> bool {
         false
+    }
+
+    /// `true` when [`estimate`](ChannelEstimator::estimate) for this
+    /// request would *defer* — return [`Estimate::Skip`] or
+    /// [`Estimate::Lost`] instead of producing an estimate or decoding.
+    ///
+    /// A pure lookahead (no state changes) that combinators use to plan
+    /// batched work only for the arm that will actually run: a fallback
+    /// whose primary will produce an estimate must not pay for its
+    /// secondary's NN forward pass.  Implementations must answer exactly
+    /// what `estimate` would do for the same request and state; the
+    /// conservative default (`false` — "I will produce") only ever costs
+    /// missed batching opportunities, never correctness, because an arm
+    /// that receives no prediction computes inline.
+    fn would_defer(&self, req: &EstimateRequest<'_>) -> bool {
+        let _ = req;
+        false
+    }
+
+    /// The VVD forward pass this estimator would run inside
+    /// [`estimate`](ChannelEstimator::estimate) for this packet, if any.
+    ///
+    /// This is the *batched-inference hook*: a serving layer calls it for
+    /// every concurrent session before decoding a tick's packets, groups
+    /// the returned plans by the model's content key, runs one
+    /// [`VvdModel::predict_batch`] per group, and hands each estimator its
+    /// prediction back through
+    /// [`estimate_with_vvd`](ChannelEstimator::estimate_with_vvd) —
+    /// amortising the NN forward pass that dominates per-packet cost.
+    /// `predict_batch` is bit-identical to per-image prediction, so the
+    /// batched path produces exactly the estimates the unbatched one would.
+    ///
+    /// Must be pure (no state changes) and consistent with `estimate`: a
+    /// returned plan describes exactly the prediction `estimate` would
+    /// compute itself.  The default (for estimators that never run a VVD
+    /// network) is `None`.  Combinators expose at most the plan of one arm
+    /// and are responsible for routing the prediction back to that arm.
+    fn vvd_plan(&self, req: &EstimateRequest<'_>) -> Option<VvdInferencePlan> {
+        let _ = req;
+        None
+    }
+
+    /// [`estimate`](ChannelEstimator::estimate) with an externally computed
+    /// VVD prediction — the output of the forward pass this estimator
+    /// planned via [`vvd_plan`](ChannelEstimator::vvd_plan) for the *same*
+    /// request.
+    ///
+    /// Passing `Some(prediction)` is only valid when `vvd_plan` returned a
+    /// plan for this request and `prediction` is that plan's model output;
+    /// with `None` (or for estimators without a plan) this is exactly
+    /// `estimate`.
+    fn estimate_with_vvd(
+        &mut self,
+        req: &EstimateRequest<'_>,
+        prediction: Option<&FirFilter>,
+    ) -> Estimate {
+        let _ = prediction;
+        self.estimate(req)
     }
 
     /// `true` when the *quality* of this estimator's estimates depends on
@@ -413,6 +489,14 @@ impl Preamble {
 }
 
 impl ChannelEstimator for Preamble {
+    fn would_defer(&self, req: &EstimateRequest<'_>) -> bool {
+        if self.genie {
+            req.preamble_estimate.is_none()
+        } else {
+            !req.preamble_detected || req.preamble_estimate.is_none()
+        }
+    }
+
     fn estimate(&mut self, req: &EstimateRequest<'_>) -> Estimate {
         if self.genie {
             match req.preamble_estimate {
@@ -462,6 +546,10 @@ impl Previous {
 }
 
 impl ChannelEstimator for Previous {
+    fn would_defer(&self, _req: &EstimateRequest<'_>) -> bool {
+        self.history.len() < self.lag
+    }
+
     fn observe(&mut self, obs: &PacketObservation<'_>) {
         self.history.push_back(obs.perfect_cir.clone());
         if self.history.len() > self.lag {
@@ -584,6 +672,39 @@ impl ChannelEstimator for Vvd {
         Estimate::aligned(model.predict_cir(image))
     }
 
+    fn would_defer(&self, req: &EstimateRequest<'_>) -> bool {
+        req.frame_index < self.lag_frames()
+    }
+
+    fn vvd_plan(&self, req: &EstimateRequest<'_>) -> Option<VvdInferencePlan> {
+        let lag = self.lag_frames();
+        let model = self
+            .model
+            .as_ref()
+            .expect("VVD estimator used before fit()");
+        if req.frame_index < lag {
+            return None;
+        }
+        Some(VvdInferencePlan {
+            model: model.clone(),
+            frame_index: req.frame_index - lag,
+        })
+    }
+
+    fn estimate_with_vvd(
+        &mut self,
+        req: &EstimateRequest<'_>,
+        prediction: Option<&FirFilter>,
+    ) -> Estimate {
+        match prediction {
+            // The batched forward pass already ran; its output is exactly
+            // what `estimate` would have computed (predict_batch is
+            // bit-identical to per-image prediction).
+            Some(cir) => Estimate::aligned(cir.clone()),
+            None => self.estimate(req),
+        }
+    }
+
     fn uses_camera(&self) -> bool {
         true
     }
@@ -633,6 +754,40 @@ impl ChannelEstimator for Fallback {
         }
     }
 
+    fn would_defer(&self, req: &EstimateRequest<'_>) -> bool {
+        self.primary.would_defer(req) && self.secondary.would_defer(req)
+    }
+
+    fn vvd_plan(&self, req: &EstimateRequest<'_>) -> Option<VvdInferencePlan> {
+        // Plan only for the arm that will actually run: when the primary
+        // will produce an estimate, the secondary's NN forward pass would
+        // be computed and discarded — the lookahead suppresses it.
+        if self.primary.would_defer(req) {
+            self.secondary.vvd_plan(req)
+        } else {
+            self.primary.vvd_plan(req)
+        }
+    }
+
+    fn estimate_with_vvd(
+        &mut self,
+        req: &EstimateRequest<'_>,
+        prediction: Option<&FirFilter>,
+    ) -> Estimate {
+        // Route the prediction to the arm `vvd_plan` planned for — the
+        // same pure condition, so the routing cannot disagree with the
+        // planning.
+        let (for_primary, for_secondary) = if self.primary.would_defer(req) {
+            (None, prediction)
+        } else {
+            (prediction, None)
+        };
+        match self.primary.estimate_with_vvd(req, for_primary) {
+            Estimate::Skip | Estimate::Lost => self.secondary.estimate_with_vvd(req, for_secondary),
+            available => available,
+        }
+    }
+
     fn wants_preamble_observations(&self) -> bool {
         self.primary.wants_preamble_observations() || self.secondary.wants_preamble_observations()
     }
@@ -663,6 +818,21 @@ impl AgedPreamble {
 }
 
 impl ChannelEstimator for AgedPreamble {
+    fn would_defer(&self, req: &EstimateRequest<'_>) -> bool {
+        if self.lag == 0 {
+            req.preamble_estimate.is_none()
+        } else if self.history.len() < self.lag {
+            // Still warming up: `estimate` skips until the history is as
+            // deep as the lag, even though a front entry may exist.
+            true
+        } else {
+            match self.history.front() {
+                Some(est) => est.is_none(),
+                None => true,
+            }
+        }
+    }
+
     fn observe(&mut self, obs: &PacketObservation<'_>) {
         if self.lag == 0 {
             return;
@@ -703,6 +873,10 @@ impl ChannelEstimator for AgedPreamble {
 pub struct Inactive;
 
 impl ChannelEstimator for Inactive {
+    fn would_defer(&self, _req: &EstimateRequest<'_>) -> bool {
+        true
+    }
+
     fn estimate(&mut self, _req: &EstimateRequest<'_>) -> Estimate {
         Estimate::Skip
     }
@@ -872,6 +1046,229 @@ mod tests {
         let mut fresh = AgedPreamble::packets(0);
         assert!(!fresh.wants_preamble_observations());
         assert_eq!(fresh.estimate(&req), Estimate::phased(b.clone()));
+    }
+
+    struct Frames(Vec<DepthImage>);
+    impl FrameSource for Frames {
+        fn frame(&self, index: usize) -> &DepthImage {
+            &self.0[index]
+        }
+        fn n_frames(&self) -> usize {
+            self.0.len()
+        }
+    }
+
+    struct FixedSource(VvdDataset);
+    impl VvdDatasetSource for FixedSource {
+        fn datasets(&self, _variant: VvdVariant) -> (VvdDataset, VvdDataset) {
+            (self.0.clone(), VvdDataset::new())
+        }
+    }
+
+    fn tiny_vvd_dataset() -> VvdDataset {
+        let mut ds = VvdDataset::new();
+        for k in 0..6 {
+            let mut img = DepthImage::filled(30, 26, 0.8);
+            img.set(4, (k * 3) % 20, 0.2);
+            let mut taps = vec![vvd_dsp::Complex::ZERO; 3];
+            taps[1] = vvd_dsp::Complex::new(1e-3 + 1e-5 * k as f64, -5e-4);
+            ds.push(vvd_core::VvdSample {
+                image: img,
+                target_cir: FirFilter::from_taps(&taps),
+            });
+        }
+        ds
+    }
+
+    fn tiny_vvd_config() -> VvdConfig {
+        let mut cfg = VvdConfig::quick();
+        cfg.conv_filters = 2;
+        cfg.dense_units = 8;
+        cfg.channel_taps = 3;
+        cfg.epochs = 1;
+        cfg
+    }
+
+    #[test]
+    fn vvd_plan_and_injected_prediction_match_the_inline_estimate() {
+        let ds = tiny_vvd_dataset();
+        let cfg = tiny_vvd_config();
+        let source = FixedSource(ds.clone());
+        let pool = VvdModelPool::new(&cfg, &source);
+        let mut vvd = Vvd::new(VvdVariant::Current);
+        vvd.fit(&TrainingContext::new(&[]).with_vvd(&pool));
+
+        let frames = Frames(ds.samples.iter().map(|s| s.image.clone()).collect());
+        let perfect = cir(1.0);
+        let req = EstimateRequest {
+            packet_index: 0,
+            perfect_cir: &perfect,
+            preamble_estimate: None,
+            preamble_detected: true,
+            frame_index: 2,
+            frames: &frames,
+        };
+
+        let plan = vvd.vvd_plan(&req).expect("a frame is available");
+        assert_eq!(plan.frame_index, 2, "Current variant has no frame lag");
+        // The plan's model is the fitted one (Arc-shared, same provenance).
+        let prediction = plan.model.predict_cir(frames.frame(plan.frame_index));
+        assert_eq!(
+            vvd.estimate_with_vvd(&req, Some(&prediction)),
+            vvd.estimate(&req),
+            "an injected planned prediction must reproduce the inline path"
+        );
+
+        // Before enough frames exist the estimator neither plans nor
+        // estimates.
+        let mut aged = Vvd::aged(VvdVariant::Current, 5);
+        aged.fit(&TrainingContext::new(&[]).with_vvd(&pool));
+        assert!(aged.vvd_plan(&req).is_none());
+        assert_eq!(aged.estimate_with_vvd(&req, None), Estimate::Skip);
+    }
+
+    #[test]
+    fn fallback_routes_predictions_to_the_planning_arm() {
+        let ds = tiny_vvd_dataset();
+        let cfg = tiny_vvd_config();
+        let source = FixedSource(ds.clone());
+        let pool = VvdModelPool::new(&cfg, &source);
+        let ctx = TrainingContext::new(&[]).with_vvd(&pool);
+        let frames = Frames(ds.samples.iter().map(|s| s.image.clone()).collect());
+        let perfect = cir(1.0);
+        let pre = cir(0.5);
+
+        // When the preamble primary will produce an estimate, the VVD
+        // arm's forward pass is pure waste — the lookahead suppresses the
+        // plan entirely, and the primary wins untouched.
+        let mut combined = Fallback::new(
+            Box::new(Preamble::detected()),
+            Box::new(Vvd::new(VvdVariant::Current)),
+        );
+        combined.fit(&ctx);
+        let detected = EstimateRequest {
+            packet_index: 0,
+            perfect_cir: &perfect,
+            preamble_estimate: Some(&pre),
+            preamble_detected: true,
+            frame_index: 1,
+            frames: &frames,
+        };
+        assert!(
+            combined.vvd_plan(&detected).is_none(),
+            "no NN work is planned when the primary will produce"
+        );
+        assert_eq!(
+            combined.estimate_with_vvd(&detected, None),
+            Estimate::phased(pre.clone())
+        );
+
+        // When the primary defers (missed preamble), the VVD arm plans —
+        // and consumes the batch-computed prediction.
+        let missed = EstimateRequest {
+            preamble_detected: false,
+            ..detected
+        };
+        let plan = combined
+            .vvd_plan(&missed)
+            .expect("the VVD arm plans when the primary defers");
+        let prediction = plan.model.predict_cir(frames.frame(plan.frame_index));
+        assert_eq!(
+            combined.estimate_with_vvd(&missed, Some(&prediction)),
+            Estimate::aligned(prediction.clone())
+        );
+
+        // Primary plans: the prediction goes to the first arm.
+        let mut vvd_first = Fallback::new(
+            Box::new(Vvd::new(VvdVariant::Current)),
+            Box::new(GroundTruth),
+        );
+        vvd_first.fit(&ctx);
+        assert_eq!(
+            vvd_first.estimate_with_vvd(&missed, Some(&prediction)),
+            Estimate::aligned(prediction.clone())
+        );
+    }
+
+    #[test]
+    fn would_defer_answers_exactly_what_estimate_does() {
+        let perfect = cir(1.0);
+        let pre = cir(0.5);
+        let frames = NoFrames;
+        let requests = [
+            request(&frames, &perfect, Some(&pre), true),
+            request(&frames, &perfect, Some(&pre), false),
+            request(&frames, &perfect, None, true),
+            request(&frames, &perfect, None, false),
+        ];
+        let mut estimators: Vec<(&str, BoxedEstimator)> = vec![
+            ("standard", Box::new(Standard)),
+            ("ground-truth", Box::new(GroundTruth)),
+            ("preamble", Box::new(Preamble::detected())),
+            ("preamble-genie", Box::new(Preamble::genie())),
+            ("previous-empty", Box::new(Previous::packets(2))),
+            ("aged-preamble-0", Box::new(AgedPreamble::packets(0))),
+            ("aged-preamble-empty", Box::new(AgedPreamble::packets(1))),
+            ("inactive", Box::new(Inactive)),
+            (
+                "fallback",
+                Box::new(Fallback::new(
+                    Box::new(Preamble::detected()),
+                    Box::new(Inactive),
+                )),
+            ),
+        ];
+        for (label, estimator) in &mut estimators {
+            for (i, req) in requests.iter().enumerate() {
+                let lookahead = estimator.would_defer(req);
+                let actual = matches!(estimator.estimate(req), Estimate::Skip | Estimate::Lost);
+                assert_eq!(
+                    lookahead, actual,
+                    "{label}: would_defer disagrees with estimate on request {i}"
+                );
+            }
+        }
+        // Stateful estimators whose answers change as they observe.
+        let mut prev = Previous::packets(1);
+        let req = request(&frames, &perfect, Some(&pre), true);
+        assert!(prev.would_defer(&req));
+        prev.observe(&PacketObservation {
+            perfect_cir: &perfect,
+            aligned_cir: &perfect,
+            preamble_estimate: None,
+        });
+        assert!(!prev.would_defer(&req));
+        assert!(matches!(prev.estimate(&req), Estimate::Ready { .. }));
+
+        // AgedPreamble through its whole state space: empty, partially
+        // filled (front exists but estimate still skips), full with a
+        // usable front, full with a failed-fit front.
+        let mut aged = AgedPreamble::packets(2);
+        let observations = [Some(&pre), Some(&pre), None];
+        for obs in observations {
+            assert_eq!(
+                aged.would_defer(&req),
+                matches!(aged.estimate(&req), Estimate::Skip | Estimate::Lost),
+                "aged preamble lookahead diverged at history depth {}",
+                aged.history.len()
+            );
+            aged.observe(&PacketObservation {
+                perfect_cir: &perfect,
+                aligned_cir: &perfect,
+                preamble_estimate: obs,
+            });
+        }
+        // Full history, successful front: produces.
+        assert!(!aged.would_defer(&req));
+        assert!(matches!(aged.estimate(&req), Estimate::Ready { .. }));
+        // One more failed-fit observation pushes the None to the front.
+        aged.observe(&PacketObservation {
+            perfect_cir: &perfect,
+            aligned_cir: &perfect,
+            preamble_estimate: None,
+        });
+        assert!(aged.would_defer(&req));
+        assert_eq!(aged.estimate(&req), Estimate::Skip);
     }
 
     #[test]

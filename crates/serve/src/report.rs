@@ -1,0 +1,221 @@
+//! Serve-run reporting: per-session quality, throughput, batching and
+//! cache accounting, plus a stable outcome digest.
+
+use crate::planner::BatchCounters;
+use std::fmt;
+use std::time::Duration;
+use vvd_estimation::metrics::{chip_error_rate, mean_squared_error, packet_error_rate};
+use vvd_estimation::ModelCacheStats;
+use vvd_testbed::stream::EstimatorTrace;
+
+/// Quality summary of one served session.
+#[derive(Debug, Clone)]
+pub struct SessionReport {
+    /// Workload-wide session identifier.
+    pub session_id: usize,
+    /// Scenario spec of the session's environment.
+    pub scenario: String,
+    /// Label the session's estimator reports under.
+    pub estimator: String,
+    /// Packets streamed through the estimator (warm-up included).
+    pub packets_streamed: usize,
+    /// Packets actually decoded and scored.
+    pub packets_scored: usize,
+    /// Packet error rate over the scored packets.
+    pub per: f64,
+    /// Chip error rate over the scored packets.
+    pub cer: f64,
+    /// Eq.-9 MSE (None for estimators that produce no channel estimate).
+    pub mse: Option<f64>,
+}
+
+/// Everything a serve run reports.
+///
+/// The per-session traces are carried verbatim (they are what the golden
+/// tests compare against the offline streaming pipeline); the summary
+/// numbers are derived from them.
+#[derive(Debug)]
+pub struct ServeReport {
+    /// Per-session summaries, in session-id order.
+    pub sessions: Vec<SessionReport>,
+    /// Per-session traces, in session-id order (bit-comparable to
+    /// [`stream_estimators`](vvd_testbed::stream::stream_estimators)
+    /// traces).
+    pub traces: Vec<EstimatorTrace>,
+    /// Number of ticks the engine actually processed (ticks in which at
+    /// least one packet was due).
+    pub ticks: u64,
+    /// Total packets streamed across all sessions.
+    pub packets_streamed: u64,
+    /// Total packets decoded and scored across all sessions.
+    pub packets_served: u64,
+    /// Cross-session batching counters of the inference planner.
+    pub batches: BatchCounters,
+    /// Counters of the model cache shared across the workload's trainings.
+    pub model_cache: ModelCacheStats,
+    /// Wall-clock duration of the serve loop (excludes workload build).
+    pub wall: Duration,
+}
+
+impl ServeReport {
+    /// Assembles the report from the drained sessions' traces.
+    pub(crate) fn assemble(
+        meta: Vec<(usize, String, String, usize)>,
+        traces: Vec<EstimatorTrace>,
+        ticks: u64,
+        batches: BatchCounters,
+        model_cache: ModelCacheStats,
+        wall: Duration,
+    ) -> Self {
+        let sessions: Vec<SessionReport> = meta
+            .into_iter()
+            .zip(&traces)
+            .map(
+                |((session_id, scenario, estimator, packets_streamed), trace)| SessionReport {
+                    session_id,
+                    scenario,
+                    estimator,
+                    packets_streamed,
+                    packets_scored: trace.scored.len(),
+                    per: packet_error_rate(&trace.scored),
+                    cer: chip_error_rate(&trace.scored),
+                    mse: if trace.estimates.is_empty() {
+                        None
+                    } else {
+                        Some(mean_squared_error(&trace.estimates, &trace.truths))
+                    },
+                },
+            )
+            .collect();
+        let packets_streamed = sessions.iter().map(|s| s.packets_streamed as u64).sum();
+        let packets_served = sessions.iter().map(|s| s.packets_scored as u64).sum();
+        ServeReport {
+            sessions,
+            traces,
+            ticks,
+            packets_streamed,
+            packets_served,
+            batches,
+            model_cache,
+            wall,
+        }
+    }
+
+    /// Mean images per batched NN forward call (see
+    /// [`BatchCounters::occupancy`]).
+    pub fn batch_occupancy(&self) -> f64 {
+        self.batches.occupancy()
+    }
+
+    /// Packets streamed (warm-up included) per processed tick — the
+    /// engine's scheduling throughput.  Scored-packet throughput is
+    /// `packets_served / ticks`.
+    pub fn packets_per_tick(&self) -> f64 {
+        if self.ticks == 0 {
+            0.0
+        } else {
+            self.packets_streamed as f64 / self.ticks as f64
+        }
+    }
+
+    /// A stable digest of every session's *outcomes* (labels, decode
+    /// results, estimates and truths) — and of nothing else.
+    ///
+    /// Timing statistics (ticks, wall-clock, batch composition) are
+    /// deliberately excluded: the digest is the quantity the concurrency
+    /// property tests hold fixed while they randomise arrival orders,
+    /// intervals and shard counts, all of which may legitimately change
+    /// *when* work happened but never *what* was computed.
+    pub fn digest(&self) -> u64 {
+        let mut h = Fnv::new();
+        for trace in &self.traces {
+            h.write_bytes(trace.label.as_bytes());
+            h.write_u64(trace.scored.len() as u64);
+            for o in &trace.scored {
+                h.write_outcome(o);
+            }
+            h.write_u64(trace.per_packet.len() as u64);
+            for o in &trace.per_packet {
+                h.write_outcome(o);
+            }
+            h.write_u64(trace.estimates.len() as u64);
+            for f in trace.estimates.iter().chain(trace.truths.iter()) {
+                h.write_u64(f.len() as u64);
+                for tap in f.taps().iter() {
+                    h.write_u64(tap.re.to_bits());
+                    h.write_u64(tap.im.to_bits());
+                }
+            }
+        }
+        h.0
+    }
+}
+
+impl fmt::Display for ServeReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "served {} packets ({} scored) from {} sessions in {} ticks ({:.1} pkt/tick, {:.2?} wall)",
+            self.packets_streamed,
+            self.packets_served,
+            self.sessions.len(),
+            self.ticks,
+            self.packets_per_tick(),
+            self.wall,
+        )?;
+        writeln!(
+            f,
+            "batched inference: {} forward calls for {} images (occupancy {:.2}, max batch {})",
+            self.batches.batch_calls,
+            self.batches.images,
+            self.batch_occupancy(),
+            self.batches.max_batch,
+        )?;
+        writeln!(f, "model cache: {}", self.model_cache)?;
+        for s in &self.sessions {
+            writeln!(
+                f,
+                "  session {:>3} [{} | {}] {} pkts  PER {:.3}  CER {:.4}{}",
+                s.session_id,
+                s.scenario,
+                s.estimator,
+                s.packets_scored,
+                s.per,
+                s.cer,
+                match s.mse {
+                    Some(mse) => format!("  MSE {mse:.3e}"),
+                    None => String::new(),
+                },
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// FNV-1a-64 over a canonical little-endian encoding (the digest only has
+/// to be stable and collision-resistant across test runs, not
+/// cryptographic).
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    fn write_outcome(&mut self, o: &vvd_phy::DecodeOutcome) {
+        self.write_u64(u64::from(o.crc_ok));
+        self.write_u64(o.chip_errors as u64);
+        self.write_u64(o.chip_count as u64);
+        self.write_u64(o.symbol_errors as u64);
+    }
+}

@@ -1,0 +1,426 @@
+//! Link sessions: the unit of state the serving engine multiplexes.
+//!
+//! One [`LinkSession`] is one tracked radio link — a fitted
+//! [`ChannelEstimator`](vvd_estimation::ChannelEstimator) streaming the
+//! packets of its campaign's test set in transmission order, exactly like
+//! the offline pipeline in `vvd_testbed::stream` does, but split into the
+//! two halves the engine interleaves across sessions:
+//!
+//! 1. [`LinkSession::prepare`] — regenerate the due packet's received
+//!    waveform, fit its preamble LS estimate, and ask the estimator for its
+//!    [`VvdInferencePlan`] (the NN forward pass it would run inline);
+//! 2. [`LinkSession::complete`] — decode the packet with
+//!    `estimate_with_vvd` (consuming the batch-computed prediction, when
+//!    one was planned), score it, and feed the estimator its observation.
+//!
+//! Between the two halves the engine's planner coalesces all sessions'
+//! plans into per-model `predict_batch` calls.  Because batched prediction
+//! is bit-identical to per-image prediction and sessions share no mutable
+//! state, every session's trace is bit-identical to running that session
+//! alone through `vvd_testbed::stream::stream_estimators` — regardless of
+//! how many other sessions were in flight, in which order packets arrived,
+//! or how many shards the store ran on.
+
+use std::sync::Arc;
+use vvd_core::VvdModel;
+use vvd_dsp::{CVec, FirFilter};
+use vvd_estimation::decode::decode_with_reference;
+use vvd_estimation::estimator::{
+    BoxedEstimator, Estimate, EstimateRequest, FrameSource, PacketObservation, VvdInferencePlan,
+};
+use vvd_estimation::ls::preamble_estimate;
+use vvd_estimation::phase::align_mean_phase;
+use vvd_estimation::EqualizerConfig;
+use vvd_phy::{DecodeOutcome, ModulatedFrame, Receiver};
+use vvd_testbed::stream::EstimatorTrace;
+use vvd_testbed::{Campaign, FrameRecord, SetCombination};
+use vvd_vision::DepthImage;
+
+/// Declarative description of one link session of a workload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionSpec {
+    /// Scenario spec string of the link's environment (sessions with equal
+    /// specs share one generated campaign).
+    pub scenario: String,
+    /// Estimator spec string (anything the
+    /// [`EstimatorRegistry`](vvd_estimation::EstimatorRegistry) builds).
+    pub estimator: String,
+    /// Packet arrival period in engine ticks (≥ 1).
+    pub interval_ticks: u64,
+    /// Tick of the first packet arrival.
+    pub offset_ticks: u64,
+    /// Index of the campaign set combination the session streams
+    /// (`< EvalConfig::n_combinations`).
+    pub combination: usize,
+}
+
+impl SessionSpec {
+    /// A session over the given scenario and estimator specs, with one
+    /// packet per tick starting at tick 0 on combination 0.
+    pub fn new(scenario: impl Into<String>, estimator: impl Into<String>) -> Self {
+        SessionSpec {
+            scenario: scenario.into(),
+            estimator: estimator.into(),
+            interval_ticks: 1,
+            offset_ticks: 0,
+            combination: 0,
+        }
+    }
+
+    /// Sets the arrival period in ticks.
+    pub fn every(mut self, ticks: u64) -> Self {
+        self.interval_ticks = ticks;
+        self
+    }
+
+    /// Sets the first-arrival tick.
+    pub fn offset(mut self, ticks: u64) -> Self {
+        self.offset_ticks = ticks;
+        self
+    }
+
+    /// Sets the set-combination index the session streams.
+    pub fn combination(mut self, index: usize) -> Self {
+        self.combination = index;
+        self
+    }
+}
+
+/// [`FrameSource`] over a measurement set's frame records (the serving
+/// counterpart of the private adapter in `vvd_testbed::stream`).
+struct SetFrames<'a>(&'a [FrameRecord]);
+
+impl FrameSource for SetFrames<'_> {
+    fn frame(&self, index: usize) -> &DepthImage {
+        &self.0[index].image
+    }
+    fn n_frames(&self) -> usize {
+        self.0.len()
+    }
+}
+
+/// Everything [`LinkSession::prepare`] computed for the due packet, handed
+/// through the planner to [`LinkSession::complete`].
+struct PendingPacket {
+    packet_index: usize,
+    score: bool,
+    /// `(tx, received, preamble LS estimate)` — present iff the packet is
+    /// scored or the estimator wants preamble observations (mirroring the
+    /// regeneration policy of the offline streaming core).
+    regen: Option<(ModulatedFrame, CVec, Option<FirFilter>)>,
+    /// The NN forward pass the estimator would run inline, if any.
+    plan: Option<VvdInferencePlan>,
+    /// The batch-computed output of `plan`, injected by the planner.
+    prediction: Option<FirFilter>,
+}
+
+/// One live link session: a fitted estimator plus its streaming cursor and
+/// accumulated trace.
+pub struct LinkSession {
+    id: usize,
+    scenario: String,
+    label: String,
+    campaign: Arc<Campaign>,
+    combination: SetCombination,
+    estimator: BoxedEstimator,
+    wants_preamble: bool,
+    score_from: usize,
+    interval: u64,
+    next_due: u64,
+    cursor: usize,
+    pending: Option<PendingPacket>,
+    trace: EstimatorTrace,
+}
+
+impl LinkSession {
+    /// Wires up a session from its fitted estimator and shared campaign.
+    ///
+    /// The estimator must already be fitted on the combination's training
+    /// sets (the [`LoadGenerator`](crate::LoadGenerator) does this, sharing
+    /// trainings through one model cache so that same-provenance sessions
+    /// hold `Arc`-clones of one network).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        id: usize,
+        scenario: String,
+        label: String,
+        campaign: Arc<Campaign>,
+        combination: SetCombination,
+        estimator: BoxedEstimator,
+        score_from: usize,
+        interval: u64,
+        offset: u64,
+    ) -> Self {
+        let wants_preamble = estimator.wants_preamble_observations();
+        LinkSession {
+            id,
+            scenario,
+            label: label.clone(),
+            campaign,
+            combination,
+            estimator,
+            wants_preamble,
+            score_from,
+            interval: interval.max(1),
+            next_due: offset,
+            cursor: 0,
+            pending: None,
+            trace: EstimatorTrace {
+                label,
+                scored: Vec::new(),
+                estimates: Vec::new(),
+                truths: Vec::new(),
+                per_packet: Vec::new(),
+            },
+        }
+    }
+
+    /// The session's workload-wide identifier.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// The scenario spec the session's campaign was generated from.
+    pub fn scenario(&self) -> &str {
+        &self.scenario
+    }
+
+    /// The label the session's results are reported under.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Number of test packets this session streams in total.
+    pub fn total_packets(&self) -> usize {
+        self.campaign.set(self.combination.test).packets.len()
+    }
+
+    /// `true` once every test packet has been streamed.
+    pub fn finished(&self) -> bool {
+        self.cursor >= self.total_packets()
+    }
+
+    /// The tick of the session's next packet arrival (meaningless once
+    /// [`finished`](Self::finished)).
+    pub fn next_due(&self) -> u64 {
+        self.next_due
+    }
+
+    /// `true` when a packet of this session is due at `tick`.
+    pub fn due(&self, tick: u64) -> bool {
+        !self.finished() && self.next_due <= tick
+    }
+
+    /// `true` when [`prepare`](Self::prepare) ran and
+    /// [`complete`](Self::complete) has not yet consumed its output.
+    pub fn has_pending(&self) -> bool {
+        self.pending.is_some()
+    }
+
+    /// The accumulated trace (borrowed; see
+    /// [`into_trace`](Self::into_trace) for the owned form).
+    pub fn trace(&self) -> &EstimatorTrace {
+        &self.trace
+    }
+
+    /// Consumes the session, returning its trace.
+    pub fn into_trace(self) -> EstimatorTrace {
+        self.trace
+    }
+
+    /// Phase 1 of serving the due packet: regenerate its waveform, fit the
+    /// preamble LS estimate, and record the estimator's inference plan.
+    ///
+    /// # Panics
+    /// Panics when no packet is due (the engine only calls this for due
+    /// sessions) or when a pending packet was never completed.
+    pub fn prepare(&mut self, tick: u64) {
+        assert!(self.due(tick), "prepare() without a due packet");
+        assert!(
+            self.pending.is_none(),
+            "prepare() with an unconsumed pending packet"
+        );
+        let k = self.cursor;
+        let score = k >= self.score_from;
+        let test_set = self.campaign.set(self.combination.test);
+        let record = &test_set.packets[k];
+
+        let regen = if score || self.wants_preamble {
+            let (tx, received) = self
+                .campaign
+                .received_waveform(self.combination.test, record.index);
+            let taps = self.campaign.config.equalizer.channel_taps;
+            let preamble_est = preamble_estimate(&tx, received.as_slice(), taps).ok();
+            Some((tx, received, preamble_est))
+        } else {
+            None
+        };
+
+        // The inference plan is only collected for packets the engine will
+        // actually decode — unscored (warm-up) packets never call
+        // `estimate` in the offline pipeline either.
+        let plan = if score {
+            let (_, _, preamble_est) = regen.as_ref().expect("scored packets are regenerated");
+            let frames = SetFrames(&test_set.frames);
+            let request = EstimateRequest {
+                packet_index: k,
+                perfect_cir: &record.perfect_cir,
+                preamble_estimate: preamble_est.as_ref(),
+                preamble_detected: record.preamble_detected,
+                frame_index: record.frame_index,
+                frames: &frames,
+            };
+            self.estimator.vvd_plan(&request)
+        } else {
+            None
+        };
+
+        self.pending = Some(PendingPacket {
+            packet_index: k,
+            score,
+            regen,
+            plan,
+            prediction: None,
+        });
+    }
+
+    /// The pending inference plan, as `(model, input image)` — what the
+    /// planner groups by [`VvdModel::key`] into batched forward passes.
+    pub(crate) fn pending_plan(&self) -> Option<(&VvdModel, &DepthImage)> {
+        let pending = self.pending.as_ref()?;
+        let plan = pending.plan.as_ref()?;
+        let test_set = self.campaign.set(self.combination.test);
+        Some((&plan.model, &test_set.frames[plan.frame_index].image))
+    }
+
+    /// Hands the session the batch-computed output of its pending plan.
+    ///
+    /// # Panics
+    /// Panics when no plan is pending — predictions must match plans
+    /// one-to-one.
+    pub(crate) fn inject_prediction(&mut self, prediction: FirFilter) {
+        let pending = self
+            .pending
+            .as_mut()
+            .expect("inject_prediction() without a pending packet");
+        assert!(
+            pending.plan.is_some(),
+            "inject_prediction() without a pending plan"
+        );
+        pending.prediction = Some(prediction);
+    }
+
+    /// Phase 2 of serving the due packet: decode (consuming the injected
+    /// prediction when one was planned), score, observe, advance.
+    ///
+    /// The per-packet arithmetic is copied from the offline streaming core
+    /// (`vvd_testbed::stream`), which is what makes serve traces
+    /// bit-comparable to [`stream_estimators`] ones.
+    ///
+    /// [`stream_estimators`]: vvd_testbed::stream::stream_estimators
+    ///
+    /// # Panics
+    /// Panics when [`prepare`](Self::prepare) has not run for this packet.
+    pub fn complete(&mut self) {
+        let pending = self
+            .pending
+            .take()
+            .expect("complete() without a prepared packet");
+        let k = pending.packet_index;
+        let cfg = &self.campaign.config;
+        let eq = cfg.equalizer;
+        let test_set = self.campaign.set(self.combination.test);
+        let record = &test_set.packets[k];
+        let frames = SetFrames(&test_set.frames);
+
+        if pending.score {
+            let receiver = Receiver::new(cfg.phy);
+            let (tx, received, preamble_est) = pending
+                .regen
+                .as_ref()
+                .expect("scored packets are regenerated");
+            let request = EstimateRequest {
+                packet_index: k,
+                perfect_cir: &record.perfect_cir,
+                preamble_estimate: preamble_est.as_ref(),
+                preamble_detected: record.preamble_detected,
+                frame_index: record.frame_index,
+                frames: &frames,
+            };
+            match self
+                .estimator
+                .estimate_with_vvd(&request, pending.prediction.as_ref())
+            {
+                Estimate::Bypass => {
+                    let offset = receiver.synchronize(received.as_slice(), tx).offset;
+                    let outcome = receiver.decode_standard(&received.as_slice()[offset..], tx);
+                    self.trace.scored.push(outcome);
+                    self.trace.per_packet.push(outcome);
+                }
+                Estimate::Ready { cir, align_phase } => {
+                    let config = EqualizerConfig {
+                        align_phase: align_phase && eq.align_phase,
+                        ..eq
+                    };
+                    let outcome = decode_with_reference(
+                        &receiver,
+                        tx,
+                        received.as_slice(),
+                        &cir,
+                        preamble_est.as_ref(),
+                        &config,
+                    );
+                    self.trace.scored.push(outcome);
+                    self.trace.per_packet.push(outcome);
+                    let aligned = match (config.align_phase, preamble_est.as_ref()) {
+                        (true, Some(reference)) => align_mean_phase(&cir, reference).0,
+                        _ => cir.clone(),
+                    };
+                    self.trace.estimates.push(aligned);
+                    self.trace.truths.push(record.perfect_cir.clone());
+                }
+                Estimate::Lost => {
+                    let outcome =
+                        DecodeOutcome::lost(tx.psdu_chips().len(), tx.frame.psdu_symbols().len());
+                    self.trace.scored.push(outcome);
+                    self.trace.per_packet.push(outcome);
+                }
+                Estimate::Skip => {
+                    self.trace.per_packet.push(DecodeOutcome::lost(0, 0));
+                }
+            }
+        }
+
+        let observation = PacketObservation {
+            perfect_cir: &record.perfect_cir,
+            aligned_cir: &record.aligned_cir,
+            preamble_estimate: if self.wants_preamble {
+                pending.regen.as_ref().and_then(|(_, _, pre)| pre.as_ref())
+            } else {
+                None
+            },
+        };
+        self.estimator.observe(&observation);
+
+        self.cursor += 1;
+        self.next_due += self.interval;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_builder_sets_every_knob() {
+        let spec = SessionSpec::new("paper", "ground-truth")
+            .every(3)
+            .offset(7)
+            .combination(1);
+        assert_eq!(spec.scenario, "paper");
+        assert_eq!(spec.estimator, "ground-truth");
+        assert_eq!(spec.interval_ticks, 3);
+        assert_eq!(spec.offset_ticks, 7);
+        assert_eq!(spec.combination, 1);
+    }
+}

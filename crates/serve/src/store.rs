@@ -1,0 +1,102 @@
+//! The sharded session store.
+//!
+//! A [`SessionStore`] owns every [`LinkSession`] of a workload and fans
+//! per-tick work out over `std::thread::scope` workers: sessions are split
+//! into `shards` contiguous chunks, each worker owns its chunk mutably for
+//! the duration of one phase, and no two phases overlap.  Sessions never
+//! share mutable state (trained networks are behind `Arc`s and predicted
+//! through `&self`), so the shard count is invisible in every result — the
+//! property the golden and property-based serve tests pin down at shard
+//! counts 1, 2 and 8.
+
+use crate::session::LinkSession;
+
+/// Owns the sessions of a workload and runs phase closures over them on a
+/// configurable number of shards.
+pub struct SessionStore {
+    sessions: Vec<LinkSession>,
+}
+
+impl SessionStore {
+    /// A store over the given sessions (in session-id order).
+    pub(crate) fn new(sessions: Vec<LinkSession>) -> Self {
+        SessionStore { sessions }
+    }
+
+    /// Number of sessions.
+    pub fn len(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// `true` when the store holds no sessions.
+    pub fn is_empty(&self) -> bool {
+        self.sessions.is_empty()
+    }
+
+    /// The sessions, in session-id order.
+    pub fn sessions(&self) -> &[LinkSession] {
+        &self.sessions
+    }
+
+    /// Mutable access for the planner (same order).
+    pub(crate) fn sessions_mut(&mut self) -> &mut [LinkSession] {
+        &mut self.sessions
+    }
+
+    /// Consumes the store, yielding the sessions in id order.
+    pub fn into_sessions(self) -> Vec<LinkSession> {
+        self.sessions
+    }
+
+    /// `true` once every session has streamed all of its packets.
+    pub fn all_finished(&self) -> bool {
+        self.sessions.iter().all(LinkSession::finished)
+    }
+
+    /// The earliest tick at which any unfinished session has a packet due,
+    /// or `None` when the workload is drained.
+    pub fn next_due_tick(&self) -> Option<u64> {
+        self.sessions
+            .iter()
+            .filter(|s| !s.finished())
+            .map(LinkSession::next_due)
+            .min()
+    }
+
+    /// Runs `f` over every session, fanning contiguous chunks out over up
+    /// to `shards` scoped worker threads.
+    ///
+    /// `f` must be pure per session (it may freely mutate *its* session) —
+    /// with that, the shard count cannot change any result: each session
+    /// is visited exactly once, by exactly one worker.
+    pub(crate) fn for_each_sharded<F>(&mut self, shards: usize, f: F)
+    where
+        F: Fn(&mut LinkSession) + Sync,
+    {
+        let shards = shards.max(1).min(self.sessions.len().max(1));
+        if shards <= 1 {
+            for session in &mut self.sessions {
+                f(session);
+            }
+            return;
+        }
+        let chunk_size = self.sessions.len().div_ceil(shards);
+        std::thread::scope(|scope| {
+            let f = &f;
+            let handles: Vec<_> = self
+                .sessions
+                .chunks_mut(chunk_size)
+                .map(|chunk| {
+                    scope.spawn(move || {
+                        for session in chunk {
+                            f(session);
+                        }
+                    })
+                })
+                .collect();
+            for handle in handles {
+                handle.join().expect("serve shard worker panicked");
+            }
+        });
+    }
+}

@@ -196,10 +196,7 @@ impl Campaign {
     /// Generates a campaign of an arbitrary scenario, fanning the per-set
     /// synthesis work out over the available parallelism.
     pub fn generate_scenario(config: &EvalConfig, scenario: &mut dyn ChannelScenario) -> Campaign {
-        let workers = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1);
-        Self::generate_scenario_with(config, scenario, workers)
+        Self::generate_scenario_with(config, scenario, vvd_dsp::worker_budget())
     }
 
     /// [`generate_scenario`](Self::generate_scenario) with an explicit

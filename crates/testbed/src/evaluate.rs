@@ -381,10 +381,7 @@ pub fn run_evaluation_with_cache(
 ) -> (Vec<CombinationResult>, EvaluationSummary) {
     let combos = combinations_for(campaign.config.n_sets, campaign.config.n_combinations);
     let workers = if options.parallel {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-            .min(combos.len().max(1))
+        vvd_dsp::worker_budget().min(combos.len().max(1))
     } else {
         1
     };

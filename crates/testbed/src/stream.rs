@@ -15,6 +15,12 @@
 //! either way, which makes the parallel results bit-identical to the
 //! sequential ones.
 //!
+//! The per-session serving pipeline in `vvd-serve` replays this module's
+//! per-packet arithmetic verbatim (its [`EstimatorTrace`]s are
+//! bit-comparable to [`stream_estimators`]' ones) and reuses
+//! [`CombinationDatasets`] and [`training_cirs`] to fit its sessions —
+//! which is what the serve-vs-sequential golden test pins down.
+//!
 //! On top of the per-combination core, [`run_scenario_sweep`] fans the
 //! same machinery out over a (scenario × estimator) grid: each scenario
 //! spec generates its own campaign (batched CIR/waveform synthesis on
@@ -205,10 +211,7 @@ pub fn stream_estimators(
 
     // --- Streaming phase ------------------------------------------------
     let workers = if options.parallel {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-            .min(estimators.len().max(1))
+        vvd_dsp::worker_budget().min(estimators.len().max(1))
     } else {
         1
     };
@@ -506,9 +509,7 @@ pub fn run_scenario_sweep_report(
         None => ModelCache::new(),
     };
 
-    let available = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
+    let available = vvd_dsp::worker_budget();
     let workers = if options.parallel {
         available.min(scenarios.len().max(1))
     } else {

@@ -19,7 +19,11 @@
 //!   `"fallback:preamble,vvd:current"`),
 //! * [`core`] — the VVD algorithm (depth image → CIR CNN),
 //! * [`testbed`] — the measurement-campaign simulator and the evaluation
-//!   harness reproducing the paper's figures and tables.
+//!   harness reproducing the paper's figures and tables,
+//! * [`serve`] — the sharded multi-link serving engine that multiplexes
+//!   many concurrent streaming estimators over shared compute, coalescing
+//!   same-model VVD predictions across sessions into batched NN forward
+//!   passes.
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the system
 //! inventory and the per-experiment index.
@@ -30,5 +34,6 @@ pub use vvd_dsp as dsp;
 pub use vvd_estimation as estimation;
 pub use vvd_nn as nn;
 pub use vvd_phy as phy;
+pub use vvd_serve as serve;
 pub use vvd_testbed as testbed;
 pub use vvd_vision as vision;
