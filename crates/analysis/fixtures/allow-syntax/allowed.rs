@@ -1,0 +1,17 @@
+//! Fixture: every separator the grammar accepts — em dash, `--`, `-` —
+//! parses as well-formed and produces no findings.
+
+pub fn a(xs: &[u32]) -> u32 {
+    // vvd-allow: panic — em dash separator
+    *xs.first().unwrap()
+}
+
+pub fn b(xs: &[u32]) -> u32 {
+    // vvd-allow: panic -- double-hyphen separator
+    *xs.first().unwrap()
+}
+
+pub fn c(xs: &[u32]) -> u32 {
+    // vvd-allow: panic - single-hyphen separator
+    *xs.first().unwrap()
+}

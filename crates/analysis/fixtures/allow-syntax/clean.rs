@@ -1,0 +1,7 @@
+//! Fixture: prose that merely *mentions* the waiver marker inside a
+//! string is not a waiver, and a file with no waivers has no syntax to
+//! get wrong.
+
+pub fn grammar() -> &'static str {
+    "vvd-allow: <rule> — <reason>"
+}

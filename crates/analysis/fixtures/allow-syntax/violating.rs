@@ -1,0 +1,7 @@
+//! Fixture: malformed waivers are themselves findings — and waive
+//! nothing, so the violation they decorate still fires too.
+
+// vvd-allow: panic
+pub fn first(xs: &[u32]) -> u32 {
+    *xs.first().unwrap()
+}

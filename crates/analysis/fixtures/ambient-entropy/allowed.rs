@@ -1,0 +1,6 @@
+//! Fixture: a justified waiver suppresses the ambient-entropy finding.
+
+pub fn nonce() -> u64 {
+    // vvd-allow: ambient-entropy — collision-avoidance nonce for temp file names only
+    rand::thread_rng().next_u64()
+}

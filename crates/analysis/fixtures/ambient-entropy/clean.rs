@@ -1,0 +1,11 @@
+//! Fixture: caller-seeded randomness passes.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+pub fn roll(seed: u64) -> u64 {
+    // thread_rng() would trip the rule; every RNG is seeded by the caller
+    // so runs are reproducible.
+    let mut rng = StdRng::seed_from_u64(seed);
+    rng.random()
+}

@@ -1,0 +1,11 @@
+//! Fixture: ambient entropy must fire — both the classic `thread_rng()`
+//! and seeding a generator `from_entropy()`.
+
+pub fn roll(rng_seeded: bool) -> u64 {
+    if rng_seeded {
+        let mut rng = rand::rngs::StdRng::from_entropy();
+        rng.next_u64()
+    } else {
+        rand::thread_rng().next_u64()
+    }
+}

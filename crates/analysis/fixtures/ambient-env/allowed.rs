@@ -1,0 +1,6 @@
+//! Fixture: a justified waiver suppresses the ambient-env finding.
+
+pub fn debug_knob() -> bool {
+    // vvd-allow: ambient-env — diagnostic-only knob, never affects outputs
+    std::env::var("VVD_DEBUG_TRACE").is_ok()
+}

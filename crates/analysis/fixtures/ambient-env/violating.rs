@@ -1,0 +1,8 @@
+//! Fixture: an ambient env read outside the designated config modules.
+
+pub fn workers() -> usize {
+    std::env::var("VVD_WORKERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}

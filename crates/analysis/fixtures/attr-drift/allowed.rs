@@ -1,0 +1,7 @@
+// vvd-allow: attr-drift — fixture stands in for a generated crate root
+//! Fixture (scanned as a crate root): a first-line waiver covers the
+//! missing headers.
+
+pub fn api() -> u32 {
+    42
+}

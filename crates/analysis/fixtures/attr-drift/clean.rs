@@ -1,0 +1,9 @@
+//! Fixture (scanned as a crate root): both lint headers present.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+/// A documented item, as `missing_docs` demands.
+pub fn api() -> u32 {
+    42
+}

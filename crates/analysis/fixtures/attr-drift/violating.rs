@@ -1,0 +1,6 @@
+//! Fixture (scanned as a crate root): the `#![deny(..)]` headers are
+//! missing, so both attr-drift findings must fire.
+
+pub fn api() -> u32 {
+    42
+}

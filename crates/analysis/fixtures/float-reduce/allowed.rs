@@ -1,0 +1,7 @@
+//! Fixture (scanned as a kernels/ file): a justified waiver suppresses
+//! the float-reduce finding.
+
+pub fn checksum(xs: &[f32]) -> f32 {
+    // vvd-allow: float-reduce — diagnostic checksum, never compared bitwise
+    xs.iter().sum::<f32>()
+}

@@ -1,0 +1,10 @@
+//! Fixture (scanned as a kernels/ file): pinned-order reductions pass —
+//! the `vvd_dsp::accum` helpers for floats, integer turbofish for counts.
+
+pub fn energy(xs: &[f32]) -> f32 {
+    vvd_dsp::accum::sum_f32(xs.iter().map(|x| x * x))
+}
+
+pub fn total_len(chunks: &[Vec<f32>]) -> usize {
+    chunks.iter().map(|c| c.len()).sum::<usize>()
+}

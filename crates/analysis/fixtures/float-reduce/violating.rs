@@ -1,0 +1,10 @@
+//! Fixture (scanned as a kernels/ file): float reductions whose order is
+//! an implementation detail must fire — turbofished and bare alike.
+
+pub fn energy(xs: &[f32]) -> f32 {
+    xs.iter().map(|x| x * x).sum::<f32>()
+}
+
+pub fn scale(xs: &[f64]) -> f64 {
+    xs.iter().copied().product()
+}

@@ -1,0 +1,10 @@
+//! Fixture: a justified waiver suppresses the finding.
+
+// vvd-allow: nondet-map — membership probe only, never iterated
+use std::collections::HashSet;
+
+pub fn has_dupes(xs: &[u32]) -> bool {
+    // vvd-allow: nondet-map — membership probe only, never iterated
+    let mut seen: HashSet<u32> = HashSet::new(); // vvd-allow: nondet-map — membership probe only, never iterated
+    !xs.iter().all(|x| seen.insert(*x))
+}

@@ -1,0 +1,16 @@
+//! Fixture: ordered collections pass, and prose mentions of HashMap in
+//! comments or strings ("HashMap", r"HashMap") must not fire.
+
+use std::collections::BTreeMap;
+
+pub fn tally(xs: &[u32]) -> Vec<(u32, usize)> {
+    let mut counts: BTreeMap<u32, usize> = BTreeMap::new();
+    for x in xs {
+        *counts.entry(*x).or_insert(0) += 1;
+    }
+    counts.into_iter().collect()
+}
+
+pub fn describe() -> &'static str {
+    "this string mentions HashMap and must not trip the rule"
+}

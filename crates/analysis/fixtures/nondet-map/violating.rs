@@ -1,0 +1,12 @@
+//! Fixture: a `HashMap` in a determinism-critical crate must fire.
+
+use std::collections::HashMap;
+
+pub fn tally(xs: &[u32]) -> Vec<(u32, usize)> {
+    let mut counts: HashMap<u32, usize> = HashMap::new();
+    for x in xs {
+        *counts.entry(*x).or_insert(0) += 1;
+    }
+    // The bug this rule exists for: iteration order is randomized.
+    counts.into_iter().collect()
+}

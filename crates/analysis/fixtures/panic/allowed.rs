@@ -1,0 +1,6 @@
+//! Fixture: a justified waiver suppresses the panic finding.
+
+pub fn first(xs: &[u32]) -> u32 {
+    // vvd-allow: panic — slice is non-empty by construction two lines up
+    *xs.first().unwrap()
+}

@@ -1,0 +1,19 @@
+//! Fixture: panics that state their invariant pass, as do the non-panicky
+//! `unwrap_or*` family and unwraps confined to test code.
+
+pub fn first(xs: &[u32]) -> u32 {
+    *xs.first().expect("callers validate non-emptiness in new()")
+}
+
+pub fn first_or_zero(xs: &[u32]) -> u32 {
+    xs.first().copied().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        let xs = vec![1u32];
+        assert_eq!(*xs.first().unwrap(), 1);
+    }
+}

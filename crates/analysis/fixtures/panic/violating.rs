@@ -1,0 +1,10 @@
+//! Fixture: unchecked panics in non-test code must fire — a bare
+//! `unwrap()` and an `expect()` whose message is not a literal.
+
+pub fn first(xs: &[u32]) -> u32 {
+    *xs.first().unwrap()
+}
+
+pub fn named(name: &Option<String>) -> String {
+    name.clone().expect(String::from("built dynamically").as_str())
+}

@@ -1,0 +1,11 @@
+//! Fixture: a justified observability-only waiver suppresses the finding.
+
+use std::time::Instant;
+
+pub fn run_and_log<R>(f: impl FnOnce() -> R) -> R {
+    // vvd-allow: wall-clock — observability only, never feeds a digest
+    let started = Instant::now();
+    let out = f();
+    eprintln!("took {:?}", started.elapsed());
+    out
+}

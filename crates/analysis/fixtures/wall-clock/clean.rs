@@ -1,0 +1,17 @@
+//! Fixture: the simulated clock passes; `Duration` values and prose
+//! mentions of Instant::now in comments do not fire.
+
+use std::time::Duration;
+
+pub struct SimClock {
+    ticks: u64,
+}
+
+impl SimClock {
+    pub fn advance(&mut self) -> Duration {
+        // Instant::now() here would trip the rule; simulated time is
+        // advanced deterministically instead.
+        self.ticks += 1;
+        Duration::from_millis(100)
+    }
+}

@@ -1,0 +1,9 @@
+//! Fixture: a wall-clock read in engine code must fire.
+
+use std::time::Instant;
+
+pub fn tick_duration_ms() -> u128 {
+    let started = Instant::now();
+    std::hint::black_box(0u64);
+    started.elapsed().as_millis()
+}

@@ -1,0 +1,101 @@
+//! The `vvd-analyze` command-line entry point.
+//!
+//! ```text
+//! vvd-analyze [--root DIR] [--format human|json] [--list-rules]
+//! ```
+//!
+//! Exits `0` when the workspace is clean, `1` when any unwaived finding
+//! exists, `2` on usage or IO errors.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use vvd_analyze::{analyze_workspace, Config, Rule};
+
+enum Format {
+    Human,
+    Json,
+}
+
+fn usage() -> String {
+    "usage: vvd-analyze [--root DIR] [--format human|json] [--list-rules]\n\
+     \n\
+     Scans every crates/*/src (and the root façade src/) .rs file and\n\
+     enforces the workspace determinism & safety invariants.  Exit codes:\n\
+     0 clean, 1 findings, 2 usage/IO error.\n"
+        .to_string()
+}
+
+fn run() -> Result<ExitCode, String> {
+    let mut root: Option<PathBuf> = None;
+    let mut format = Format::Human;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => {
+                let dir = args
+                    .next()
+                    .ok_or_else(|| "--root needs a directory".to_string())?;
+                root = Some(PathBuf::from(dir));
+            }
+            "--format" => {
+                let f = args
+                    .next()
+                    .ok_or_else(|| "--format needs a value".to_string())?;
+                format = match f.as_str() {
+                    "human" => Format::Human,
+                    "json" => Format::Json,
+                    other => return Err(format!("unknown format `{other}` (human|json)")),
+                };
+            }
+            "--list-rules" => {
+                for rule in Rule::ALL {
+                    println!("{:<16} {}", rule.id(), rule.summary());
+                }
+                return Ok(ExitCode::SUCCESS);
+            }
+            "--help" | "-h" => {
+                print!("{}", usage());
+                return Ok(ExitCode::SUCCESS);
+            }
+            other => return Err(format!("unknown argument `{other}`\n{}", usage())),
+        }
+    }
+
+    // Default root: the workspace this binary was built in, falling back
+    // to the current directory (the normal `cargo run -p vvd-analyze`
+    // invocation runs from the workspace root either way).
+    let root = root.unwrap_or_else(|| {
+        let manifest_root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+        if manifest_root.join("crates").is_dir() {
+            manifest_root
+        } else {
+            PathBuf::from(".")
+        }
+    });
+
+    let report = analyze_workspace(&root, &Config::default())
+        .map_err(|e| format!("failed to scan {}: {e}", root.display()))?;
+    match format {
+        Format::Human => print!("{}", report.human()),
+        Format::Json => print!("{}", report.json()),
+    }
+    Ok(if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    })
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("vvd-analyze: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! Findings and the two report formats (human, JSON).
+//!
+//! The JSON writer is hand-rolled: the schema is four scalar fields per
+//! finding, and keeping the analyzer dependency-free means it builds and
+//! runs even when the rest of the workspace is mid-refactor.
+
+use crate::rules::Rule;
+
+/// One rule violation at a source position.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// The rule that fired.
+    pub rule: Rule,
+    /// Workspace-relative file path.
+    pub path: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+    /// What is wrong and how to fix it.
+    pub message: String,
+}
+
+/// The outcome of analyzing a set of files.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// All unwaived findings, sorted by path, then position.
+    pub findings: Vec<Finding>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// `true` when the workspace is clean.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// The human-readable report.
+    pub fn human(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            out.push_str(&format!(
+                "{}:{}:{}: [{}] {}\n",
+                f.path,
+                f.line,
+                f.col,
+                f.rule.id(),
+                f.message
+            ));
+        }
+        out.push_str(&format!(
+            "vvd-analyze: {} finding{} in {} file{} scanned\n",
+            self.findings.len(),
+            if self.findings.len() == 1 { "" } else { "s" },
+            self.files_scanned,
+            if self.files_scanned == 1 { "" } else { "s" },
+        ));
+        out
+    }
+
+    /// The `--format json` report (stable schema, one object per finding).
+    pub fn json(&self) -> String {
+        let mut out = String::from("{\n  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"rule\": {}, \"path\": {}, \"line\": {}, \"col\": {}, \"message\": {}}}",
+                json_str(f.rule.id()),
+                json_str(&f.path),
+                f.line,
+                f.col,
+                json_str(&f.message)
+            ));
+        }
+        if !self.findings.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str(&format!(
+            "],\n  \"files_scanned\": {},\n  \"clean\": {}\n}}\n",
+            self.files_scanned,
+            self.is_clean()
+        ));
+        out
+    }
+}
+
+/// Escapes `s` as a JSON string literal.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        Report {
+            findings: vec![Finding {
+                rule: Rule::NondetMap,
+                path: "crates/serve/src/x.rs".to_string(),
+                line: 3,
+                col: 9,
+                message: "a \"quoted\" message".to_string(),
+            }],
+            files_scanned: 2,
+        }
+    }
+
+    #[test]
+    fn human_report_includes_span_and_rule() {
+        let h = sample().human();
+        assert!(h.contains("crates/serve/src/x.rs:3:9: [nondet-map]"));
+        assert!(h.contains("1 finding in 2 files scanned"));
+    }
+
+    #[test]
+    fn json_report_escapes_and_carries_schema() {
+        let j = sample().json();
+        assert!(j.contains("\"rule\": \"nondet-map\""));
+        assert!(j.contains("\\\"quoted\\\""));
+        assert!(j.contains("\"files_scanned\": 2"));
+        assert!(j.contains("\"clean\": false"));
+    }
+
+    #[test]
+    fn empty_report_is_clean_json() {
+        let r = Report {
+            findings: vec![],
+            files_scanned: 5,
+        };
+        assert!(r.is_clean());
+        assert!(r.json().contains("\"clean\": true"));
+    }
+}

@@ -1,0 +1,695 @@
+//! A hand-rolled, comment/string/raw-string-aware Rust token scanner.
+//!
+//! The rule engine does not need a full parse of the language — every
+//! invariant it enforces is visible at the token level (`HashMap` as an
+//! identifier, `env :: var` as a path, `. unwrap ( )` as a call).  What it
+//! *does* need is to never be fooled by surface syntax: a `HashMap` inside
+//! a string literal, a doc comment or a `r#"raw string"#` is prose, not
+//! code.  This scanner therefore lexes real Rust token boundaries —
+//! line/block comments (nested), string/char/byte literals with escapes,
+//! raw strings with arbitrary `#` fences, raw identifiers, lifetimes — and
+//! emits only the tokens rules care about, each with its source position.
+//!
+//! Two side products of lexing feed the engine:
+//!
+//! * [`ScanUnit::allows`] — the `// vvd-allow: <rule> — <reason>` waiver
+//!   comments (see [`crate::rules`] for the grammar), mapped to the lines
+//!   they cover;
+//! * [`ScanUnit::in_test`] — which tokens sit inside `#[cfg(test)]` /
+//!   `#[test]` items, so rules that only govern shipping code can skip
+//!   test regions.
+
+use std::collections::BTreeMap;
+
+/// What a [`Token`] is.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`HashMap`, `fn`, `r#type`, ...).
+    Ident(String),
+    /// A single punctuation character (`:` twice for `::`).
+    Punct(char),
+    /// A string or byte-string literal (regular or raw).
+    Str {
+        /// `true` when the literal has no content (`""`, `r""`).
+        empty: bool,
+    },
+    /// A character or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// A numeric literal (the scanner does not interpret it).
+    Num,
+    /// A lifetime (`'a`, `'static`).
+    Lifetime,
+}
+
+/// One lexed token with its 1-based source position.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Token class and payload.
+    pub kind: TokenKind,
+    /// 1-based source line.
+    pub line: usize,
+    /// 1-based source column (in characters).
+    pub col: usize,
+}
+
+impl Token {
+    /// The identifier text when this token is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokenKind::Ident(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// `true` when this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct(c)
+    }
+}
+
+/// A parsed `// vvd-allow:` waiver comment.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    /// The rule the waiver names (`nondet-map`, `panic`, ...).
+    pub rule: String,
+    /// Line of the comment itself.
+    pub line: usize,
+    /// `true` when the grammar was respected (separator + non-empty
+    /// reason); malformed waivers are reported by the `allow-syntax` rule
+    /// and waive nothing.
+    pub well_formed: bool,
+}
+
+/// The scanner's complete view of one source file.
+#[derive(Debug, Default)]
+pub struct ScanUnit {
+    /// All lexed tokens in source order.
+    pub tokens: Vec<Token>,
+    /// `in_test[i]` is `true` when `tokens[i]` lies inside a
+    /// `#[cfg(test)]` / `#[test]` item.
+    pub in_test: Vec<bool>,
+    /// Well-formed waivers, keyed by the *covered* line: the comment's own
+    /// line, plus the following line when the comment stands alone.
+    pub allows: BTreeMap<usize, Vec<Allow>>,
+    /// Every waiver comment encountered, malformed ones included.
+    pub raw_allows: Vec<Allow>,
+}
+
+impl ScanUnit {
+    /// `true` when `rule` is waived on `line` by a well-formed
+    /// `vvd-allow` comment.
+    pub fn is_allowed(&self, rule: &str, line: usize) -> bool {
+        self.allows
+            .get(&line)
+            .is_some_and(|list| list.iter().any(|a| a.well_formed && a.rule == rule))
+    }
+}
+
+/// Lexes `source` into a [`ScanUnit`].
+pub fn scan(source: &str) -> ScanUnit {
+    let chars: Vec<char> = source.chars().collect();
+    let mut unit = ScanUnit::default();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    let mut col = 1usize;
+
+    // Advances over `n` characters, tracking line/column.
+    macro_rules! bump {
+        ($n:expr) => {
+            for _ in 0..$n {
+                if i < chars.len() {
+                    if chars[i] == '\n' {
+                        line += 1;
+                        col = 1;
+                    } else {
+                        col += 1;
+                    }
+                    i += 1;
+                }
+            }
+        };
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        let start_line = line;
+        let start_col = col;
+
+        // Whitespace.
+        if c.is_whitespace() {
+            bump!(1);
+            continue;
+        }
+
+        // Line comments (`//`, `///`, `//!`): scan for a vvd-allow waiver.
+        if c == '/' && chars.get(i + 1) == Some(&'/') {
+            let mut text = String::new();
+            let only_ws_before = line_is_blank_before(&chars, i);
+            while i < chars.len() && chars[i] != '\n' {
+                text.push(chars[i]);
+                bump!(1);
+            }
+            record_allow(&mut unit, &text, start_line, only_ws_before);
+            continue;
+        }
+
+        // Block comments, nested.
+        if c == '/' && chars.get(i + 1) == Some(&'*') {
+            bump!(2);
+            let mut depth = 1usize;
+            while i < chars.len() && depth > 0 {
+                if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    bump!(2);
+                } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                    depth -= 1;
+                    bump!(2);
+                } else {
+                    bump!(1);
+                }
+            }
+            continue;
+        }
+
+        // Raw strings / raw identifiers / byte strings: r"..", r#".."#,
+        // br".."; r#ident.
+        if (c == 'r' || c == 'b') && is_raw_or_byte_start(&chars, i) {
+            let mut j = i;
+            if chars[j] == 'b' {
+                j += 1;
+            }
+            if chars.get(j) == Some(&'r') {
+                j += 1;
+                // Count the `#` fence.
+                let mut hashes = 0usize;
+                while chars.get(j + hashes) == Some(&'#') {
+                    hashes += 1;
+                }
+                if chars.get(j + hashes) == Some(&'"') {
+                    // Raw (byte) string: scan to `"` followed by `hashes` #s.
+                    let content_start = j + hashes + 1;
+                    bump!(content_start - i);
+                    let mut len = 0usize;
+                    while i < chars.len() {
+                        if chars[i] == '"' && closes_raw(&chars, i + 1, hashes) {
+                            bump!(1 + hashes);
+                            break;
+                        }
+                        len += 1;
+                        bump!(1);
+                    }
+                    unit.tokens.push(Token {
+                        kind: TokenKind::Str { empty: len == 0 },
+                        line: start_line,
+                        col: start_col,
+                    });
+                    continue;
+                }
+                if hashes == 1 && chars.get(j + 1).is_some_and(|c| is_ident_start(*c)) {
+                    // Raw identifier `r#type`.
+                    bump!(2); // over `r#`
+                    let mut ident = String::new();
+                    while i < chars.len() && is_ident_continue(chars[i]) {
+                        ident.push(chars[i]);
+                        bump!(1);
+                    }
+                    unit.tokens.push(Token {
+                        kind: TokenKind::Ident(ident),
+                        line: start_line,
+                        col: start_col,
+                    });
+                    continue;
+                }
+            } else if chars.get(j) == Some(&'"') || chars.get(j) == Some(&'\'') {
+                // b"..." / b'x': handled by the generic paths below after
+                // skipping the `b` prefix.
+                let quote = chars[j];
+                bump!(1); // over `b`
+                if quote == '"' {
+                    lex_string(
+                        &chars, &mut i, &mut line, &mut col, &mut unit, start_line, start_col,
+                    );
+                } else {
+                    lex_char(
+                        &chars, &mut i, &mut line, &mut col, &mut unit, start_line, start_col,
+                    );
+                }
+                continue;
+            }
+            // Fall through: plain identifier starting with r/b.
+        }
+
+        // String literals.
+        if c == '"' {
+            lex_string(
+                &chars, &mut i, &mut line, &mut col, &mut unit, start_line, start_col,
+            );
+            continue;
+        }
+
+        // Lifetimes vs char literals.
+        if c == '\'' {
+            let next = chars.get(i + 1).copied();
+            let after = chars.get(i + 2).copied();
+            if next.is_some_and(is_ident_start) && after != Some('\'') {
+                // Lifetime: `'a`, `'static` (also the `'x` of a labelled
+                // loop — indistinguishable and equally ignorable).
+                bump!(1);
+                while i < chars.len() && is_ident_continue(chars[i]) {
+                    bump!(1);
+                }
+                unit.tokens.push(Token {
+                    kind: TokenKind::Lifetime,
+                    line: start_line,
+                    col: start_col,
+                });
+            } else {
+                lex_char(
+                    &chars, &mut i, &mut line, &mut col, &mut unit, start_line, start_col,
+                );
+            }
+            continue;
+        }
+
+        // Identifiers and keywords.
+        if is_ident_start(c) {
+            let mut ident = String::new();
+            while i < chars.len() && is_ident_continue(chars[i]) {
+                ident.push(chars[i]);
+                bump!(1);
+            }
+            unit.tokens.push(Token {
+                kind: TokenKind::Ident(ident),
+                line: start_line,
+                col: start_col,
+            });
+            continue;
+        }
+
+        // Numbers (shape only; contents are irrelevant to the rules).
+        if c.is_ascii_digit() {
+            while i < chars.len()
+                && (chars[i].is_ascii_alphanumeric()
+                    || chars[i] == '_'
+                    || (chars[i] == '.' && chars.get(i + 1).is_some_and(|d| d.is_ascii_digit())))
+            {
+                bump!(1);
+            }
+            unit.tokens.push(Token {
+                kind: TokenKind::Num,
+                line: start_line,
+                col: start_col,
+            });
+            continue;
+        }
+
+        // Everything else is single-character punctuation.
+        unit.tokens.push(Token {
+            kind: TokenKind::Punct(c),
+            line: start_line,
+            col: start_col,
+        });
+        bump!(1);
+    }
+
+    unit.in_test = mark_test_regions(&unit.tokens);
+    unit
+}
+
+/// `true` when the `r`/`b` at `chars[i]` begins a raw string, raw
+/// identifier or byte literal rather than a plain identifier.
+fn is_raw_or_byte_start(chars: &[char], i: usize) -> bool {
+    // Not a prefix if the previous character continues an identifier
+    // (`foo_r"..."` cannot happen; `var` ending in r is the common case).
+    if i > 0 && is_ident_continue(chars[i - 1]) {
+        return false;
+    }
+    let mut j = i;
+    if chars[j] == 'b' {
+        j += 1;
+        if chars.get(j) == Some(&'"') || chars.get(j) == Some(&'\'') {
+            return true;
+        }
+    }
+    if chars.get(j) == Some(&'r') {
+        let mut k = j + 1;
+        while chars.get(k) == Some(&'#') {
+            k += 1;
+        }
+        if chars.get(k) == Some(&'"') {
+            return true;
+        }
+        // Raw identifier r#ident.
+        if k == j + 2 && chars.get(k).is_some_and(|c| is_ident_start(*c)) {
+            return true;
+        }
+    }
+    false
+}
+
+/// `true` when `chars[at..at + hashes]` are all `#`.
+fn closes_raw(chars: &[char], at: usize, hashes: usize) -> bool {
+    (0..hashes).all(|k| chars.get(at + k) == Some(&'#'))
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// `true` when only whitespace precedes position `i` on its line.
+fn line_is_blank_before(chars: &[char], i: usize) -> bool {
+    let mut j = i;
+    while j > 0 {
+        j -= 1;
+        if chars[j] == '\n' {
+            return true;
+        }
+        if !chars[j].is_whitespace() {
+            return false;
+        }
+    }
+    true
+}
+
+/// Lexes a `"..."` literal starting at the opening quote.
+#[allow(clippy::too_many_arguments)]
+fn lex_string(
+    chars: &[char],
+    i: &mut usize,
+    line: &mut usize,
+    col: &mut usize,
+    unit: &mut ScanUnit,
+    start_line: usize,
+    start_col: usize,
+) {
+    let bump = |i: &mut usize, line: &mut usize, col: &mut usize| {
+        if *i < chars.len() {
+            if chars[*i] == '\n' {
+                *line += 1;
+                *col = 1;
+            } else {
+                *col += 1;
+            }
+            *i += 1;
+        }
+    };
+    bump(i, line, col); // opening quote
+    let mut len = 0usize;
+    while *i < chars.len() {
+        match chars[*i] {
+            '\\' => {
+                bump(i, line, col);
+                bump(i, line, col);
+                len += 1;
+            }
+            '"' => {
+                bump(i, line, col);
+                break;
+            }
+            _ => {
+                bump(i, line, col);
+                len += 1;
+            }
+        }
+    }
+    unit.tokens.push(Token {
+        kind: TokenKind::Str { empty: len == 0 },
+        line: start_line,
+        col: start_col,
+    });
+}
+
+/// Lexes a `'x'` literal starting at the opening quote.
+#[allow(clippy::too_many_arguments)]
+fn lex_char(
+    chars: &[char],
+    i: &mut usize,
+    line: &mut usize,
+    col: &mut usize,
+    unit: &mut ScanUnit,
+    start_line: usize,
+    start_col: usize,
+) {
+    let bump = |i: &mut usize, line: &mut usize, col: &mut usize| {
+        if *i < chars.len() {
+            if chars[*i] == '\n' {
+                *line += 1;
+                *col = 1;
+            } else {
+                *col += 1;
+            }
+            *i += 1;
+        }
+    };
+    bump(i, line, col); // opening quote
+    while *i < chars.len() {
+        match chars[*i] {
+            '\\' => {
+                bump(i, line, col);
+                bump(i, line, col);
+            }
+            '\'' => {
+                bump(i, line, col);
+                break;
+            }
+            _ => bump(i, line, col),
+        }
+    }
+    unit.tokens.push(Token {
+        kind: TokenKind::Char,
+        line: start_line,
+        col: start_col,
+    });
+}
+
+/// Parses one line comment for the waiver grammar and records it.
+fn record_allow(unit: &mut ScanUnit, comment: &str, line: usize, standalone: bool) {
+    let body = comment.trim_start_matches(['/', '!']).trim_start();
+    let Some(rest) = body.strip_prefix("vvd-allow:") else {
+        return;
+    };
+    let rest = rest.trim_start();
+    let rule: String = rest
+        .chars()
+        .take_while(|c| c.is_ascii_alphanumeric() || *c == '-' || *c == '_')
+        .collect();
+    let after = rest[rule.len()..].trim_start();
+    // Grammar: `vvd-allow: <rule> — <reason>` (an ASCII `-`/`--` separator
+    // is accepted too).  A missing separator or empty reason is malformed.
+    let reason = after
+        .strip_prefix('—')
+        .or_else(|| after.strip_prefix("--"))
+        .or_else(|| after.strip_prefix('-'))
+        .map(str::trim);
+    let well_formed = !rule.is_empty() && reason.is_some_and(|r| !r.is_empty());
+    let allow = Allow {
+        rule,
+        line,
+        well_formed,
+    };
+    unit.raw_allows.push(allow.clone());
+    if well_formed {
+        unit.allows.entry(line).or_default().push(allow.clone());
+        if standalone {
+            // A comment on its own line covers the line below it.
+            unit.allows.entry(line + 1).or_default().push(allow);
+        }
+    }
+}
+
+/// Marks the token ranges of `#[cfg(test)]` / `#[test]` items.
+///
+/// An attribute whose argument list mentions `test` puts the item that
+/// follows it (up to the matching close brace, or the terminating `;` for
+/// brace-less items) into the test region.  This covers `mod tests { .. }`
+/// blocks and `#[test]` functions without parsing the language.
+fn mark_test_regions(tokens: &[Token]) -> Vec<bool> {
+    let mut in_test = vec![false; tokens.len()];
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if tokens[i].is_punct('#') && tokens.get(i + 1).is_some_and(|t| t.is_punct('[')) {
+            // Collect the attribute tokens up to the matching `]`.
+            let mut j = i + 2;
+            let mut depth = 1usize;
+            let mut mentions_test = false;
+            while j < tokens.len() && depth > 0 {
+                if tokens[j].is_punct('[') {
+                    depth += 1;
+                } else if tokens[j].is_punct(']') {
+                    depth -= 1;
+                } else if tokens[j].ident() == Some("test") {
+                    // `#[cfg(not(test))]` guards *non*-test code.
+                    let negated = j >= 2
+                        && tokens[j - 1].is_punct('(')
+                        && tokens[j - 2].ident() == Some("not");
+                    if !negated {
+                        mentions_test = true;
+                    }
+                }
+                j += 1;
+            }
+            if mentions_test {
+                // Skip any further attributes, then span the item.
+                let mut k = j;
+                while k < tokens.len()
+                    && tokens[k].is_punct('#')
+                    && tokens.get(k + 1).is_some_and(|t| t.is_punct('['))
+                {
+                    let mut d = 1usize;
+                    k += 2;
+                    while k < tokens.len() && d > 0 {
+                        if tokens[k].is_punct('[') {
+                            d += 1;
+                        } else if tokens[k].is_punct(']') {
+                            d -= 1;
+                        }
+                        k += 1;
+                    }
+                }
+                let mut end = k;
+                let mut brace = 0usize;
+                let mut entered = false;
+                while end < tokens.len() {
+                    if tokens[end].is_punct('{') {
+                        brace += 1;
+                        entered = true;
+                    } else if tokens[end].is_punct('}') {
+                        brace -= 1;
+                        if entered && brace == 0 {
+                            end += 1;
+                            break;
+                        }
+                    } else if !entered && tokens[end].is_punct(';') {
+                        end += 1;
+                        break;
+                    }
+                    end += 1;
+                }
+                for flag in in_test.iter_mut().take(end.min(tokens.len())).skip(i) {
+                    *flag = true;
+                }
+                i = end;
+                continue;
+            }
+            i = j;
+            continue;
+        }
+        i += 1;
+    }
+    in_test
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        scan(src)
+            .tokens
+            .iter()
+            .filter_map(|t| t.ident().map(str::to_string))
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_identifiers() {
+        let src = r##"
+            // HashMap in a comment
+            /* HashMap in /* a nested */ block comment */
+            let s = "HashMap in a string";
+            let r = r#"HashMap in a raw string"#;
+            let b = b"HashMap in bytes";
+            let real = HashMap::new();
+        "##;
+        let ids = idents(src);
+        assert_eq!(ids.iter().filter(|s| *s == "HashMap").count(), 1);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> char { 'x' }";
+        let unit = scan(src);
+        let lifetimes = unit
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .count();
+        let chars = unit
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Char)
+            .count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 1);
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_identifiers() {
+        assert!(idents("let r#type = 1;").contains(&"type".to_string()));
+    }
+
+    #[test]
+    fn allow_comment_covers_own_and_next_line_when_standalone() {
+        let src = "// vvd-allow: nondet-map — never iterated\nuse std::collections::HashMap;\n";
+        let unit = scan(src);
+        assert!(unit.is_allowed("nondet-map", 1));
+        assert!(unit.is_allowed("nondet-map", 2));
+        assert!(!unit.is_allowed("nondet-map", 3));
+    }
+
+    #[test]
+    fn trailing_allow_covers_only_its_line() {
+        let src = "let m = HashMap::new(); // vvd-allow: nondet-map — never iterated\nlet x = 1;\n";
+        let unit = scan(src);
+        assert!(unit.is_allowed("nondet-map", 1));
+        assert!(!unit.is_allowed("nondet-map", 2));
+    }
+
+    #[test]
+    fn reasonless_allow_is_malformed() {
+        let unit = scan("// vvd-allow: panic\nfoo.unwrap();\n");
+        assert!(!unit.is_allowed("panic", 2));
+        assert_eq!(unit.raw_allows.len(), 1);
+        assert!(!unit.raw_allows[0].well_formed);
+    }
+
+    #[test]
+    fn ascii_separator_is_accepted() {
+        let unit = scan("// vvd-allow: wall-clock - observability only\nx();\n");
+        assert!(unit.is_allowed("wall-clock", 2));
+    }
+
+    #[test]
+    fn cfg_test_regions_are_marked() {
+        let src = "fn live() { a.unwrap(); }\n#[cfg(test)]\nmod tests {\n    fn t() { b.unwrap(); }\n}\nfn live2() {}\n";
+        let unit = scan(src);
+        let flags: Vec<(Option<&str>, bool)> = unit
+            .tokens
+            .iter()
+            .zip(unit.in_test.iter())
+            .map(|(t, f)| (t.ident(), *f))
+            .collect();
+        // `a` is live, `b` is test-only, `live2` is live again.
+        assert!(flags.iter().any(|(id, f)| *id == Some("a") && !f));
+        assert!(flags.iter().any(|(id, f)| *id == Some("b") && *f));
+        assert!(flags.iter().any(|(id, f)| *id == Some("live2") && !f));
+    }
+
+    #[test]
+    fn test_attribute_on_fn_is_marked() {
+        let src = "#[test]\nfn check() { x.unwrap(); }\nfn live() {}\n";
+        let unit = scan(src);
+        let pairs: Vec<(Option<&str>, bool)> = unit
+            .tokens
+            .iter()
+            .zip(unit.in_test.iter())
+            .map(|(t, f)| (t.ident(), *f))
+            .collect();
+        assert!(pairs.iter().any(|(id, f)| *id == Some("x") && *f));
+        assert!(pairs.iter().any(|(id, f)| *id == Some("live") && !f));
+    }
+}

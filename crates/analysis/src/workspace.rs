@@ -1,0 +1,112 @@
+//! Workspace walking: which files the analyzer scans and in what order.
+//!
+//! The scan set is every `.rs` file under `crates/*/src` plus the root
+//! façade's `src/` — the code whose behavior feeds reports and goldens.
+//! Integration tests (`tests/`), benches (`benches/`), examples and the
+//! vendored dependency subsets are out of scope: they either *are* the
+//! goldens or are third-party code the workspace does not own.
+//!
+//! Directory entries are sorted before recursion so the analyzer's own
+//! output order is deterministic — the tool enforcing determinism must not
+//! itself depend on readdir order.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::report::{Finding, Report};
+use crate::rules::{analyze_source, Config};
+
+/// Returns the workspace-relative paths of every file to scan, sorted.
+pub fn scan_set(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let root_src = root.join("src");
+    if root_src.is_dir() {
+        collect_rs(&root_src, &mut files)?;
+    }
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut crate_dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+            .collect::<io::Result<Vec<_>>>()?
+            .into_iter()
+            .map(|e| e.path())
+            .filter(|p| p.is_dir())
+            .collect();
+        crate_dirs.sort();
+        for dir in crate_dirs {
+            let src = dir.join("src");
+            if src.is_dir() {
+                collect_rs(&src, &mut files)?;
+            }
+        }
+    }
+    let mut rel: Vec<PathBuf> = files
+        .into_iter()
+        .filter_map(|p| p.strip_prefix(root).ok().map(Path::to_path_buf))
+        .collect();
+    rel.sort();
+    Ok(rel)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .collect::<io::Result<Vec<_>>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Analyzes the whole workspace under `root` with `cfg`.
+pub fn analyze_workspace(root: &Path, cfg: &Config) -> io::Result<Report> {
+    let files = scan_set(root)?;
+    let mut findings: Vec<Finding> = Vec::new();
+    let files_scanned = files.len();
+    for rel in &files {
+        let source = fs::read_to_string(root.join(rel))?;
+        let rel_str = rel
+            .to_str()
+            .map(|s| s.replace('\\', "/"))
+            .unwrap_or_else(|| rel.to_string_lossy().into_owned());
+        findings.extend(analyze_source(&rel_str, &source, cfg));
+    }
+    findings.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.col, a.rule.id()).cmp(&(
+            b.path.as_str(),
+            b.line,
+            b.col,
+            b.rule.id(),
+        ))
+    });
+    Ok(Report {
+        findings,
+        files_scanned,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scan_set_is_sorted_and_workspace_relative() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let files = scan_set(&root).expect("workspace sources are readable");
+        assert!(!files.is_empty());
+        let mut sorted = files.clone();
+        sorted.sort();
+        assert_eq!(files, sorted);
+        assert!(files.iter().all(|p| p.is_relative()));
+        assert!(files
+            .iter()
+            .any(|p| p.ends_with("crates/analysis/src/workspace.rs")));
+    }
+}

@@ -1,0 +1,96 @@
+//! The live workspace must be clean, and the binary must gate.
+//!
+//! This is the test that turns the analyzer from a tool into an
+//! invariant: `cargo test` fails the moment anyone reintroduces a
+//! nondeterminism hazard anywhere in `crates/*/src`, with the finding's
+//! `file:line` in the failure message.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use vvd_analyze::{analyze_workspace, Config};
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+#[test]
+fn live_workspace_has_zero_findings() {
+    let report = analyze_workspace(&workspace_root(), &Config::default())
+        .expect("workspace sources are readable");
+    assert!(
+        report.files_scanned > 50,
+        "suspiciously small scan set ({} files) — did the walker lose crates/*?",
+        report.files_scanned
+    );
+    assert!(
+        report.is_clean(),
+        "the workspace violates its own determinism invariants:\n{}",
+        report.human()
+    );
+}
+
+#[test]
+fn binary_exits_zero_on_clean_workspace_and_emits_json() {
+    let out = Command::new(env!("CARGO_BIN_EXE_vvd-analyze"))
+        .args(["--root"])
+        .arg(workspace_root())
+        .args(["--format", "json"])
+        .output()
+        .expect("vvd-analyze binary runs");
+    assert!(
+        out.status.success(),
+        "vvd-analyze exited nonzero on a clean workspace:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let json = String::from_utf8_lossy(&out.stdout);
+    assert!(json.contains("\"clean\": true"), "unexpected JSON: {json}");
+    assert!(json.contains("\"files_scanned\""));
+}
+
+#[test]
+fn binary_fails_on_a_planted_hashmap_in_serve() {
+    // Build a miniature workspace with a deliberate violation in
+    // crates/serve and check the gate trips with exit code 1.
+    let dir = std::env::temp_dir().join(format!(
+        "vvd-analyze-planted-{}-{:x}",
+        std::process::id(),
+        std::ptr::from_ref(&workspace_root) as usize
+    ));
+    let serve_src = dir.join("crates/serve/src");
+    std::fs::create_dir_all(&serve_src).expect("temp workspace is writable");
+    std::fs::write(
+        serve_src.join("lib.rs"),
+        "#![deny(missing_docs)]\n#![deny(unsafe_code)]\n//! planted\nuse std::collections::HashMap;\npub type T = HashMap<u32, u32>;\n",
+    )
+    .expect("temp workspace is writable");
+
+    let out = Command::new(env!("CARGO_BIN_EXE_vvd-analyze"))
+        .args(["--root"])
+        .arg(&dir)
+        .args(["--format", "json"])
+        .output()
+        .expect("vvd-analyze binary runs");
+    let json = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "planted HashMap did not trip the gate: {json}"
+    );
+    assert!(
+        json.contains("\"rule\": \"nondet-map\""),
+        "unexpected JSON: {json}"
+    );
+    assert!(json.contains("\"clean\": false"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn binary_rejects_unknown_arguments() {
+    let out = Command::new(env!("CARGO_BIN_EXE_vvd-analyze"))
+        .arg("--frobnicate")
+        .output()
+        .expect("vvd-analyze binary runs");
+    assert_eq!(out.status.code(), Some(2));
+}

@@ -11,6 +11,9 @@
 //! * `paper` — the full campaign dimensions (hours; intended for dedicated
 //!   runs of a single bench).
 
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
 use vvd_testbed::EvalConfig;
 
 /// Resolves the benchmark evaluation configuration from

@@ -84,7 +84,7 @@ mod tests {
 
     #[test]
     fn labels_are_distinct() {
-        let labels: std::collections::HashSet<&str> =
+        let labels: std::collections::BTreeSet<&str> =
             VvdVariant::ALL.iter().map(|v| v.label()).collect();
         assert_eq!(labels.len(), 3);
     }

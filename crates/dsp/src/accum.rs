@@ -1,0 +1,100 @@
+//! Fixed-order floating-point reductions.
+//!
+//! Floating-point addition and multiplication do not associate: the result
+//! of a reduction depends on the order the elements are combined in.  The
+//! workspace's bit-identity contract (goldens fixed at any worker count)
+//! therefore requires every float reduction on a hot or parallel path to
+//! have *one* pinned combination order.  The kernels in `vvd_nn::kernels`
+//! pin their accumulation order element-by-element; these helpers are the
+//! same policy packaged for iterator-style code: a strict left fold in
+//! iteration order, never reassociated, never chunked.
+//!
+//! The `float-reduce` rule of `vvd-analyze` bans bare `.sum()` /
+//! `.product()` in kernel and `thread::scope` files; routing the reduction
+//! through this module both fixes the order and marks the intent at the
+//! call site.
+
+/// Sums `xs` by a strict left fold in iteration order (`+0.0` start).
+///
+/// Bit-identical to `Iterator::sum` on today's std, but *guaranteed* —
+/// the order is this function's contract, not an implementation detail.
+pub fn sum_f32(xs: impl IntoIterator<Item = f32>) -> f32 {
+    xs.into_iter().fold(0.0, |acc, x| acc + x)
+}
+
+/// [`sum_f32`] for `f64`.
+pub fn sum_f64(xs: impl IntoIterator<Item = f64>) -> f64 {
+    xs.into_iter().fold(0.0, |acc, x| acc + x)
+}
+
+/// Multiplies `xs` by a strict left fold in iteration order (`1.0` start).
+pub fn product_f32(xs: impl IntoIterator<Item = f32>) -> f32 {
+    xs.into_iter().fold(1.0, |acc, x| acc * x)
+}
+
+/// [`product_f32`] for `f64`.
+pub fn product_f64(xs: impl IntoIterator<Item = f64>) -> f64 {
+    xs.into_iter().fold(1.0, |acc, x| acc * x)
+}
+
+/// Dot product of two slices, accumulated strictly left to right.
+///
+/// Panics if the slices differ in length — a dot product over mismatched
+/// operands is always a caller bug.
+pub fn dot_f32(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dot product operands must match");
+    let mut acc = 0.0f32;
+    for (x, y) in a.iter().zip(b.iter()) {
+        acc += x * y;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sums_match_iterator_sum_bitwise() {
+        let xs: Vec<f32> = (0..1000).map(|i| ((i * 37) % 101) as f32 * 0.017).collect();
+        assert_eq!(
+            sum_f32(xs.iter().copied()).to_bits(),
+            xs.iter().sum::<f32>().to_bits()
+        );
+        let ys: Vec<f64> = xs.iter().map(|x| *x as f64).collect();
+        assert_eq!(
+            sum_f64(ys.iter().copied()).to_bits(),
+            ys.iter().sum::<f64>().to_bits()
+        );
+    }
+
+    #[test]
+    fn order_sensitivity_is_real_and_pinned() {
+        // A permutation that changes the f32 result — the reason the
+        // helpers exist.  The pinned order must be the iteration order.
+        let xs = [1.0e8f32, 1.0, -1.0e8];
+        let permuted = [1.0e8f32, -1.0e8, 1.0];
+        assert_ne!(sum_f32(xs), sum_f32(permuted));
+        assert_eq!(sum_f32(xs), (1.0e8f32 + 1.0) + -1.0e8);
+    }
+
+    #[test]
+    fn products_fold_left() {
+        let xs = [0.1f64, 3.0, 7.0];
+        assert_eq!(product_f64(xs), ((1.0 * 0.1) * 3.0) * 7.0);
+        assert_eq!(product_f32([]), 1.0);
+    }
+
+    #[test]
+    fn dot_accumulates_in_order() {
+        let a = [1.0f32, 2.0, 3.0];
+        let b = [4.0f32, 5.0, 6.0];
+        assert_eq!(dot_f32(&a, &b), ((1.0f32 * 4.0) + 2.0 * 5.0) + 3.0 * 6.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn dot_rejects_mismatched_lengths() {
+        let _ = dot_f32(&[1.0], &[1.0, 2.0]);
+    }
+}

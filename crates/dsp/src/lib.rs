@@ -15,9 +15,10 @@
 //! synchronous: the workload is small dense algebra (11–64 tap systems), not
 //! I/O, so there is no benefit to an async runtime here.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod accum;
 pub mod cmatrix;
 pub mod complex;
 pub mod convolution;

@@ -13,9 +13,10 @@
 //!   worker counts (1 and 4) to enforce the
 //!   any-worker-count-bit-identical invariant on every push.
 //!
-//! `vvd-nn` duplicates this 5-line policy in `kernels::hardware_workers`
-//! rather than growing a dependency edge on this crate; keep the two in
-//! sync.
+//! This module is the *single* ambient-environment site for the
+//! worker-budget concern: `vvd_nn::kernels::hardware_workers` delegates
+//! here, and the `ambient-env` rule of `vvd-analyze` rejects any other
+//! `VVD_WORKERS` read introduced elsewhere.
 
 /// Name of the environment variable overriding the worker budget.
 pub const WORKERS_ENV: &str = "VVD_WORKERS";

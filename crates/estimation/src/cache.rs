@@ -18,7 +18,7 @@
 //! the worker threads of a sweep.  Hit/miss/eviction counters are exposed
 //! through [`ModelCache::stats`] and surfaced in sweep reports.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::path::PathBuf;
 use std::sync::Mutex;
 use vvd_core::{ModelKey, VvdModel, VvdTrainingReport};
@@ -62,7 +62,7 @@ impl std::fmt::Display for ModelCacheStats {
 }
 
 struct CacheInner {
-    map: HashMap<ModelKey, VvdModel>,
+    map: BTreeMap<ModelKey, VvdModel>,
     /// Keys in least-recently-used-first order.
     lru: VecDeque<ModelKey>,
     stats: ModelCacheStats,
@@ -87,7 +87,7 @@ impl ModelCache {
     pub fn with_capacity(capacity: usize) -> Self {
         ModelCache {
             inner: Mutex::new(CacheInner {
-                map: HashMap::new(),
+                map: BTreeMap::new(),
                 lru: VecDeque::new(),
                 stats: ModelCacheStats::default(),
             }),

@@ -233,11 +233,11 @@ impl std::str::FromStr for Technique {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::collections::HashSet;
+    use std::collections::BTreeSet;
 
     #[test]
     fn all_techniques_are_distinct_and_labelled() {
-        let labels: HashSet<&str> = Technique::ALL.iter().map(|t| t.label()).collect();
+        let labels: BTreeSet<&str> = Technique::ALL.iter().map(|t| t.label()).collect();
         assert_eq!(labels.len(), Technique::ALL.len());
     }
 

@@ -37,27 +37,17 @@ pub mod reference;
 pub use gemm::{gemm, gemm_at, gemm_bt, gemm_bt_strided};
 pub use im2col::{col2im_item, im2col, im2col_batch, ConvGeometry};
 
-use std::num::NonZeroUsize;
-
 /// Number of workers available to the kernels: the `VVD_WORKERS`
 /// environment variable when set to a positive integer, the hardware
 /// parallelism otherwise.
 ///
-/// This mirrors `vvd_dsp::workers::worker_budget` (duplicated to keep this
-/// crate dependency-free); worker counts never change any result — chunks
-/// are disjoint and per-element accumulation order is preserved — so the
-/// override exists purely to pin the fan-out width, e.g. for CI's
-/// fixed-worker-count matrix.
+/// This is [`vvd_dsp::workers::worker_budget`] — the single ambient-env
+/// site that owns the worker-budget concern; worker counts never change
+/// any result — chunks are disjoint and per-element accumulation order is
+/// preserved — so the override exists purely to pin the fan-out width,
+/// e.g. for CI's fixed-worker-count matrix.
 pub fn hardware_workers() -> usize {
-    match std::env::var("VVD_WORKERS")
-        .ok()
-        .and_then(|v| v.trim().parse::<usize>().ok())
-    {
-        Some(n) if n >= 1 => n,
-        _ => std::thread::available_parallelism()
-            .map(NonZeroUsize::get)
-            .unwrap_or(1),
-    }
+    vvd_dsp::workers::worker_budget()
 }
 
 /// Runs `f` over contiguous row chunks of the `m × n` row-major buffer `c`,

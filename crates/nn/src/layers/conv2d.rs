@@ -178,7 +178,7 @@ impl Conv2d {
         for i in 0..n {
             let g = grad_output.item(i);
             for oc in 0..out_channels {
-                let s: f32 = g[oc * ohow..(oc + 1) * ohow].iter().sum();
+                let s = vvd_dsp::accum::sum_f32(g[oc * ohow..(oc + 1) * ohow].iter().copied());
                 self.bias.grad[oc] += s;
             }
         }

@@ -23,7 +23,7 @@
 //! crate (`vvd-estimation`) equalizes it before it is handed back to the
 //! receiver for despreading.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![deny(unsafe_code)]
 
 pub mod config;

@@ -57,6 +57,7 @@ pub fn serve(workload: Workload, options: &ServeOptions) -> ServeReport {
     } = workload;
     let shards = options.shards.max(1);
 
+    // vvd-allow: wall-clock — observability only; `ServeReport::digest()` excludes timing
     let started = Instant::now();
     let mut ticks = 0u64;
     let mut batches = BatchCounters::default();

@@ -333,7 +333,7 @@ impl Campaign {
 
     /// Total number of packets across all sets.
     pub fn total_packets(&self) -> usize {
-        self.sets.iter().map(|s| s.packets.len()).sum()
+        self.sets.iter().map(|s| s.packets.len()).sum::<usize>()
     }
 }
 

@@ -145,7 +145,7 @@ mod tests {
             assert!(c.test >= 1 && c.test <= 5);
         }
         // Distinct test sets across combinations.
-        let tests: std::collections::HashSet<usize> = combos.iter().map(|c| c.test).collect();
+        let tests: std::collections::BTreeSet<usize> = combos.iter().map(|c| c.test).collect();
         assert_eq!(tests.len(), 3);
     }
 

@@ -41,7 +41,7 @@
 //! * [`config`] — the `quick`/`paper` evaluation presets that scale the
 //!   campaign to the available compute.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![deny(unsafe_code)]
 
 pub mod aging;

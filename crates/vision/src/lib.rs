@@ -24,7 +24,7 @@
 //! render scene and the radio scene from one room description without a
 //! dependency cycle.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![deny(unsafe_code)]
 
 pub mod camera;

@@ -28,6 +28,9 @@
 //! See `README.md` for a quickstart and `DESIGN.md` for the system
 //! inventory and the per-experiment index.
 
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
 pub use vvd_channel as channel;
 pub use vvd_core as core;
 pub use vvd_dsp as dsp;
