@@ -133,6 +133,7 @@ impl Default for Config {
                 "channel",
                 "estimation",
                 "serve",
+                "net",
                 "testbed",
                 "phy",
                 "vision",

@@ -8,9 +8,21 @@
 //! quantity the serving layer exists to maximise), and the shared model
 //! cache's counters.  The two runs must digest identically: sharding and
 //! batch composition are invisible in every decoded result.
+//!
+//! A third run serves the same workload as a **cluster of worker
+//! processes** (`vvd-net`, self-exec backend, `VVD_PROCS` sizes the
+//! fleet) over a shared on-disk model cache, printing per-worker cache
+//! counters and verifying that (a) the cluster digest matches the
+//! in-process runs bit-exactly and (b) the cluster trains no more models
+//! than a single process does — the shared-cache staggered-fit guarantee.
+//!
+//! Set `VVD_BENCH_JSON=<path>` to write the headline numbers as a JSON
+//! snapshot (`BENCH_serve.json` at the repo root is the committed
+//! reference of the tiny preset).
 
 use std::collections::BTreeMap;
 use vvd_bench::{bench_config, print_header};
+use vvd_net::{serve_cluster_detailed, ClusterOptions, WorkerBackend};
 use vvd_serve::{mixed_session_specs, serve, LoadGenerator, ServeOptions};
 
 const SCENARIOS: [&str; 2] = ["paper", "rician:k=6,doppler=30"];
@@ -27,6 +39,9 @@ const ESTIMATORS: [&str; 6] = [
 const SESSIONS: usize = 64;
 
 fn main() {
+    // Under the self-exec cluster backend this process doubles as the
+    // worker binary; worker invocations never return from this call.
+    vvd_net::maybe_run_worker();
     print_header(
         "Serve campaign",
         "64 concurrent link sessions, sharded serving with batched VVD inference",
@@ -112,4 +127,105 @@ fn main() {
         "digest: {:016x} (identical at 1 and {shards} shards)",
         report.digest()
     );
+
+    // Cluster rerun: the same workload over worker *processes* with a
+    // shared on-disk model cache.  `VVD_PROCS` sizes the fleet (default 2
+    // here: one process would skip the wire entirely).
+    let workers = vvd_dsp::proc_budget().max(2);
+    let cache_dir =
+        std::env::temp_dir().join(format!("vvd-serve-bench-cache-{}", std::process::id()));
+    let cluster = serve_cluster_detailed(
+        generator.config(),
+        &specs,
+        &ClusterOptions {
+            workers,
+            shards: vvd_dsp::per_process_worker_budget(workers),
+            granularity: 64,
+            cache_dir: Some(cache_dir.clone()),
+            backend: WorkerBackend::SelfExec,
+        },
+    )
+    .expect("cluster serve succeeds");
+    let _ = std::fs::remove_dir_all(&cache_dir);
+
+    println!(
+        "\ncluster ({workers} worker processes, shared disk cache): {:.2?} wall",
+        cluster.report.wall
+    );
+    println!(
+        "{:<8} {:>8} {:>10} {:>10} {:>10} {:>10}",
+        "worker", "ticks", "trainings", "mem hits", "disk hits", "fwd calls"
+    );
+    for (w, stats) in cluster.per_worker.iter().enumerate() {
+        println!(
+            "{:<8} {:>8} {:>10} {:>10} {:>10} {:>10}",
+            w,
+            stats.ticks,
+            stats.cache.misses,
+            stats.cache.hits,
+            stats.cache.disk_hits,
+            stats.batches.batch_calls,
+        );
+    }
+    println!("cluster-wide model cache: {}", cluster.report.model_cache);
+
+    assert_eq!(
+        cluster.report.digest(),
+        report.digest(),
+        "worker processes must be invisible in the served results"
+    );
+    // The shared disk cache with staggered fits: the cluster trains no
+    // more models than the single process did.
+    assert!(
+        cluster.report.model_cache.misses <= report.model_cache.misses,
+        "cluster trained {} models, single process trained {}",
+        cluster.report.model_cache.misses,
+        report.model_cache.misses,
+    );
+    println!(
+        "digest: {:016x} (identical in-process and across {workers} processes)",
+        cluster.report.digest()
+    );
+
+    if let Ok(path) = std::env::var("VVD_BENCH_JSON") {
+        let json = format!(
+            concat!(
+                "{{\n",
+                "  \"bench\": \"serve\",\n",
+                "  \"preset\": {preset:?},\n",
+                "  \"sessions\": {sessions},\n",
+                "  \"packets_streamed\": {streamed},\n",
+                "  \"packets_served\": {served},\n",
+                "  \"ticks\": {ticks},\n",
+                "  \"forward_calls\": {calls},\n",
+                "  \"images\": {images},\n",
+                "  \"occupancy\": {occupancy:.4},\n",
+                "  \"max_batch\": {max_batch},\n",
+                "  \"trainings\": {trainings},\n",
+                "  \"cache_hits\": {hits},\n",
+                "  \"cluster_workers\": {workers},\n",
+                "  \"cluster_trainings\": {cluster_trainings},\n",
+                "  \"cluster_disk_hits\": {cluster_disk_hits},\n",
+                "  \"digest\": \"{digest:016x}\"\n",
+                "}}\n"
+            ),
+            preset = std::env::var("VVD_BENCH_PRESET").unwrap_or_else(|_| "tiny".to_string()),
+            sessions = SESSIONS,
+            streamed = report.packets_streamed,
+            served = report.packets_served,
+            ticks = report.ticks,
+            calls = report.batches.batch_calls,
+            images = report.batches.images,
+            occupancy = report.batch_occupancy(),
+            max_batch = report.batches.max_batch,
+            trainings = report.model_cache.misses,
+            hits = report.model_cache.hits,
+            workers = workers,
+            cluster_trainings = cluster.report.model_cache.misses,
+            cluster_disk_hits = cluster.report.model_cache.disk_hits,
+            digest = report.digest(),
+        );
+        std::fs::write(&path, json).expect("snapshot path is writable");
+        println!("wrote snapshot to {path}");
+    }
 }

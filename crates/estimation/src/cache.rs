@@ -43,6 +43,18 @@ impl ModelCacheStats {
     pub fn lookups(&self) -> u64 {
         self.hits + self.disk_hits + self.misses
     }
+
+    /// Accumulates another cache's counters — the cluster-wide view of a
+    /// serve run whose worker processes each hold their own `ModelCache`
+    /// over one shared disk directory.  `entries` sums resident models
+    /// across the absorbed caches (they live in different processes).
+    pub fn absorb(&mut self, other: &ModelCacheStats) {
+        self.hits += other.hits;
+        self.disk_hits += other.disk_hits;
+        self.misses += other.misses;
+        self.evictions += other.evictions;
+        self.entries += other.entries;
+    }
 }
 
 impl std::fmt::Display for ModelCacheStats {
@@ -196,9 +208,16 @@ impl ModelCache {
         if let Some(dir) = path.parent() {
             let _ = std::fs::create_dir_all(dir);
         }
-        // Publish atomically (write + rename) so concurrent processes
-        // sharing the directory never observe a torn file.
-        let tmp = path.with_extension(format!("tmp-{}", std::process::id()));
+        // Publish atomically (write + rename) so concurrent writers
+        // sharing the directory — worker threads of this process or other
+        // worker *processes* — never observe a torn file.  The temp name
+        // must be unique per publish, not just per process: two handles in
+        // one process racing the same key with a pid-only suffix would
+        // interleave writes into one temp file and rename a torn document
+        // into place.
+        static PUBLISH_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let seq = PUBLISH_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let tmp = path.with_extension(format!("tmp-{}-{seq}", std::process::id()));
         if std::fs::write(&tmp, model.to_json()).is_ok() && std::fs::rename(&tmp, &path).is_err() {
             let _ = std::fs::remove_file(&tmp);
         }
@@ -415,6 +434,99 @@ mod tests {
         assert!(from_disk.is_none());
         assert_eq!(healed.stats().disk_hits, 1);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn racing_handles_on_one_disk_dir_publish_consistently() {
+        // Two independent cache handles over ONE disk directory — the
+        // in-process model of two worker processes sharing
+        // `VVD_MODEL_CACHE_DIR`.  Both race publish/load on the same key
+        // from several threads; whichever publish wins the rename, the
+        // on-disk file must stay a complete, loadable document (atomic
+        // publishes with per-publish temp names), and every handle's
+        // counters must account each lookup exactly once.
+        let dir =
+            std::env::temp_dir().join(format!("vvd-model-cache-race-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (key, model, report) = train_pair(4);
+        let probe = dataset(1, 4).samples[0].image.clone();
+        let expected = model.predict_cir(&probe);
+
+        let handle_a = ModelCache::new().with_disk_dir(&dir);
+        let handle_b = ModelCache::new().with_disk_dir(&dir);
+        let rounds = 8;
+        std::thread::scope(|scope| {
+            for cache in [&handle_a, &handle_b] {
+                for _ in 0..2 {
+                    scope.spawn(|| {
+                        for _ in 0..rounds {
+                            let (m, _) =
+                                cache.get_or_train(key, || (model.clone(), report.clone()));
+                            assert_eq!(m.predict_cir(&probe).taps(), expected.taps());
+                        }
+                    });
+                }
+            }
+        });
+
+        for cache in [&handle_a, &handle_b] {
+            let stats = cache.stats();
+            assert_eq!(
+                stats.lookups(),
+                2 * rounds,
+                "every lookup is exactly one of hit/disk-hit/miss: {stats}"
+            );
+            assert_eq!(stats.entries, 1);
+            assert_eq!(stats.evictions, 0);
+        }
+
+        // The loser of every publish race left no torn state behind: the
+        // file loads, predicts bit-identically, and no temp files linger.
+        let fresh = ModelCache::new().with_disk_dir(&dir);
+        let (winner, retrained) = fresh.get_or_train(key, || panic!("published file must load"));
+        assert!(retrained.is_none());
+        assert_eq!(fresh.stats().disk_hits, 1);
+        assert_eq!(winner.predict_cir(&probe).taps(), expected.taps());
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .filter(|name| !name.ends_with(".json"))
+            .collect();
+        assert!(
+            leftovers.is_empty(),
+            "publish races must clean up temp files: {leftovers:?}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stats_absorb_sums_per_worker_counters() {
+        let mut total = ModelCacheStats::default();
+        total.absorb(&ModelCacheStats {
+            hits: 3,
+            disk_hits: 1,
+            misses: 2,
+            evictions: 0,
+            entries: 2,
+        });
+        total.absorb(&ModelCacheStats {
+            hits: 1,
+            disk_hits: 4,
+            misses: 0,
+            evictions: 1,
+            entries: 1,
+        });
+        assert_eq!(
+            total,
+            ModelCacheStats {
+                hits: 4,
+                disk_hits: 5,
+                misses: 2,
+                evictions: 1,
+                entries: 3,
+            }
+        );
+        assert_eq!(total.lookups(), 11);
     }
 
     #[test]

@@ -1,0 +1,18 @@
+//! `vvd-worker` — the spawnable worker process of a vvd-net serve
+//! cluster.
+//!
+//! The binary speaks the framed cluster protocol on stdin/stdout (frames
+//! only — diagnostics go to stderr) and exits non-zero on any protocol or
+//! workload failure.  It is spawned by a coordinator via
+//! [`WorkerBackend::Binary`](vvd_net::WorkerBackend); it does nothing
+//! useful when run by hand.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+fn main() {
+    if let Err(e) = vvd_net::run_stdio_worker() {
+        eprintln!("vvd-worker: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,296 @@
+//! Message transports: who carries the frames.
+//!
+//! A [`Transport`] moves whole [`Message`]s; the framing itself lives in
+//! [`crate::wire`].  Three carriers share that one code path:
+//!
+//! * [`loopback_pair`] — an in-process channel pair.  Both ends run the
+//!   real encoder/framer over byte streams, so loopback tests exercise
+//!   exactly the bytes a pipe would carry — only the OS pipe is elided.
+//! * [`StdioTransport`] — the worker side of a real process pair: frames
+//!   arrive on stdin and leave on stdout.
+//! * [`ChildTransport`] — the coordinator side: spawns a worker process
+//!   with piped stdio and frames the pipe ends.
+//!
+//! Every transport is strictly blocking and sequential — the cluster
+//! protocol is a lock-step barrier dance, so nothing here needs async
+//! machinery or reordering.
+
+use crate::message::Message;
+use crate::wire::{read_frame, write_frame, WireError};
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::process::{Child, ChildStdin, ChildStdout, Command, ExitStatus, Stdio};
+use std::sync::mpsc;
+
+/// A bidirectional, blocking carrier of [`Message`]s.
+pub trait Transport {
+    /// Sends one message, flushing it onto the wire.
+    ///
+    /// # Errors
+    /// [`WireError::Io`] when the peer is gone or the pipe broke, or
+    /// [`WireError::FrameTooLarge`] for an over-budget payload.
+    fn send(&mut self, msg: &Message) -> Result<(), WireError>;
+
+    /// Receives the next message, blocking until one arrives.
+    ///
+    /// # Errors
+    /// [`WireError::Closed`] on a clean end-of-stream between frames; any
+    /// framing/decoding error for a corrupt or truncated stream.
+    fn recv(&mut self) -> Result<Message, WireError>;
+}
+
+/// A transport over any pair of byte streams.
+pub struct StreamTransport<R: Read, W: Write> {
+    reader: R,
+    writer: W,
+}
+
+impl<R: Read, W: Write> StreamTransport<R, W> {
+    /// Frames the given byte streams.
+    pub fn new(reader: R, writer: W) -> Self {
+        StreamTransport { reader, writer }
+    }
+}
+
+impl<R: Read, W: Write> Transport for StreamTransport<R, W> {
+    fn send(&mut self, msg: &Message) -> Result<(), WireError> {
+        write_frame(&mut self.writer, msg.kind(), &msg.encode_payload())
+    }
+
+    fn recv(&mut self) -> Result<Message, WireError> {
+        let (kind, payload) = read_frame(&mut self.reader)?;
+        Message::decode_payload(kind, &payload)
+    }
+}
+
+/// The reading half of an in-process byte channel.
+pub struct ChannelReader {
+    rx: mpsc::Receiver<Vec<u8>>,
+    pending: Vec<u8>,
+    pos: usize,
+}
+
+impl Read for ChannelReader {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        while self.pos >= self.pending.len() {
+            match self.rx.recv() {
+                Ok(chunk) => {
+                    self.pending = chunk;
+                    self.pos = 0;
+                }
+                // Sender dropped: clean end-of-stream.
+                Err(mpsc::RecvError) => return Ok(0),
+            }
+        }
+        let n = buf.len().min(self.pending.len() - self.pos);
+        buf[..n].copy_from_slice(&self.pending[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+/// The writing half of an in-process byte channel.
+pub struct ChannelWriter {
+    tx: mpsc::Sender<Vec<u8>>,
+}
+
+impl Write for ChannelWriter {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.tx
+            .send(buf.to_vec())
+            .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "loopback peer dropped"))?;
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// An in-process transport end (one side of a [`loopback_pair`]).
+pub type LoopbackTransport = StreamTransport<ChannelReader, ChannelWriter>;
+
+/// A connected pair of in-process transports: what one end sends, the
+/// other receives.  Dropping an end closes the peer's stream cleanly
+/// ([`WireError::Closed`] on the next `recv`).
+pub fn loopback_pair() -> (LoopbackTransport, LoopbackTransport) {
+    let (tx_ab, rx_ab) = mpsc::channel();
+    let (tx_ba, rx_ba) = mpsc::channel();
+    let a = StreamTransport::new(
+        ChannelReader {
+            rx: rx_ba,
+            pending: Vec::new(),
+            pos: 0,
+        },
+        ChannelWriter { tx: tx_ab },
+    );
+    let b = StreamTransport::new(
+        ChannelReader {
+            rx: rx_ab,
+            pending: Vec::new(),
+            pos: 0,
+        },
+        ChannelWriter { tx: tx_ba },
+    );
+    (a, b)
+}
+
+/// The worker-process side of a stdio pipe pair: frames arrive on stdin,
+/// leave on stdout.  Everything human-readable a worker wants to say goes
+/// to stderr — stdout carries nothing but frames.
+pub struct StdioTransport {
+    inner: StreamTransport<BufReader<io::Stdin>, BufWriter<io::Stdout>>,
+}
+
+impl StdioTransport {
+    /// Frames this process's stdin/stdout.
+    pub fn new() -> Self {
+        StdioTransport {
+            inner: StreamTransport::new(BufReader::new(io::stdin()), BufWriter::new(io::stdout())),
+        }
+    }
+}
+
+impl Default for StdioTransport {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Transport for StdioTransport {
+    fn send(&mut self, msg: &Message) -> Result<(), WireError> {
+        self.inner.send(msg)
+    }
+
+    fn recv(&mut self) -> Result<Message, WireError> {
+        self.inner.recv()
+    }
+}
+
+/// The coordinator side of a worker process: owns the [`Child`] and frames
+/// its piped stdin/stdout.  Dropping the transport kills the child (best
+/// effort) so an aborted coordinator never leaks worker processes; the
+/// orderly path is [`finish`](Self::finish).
+pub struct ChildTransport {
+    child: Child,
+    reader: BufReader<ChildStdout>,
+    writer: Option<BufWriter<ChildStdin>>,
+}
+
+impl ChildTransport {
+    /// Spawns `cmd` with piped stdin/stdout (stderr is inherited, so
+    /// worker diagnostics reach the operator's terminal).
+    ///
+    /// # Errors
+    /// Any spawn failure, verbatim.
+    pub fn spawn(cmd: &mut Command) -> io::Result<Self> {
+        let mut child = cmd.stdin(Stdio::piped()).stdout(Stdio::piped()).spawn()?;
+        let stdin = child
+            .stdin
+            .take()
+            .expect("piped stdin is present on a just-spawned child");
+        let stdout = child
+            .stdout
+            .take()
+            .expect("piped stdout is present on a just-spawned child");
+        Ok(ChildTransport {
+            child,
+            reader: BufReader::new(stdout),
+            writer: Some(BufWriter::new(stdin)),
+        })
+    }
+
+    /// Closes the child's stdin (it sees end-of-stream) and waits for it
+    /// to exit.
+    ///
+    /// # Errors
+    /// The underlying `wait` failure, verbatim.
+    pub fn finish(mut self) -> io::Result<ExitStatus> {
+        self.writer.take();
+        self.child.wait()
+    }
+}
+
+impl Drop for ChildTransport {
+    fn drop(&mut self) {
+        // After an orderly `finish` the child is already reaped and both
+        // calls are no-ops/errors we deliberately ignore; on an abort path
+        // this reaps the worker instead of leaking it.
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+impl Transport for ChildTransport {
+    fn send(&mut self, msg: &Message) -> Result<(), WireError> {
+        match self.writer.as_mut() {
+            Some(w) => write_frame(w, msg.kind(), &msg.encode_payload()),
+            None => Err(WireError::Closed),
+        }
+    }
+
+    fn recv(&mut self) -> Result<Message, WireError> {
+        let (kind, payload) = read_frame(&mut self.reader)?;
+        Message::decode_payload(kind, &payload)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::{Hello, TickBarrier};
+
+    #[test]
+    fn loopback_carries_messages_both_ways() {
+        let (mut a, mut b) = loopback_pair();
+        a.send(&Message::Hello(Hello { pid: 1 })).unwrap();
+        a.send(&Message::TickBarrier(TickBarrier {
+            ticks: 9,
+            done: true,
+        }))
+        .unwrap();
+        assert_eq!(b.recv().unwrap(), Message::Hello(Hello { pid: 1 }));
+        b.send(&Message::Shutdown).unwrap();
+        assert_eq!(
+            b.recv().unwrap(),
+            Message::TickBarrier(TickBarrier {
+                ticks: 9,
+                done: true
+            })
+        );
+        assert_eq!(a.recv().unwrap(), Message::Shutdown);
+    }
+
+    #[test]
+    fn dropping_an_end_closes_the_peer_cleanly() {
+        let (a, mut b) = loopback_pair();
+        drop(a);
+        assert!(matches!(b.recv(), Err(WireError::Closed)));
+        assert!(matches!(b.send(&Message::Shutdown), Err(WireError::Io(_))));
+    }
+
+    #[test]
+    fn loopback_reader_handles_split_reads() {
+        // Frames split across arbitrarily small reads must reassemble —
+        // the reader loops over chunk boundaries.
+        let (mut a, b) = loopback_pair();
+        a.send(&Message::Error {
+            message: "x".repeat(10_000),
+        })
+        .unwrap();
+        drop(a);
+        let mut reader = b.reader;
+        let mut bytes = Vec::new();
+        let mut one = [0u8; 1];
+        while reader.read(&mut one).unwrap() == 1 {
+            bytes.push(one[0]);
+        }
+        let (kind, payload) = read_frame(&mut bytes.as_slice()).unwrap();
+        let msg = Message::decode_payload(kind, &payload).unwrap();
+        assert_eq!(
+            msg,
+            Message::Error {
+                message: "x".repeat(10_000)
+            }
+        );
+    }
+}

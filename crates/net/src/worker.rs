@@ -1,0 +1,183 @@
+//! The worker side of the cluster protocol.
+//!
+//! A worker is a protocol loop around one [`ServeEngine`]: it announces
+//! itself, receives its session subset, rebuilds exactly that slice of the
+//! workload ([`LoadGenerator::build_assigned`] preserves workload-global
+//! session ids, so the traces it will report are bit-identical to the
+//! corresponding sessions of a single-process run), then advances the
+//! engine between the coordinator's tick barriers and streams its traces
+//! back once drained.
+//!
+//! The fit happens *before* the ready ack — the coordinator assigns
+//! workers one at a time and waits for each ready ack, so with a shared
+//! on-disk model cache every distinct training runs exactly once
+//! cluster-wide: the first worker to need a model trains and publishes it,
+//! every later worker loads it from disk.
+
+use crate::message::{AssignSessions, CacheStats, Hello, Message, TickBarrier};
+use crate::transport::{StdioTransport, Transport};
+use crate::wire::WireError;
+use vvd_estimation::ModelCache;
+use vvd_serve::{LoadGenerator, ServeEngine, ServeOptions, SessionSpec};
+use vvd_testbed::EvalConfig;
+
+/// Argument sentinel that switches a self-executing binary into worker
+/// mode (see [`maybe_run_worker`]).
+pub const WORKER_ARG: &str = "vvd-net-worker";
+
+/// Runs the worker protocol over the given transport until the
+/// coordinator shuts it down.
+///
+/// # Errors
+/// Any transport failure, or [`WireError::Protocol`] when the coordinator
+/// violates the protocol or the assigned workload fails to build (the
+/// failure is also reported to the coordinator as a [`Message::Error`]
+/// frame when the transport still works).
+pub fn run_worker<T: Transport>(transport: &mut T) -> Result<(), WireError> {
+    transport.send(&Message::Hello(Hello {
+        pid: u64::from(std::process::id()),
+    }))?;
+
+    let assign = match transport.recv()? {
+        Message::AssignSessions(a) => a,
+        Message::Shutdown => return Ok(()),
+        other => {
+            return Err(protocol_violation("AssignSessions", &other));
+        }
+    };
+
+    let mut engine = match build_engine(&assign) {
+        Ok(engine) => engine,
+        Err(message) => {
+            transport.send(&Message::Error {
+                message: message.clone(),
+            })?;
+            return Err(WireError::Protocol(message));
+        }
+    };
+
+    // Ready ack: the fit is done (every assigned model trained or loaded).
+    transport.send(&Message::TickBarrier(TickBarrier {
+        ticks: engine.ticks(),
+        done: engine.finished(),
+    }))?;
+
+    while !engine.finished() {
+        match transport.recv()? {
+            Message::TickBarrier(barrier) => {
+                engine.run_ticks(barrier.ticks.max(1));
+                transport.send(&Message::TickBarrier(TickBarrier {
+                    ticks: engine.ticks(),
+                    done: engine.finished(),
+                }))?;
+            }
+            // An early shutdown aborts the run without reporting.
+            Message::Shutdown => return Ok(()),
+            other => return Err(protocol_violation("TickBarrier", &other)),
+        }
+    }
+
+    // Drained: stream one report per session (ascending global id — the
+    // subset order build_assigned preserved), then the run accounting.
+    let report = engine.finish();
+    for (summary, trace) in report.sessions.iter().zip(&report.traces) {
+        transport.send(&Message::SessionReport(crate::message::SessionReport {
+            id: summary.session_id as u64,
+            scenario: summary.scenario.clone(),
+            label: trace.label.clone(),
+            packets_streamed: summary.packets_streamed as u64,
+            scored: trace.scored.clone(),
+            per_packet: trace.per_packet.clone(),
+            estimates: trace.estimates.clone(),
+            truths: trace.truths.clone(),
+        }))?;
+    }
+    transport.send(&Message::CacheStats(CacheStats {
+        ticks: report.ticks,
+        cache: report.model_cache,
+        batches: report.batches,
+    }))?;
+
+    match transport.recv()? {
+        Message::Shutdown => Ok(()),
+        other => Err(protocol_violation("Shutdown", &other)),
+    }
+}
+
+/// Runs the worker protocol over this process's stdin/stdout — the body
+/// of the `vvd-worker` binary.
+///
+/// # Errors
+/// See [`run_worker`].
+pub fn run_stdio_worker() -> Result<(), WireError> {
+    let mut transport = StdioTransport::new();
+    run_worker(&mut transport)
+}
+
+/// Self-exec guard for coordinator binaries (examples, benches): when the
+/// process was invoked with [`WORKER_ARG`] as its first argument, runs the
+/// stdio worker protocol and **exits the process** — never returning to
+/// the caller.  Call this first in `main` to make the binary its own
+/// worker under [`WorkerBackend::SelfExec`](crate::WorkerBackend).
+pub fn maybe_run_worker() {
+    let mut argv = std::env::args();
+    let _program = argv.next();
+    if argv.next().as_deref() == Some(WORKER_ARG) {
+        let code = match run_stdio_worker() {
+            Ok(()) => 0,
+            Err(e) => {
+                eprintln!("vvd-worker: {e}");
+                1
+            }
+        };
+        std::process::exit(code);
+    }
+}
+
+/// Rebuilds the assigned workload slice and wraps it in a stepping engine.
+fn build_engine(assign: &AssignSessions) -> Result<ServeEngine, String> {
+    let config: EvalConfig = serde_json::from_str(&assign.config_json)
+        .map_err(|e| format!("invalid campaign config: {e}"))?;
+
+    let mut cache = ModelCache::new();
+    if let Some(dir) = &assign.cache_dir {
+        cache = cache.with_disk_dir(dir);
+    }
+
+    let assigned: Vec<(usize, SessionSpec)> = assign
+        .sessions
+        .iter()
+        .map(|s| {
+            (
+                s.id as usize,
+                SessionSpec {
+                    scenario: s.scenario.clone(),
+                    estimator: s.estimator.clone(),
+                    interval_ticks: s.interval_ticks,
+                    offset_ticks: s.offset_ticks,
+                    combination: s.combination as usize,
+                },
+            )
+        })
+        .collect();
+
+    let workload = LoadGenerator::new(config)
+        .build_assigned(&assigned, cache)
+        .map_err(|e| format!("workload build failed: {e}"))?;
+
+    Ok(ServeEngine::new(
+        workload,
+        &ServeOptions {
+            shards: assign.shards.max(1) as usize,
+        },
+    ))
+}
+
+fn protocol_violation(expected: &str, got: &Message) -> WireError {
+    match got {
+        Message::Error { message } => {
+            WireError::Protocol(format!("peer reported an error: {message}"))
+        }
+        other => WireError::Protocol(format!("expected {expected}, got {}", other.name())),
+    }
+}

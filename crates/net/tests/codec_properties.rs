@@ -1,0 +1,210 @@
+//! Property suite for the wire codec: whatever bytes arrive, decoding is
+//! total — it returns a value or a typed [`WireError`], never panics,
+//! never hangs, never allocates from an untrusted length — and whatever
+//! *valid* message leaves, it round-trips bit-exactly.
+
+use proptest::prelude::*;
+use vvd_estimation::ModelCacheStats;
+use vvd_net::message::{
+    AssignSessions, AssignedSession, CacheStats, Hello, Message, SessionReport, TickBarrier,
+};
+use vvd_net::wire::{read_frame, write_frame, WireError, MAX_FRAME_PAYLOAD};
+use vvd_phy::DecodeOutcome;
+use vvd_serve::BatchCounters;
+
+/// A random-but-valid message assembled from drawn primitives.  Floats are
+/// drawn as raw bit patterns (NaNs and infinities included), so round
+/// trips are compared on re-encoded bytes, not on `PartialEq`.
+fn build_message(selector: usize, words: &[u64], text: &str, flags: (bool, bool)) -> Message {
+    let word = |i: usize| words[i % words.len().max(1)];
+    let outcome = |i: usize| DecodeOutcome {
+        crc_ok: word(i) % 2 == 0,
+        chip_errors: word(i + 1) as usize,
+        chip_count: word(i + 2) as usize,
+        symbol_errors: word(i + 3) as usize,
+    };
+    let filter = |i: usize| {
+        let taps: Vec<vvd_dsp::Complex> = (0..(word(i) % 5) as usize)
+            .map(|t| {
+                vvd_dsp::Complex::new(f64::from_bits(word(i + t)), f64::from_bits(word(i + t + 1)))
+            })
+            .collect();
+        vvd_dsp::FirFilter::from_taps(&taps)
+    };
+    match selector % 7 {
+        0 => Message::Hello(Hello { pid: word(0) }),
+        1 => Message::AssignSessions(AssignSessions {
+            worker_index: word(0) as u32,
+            shards: word(1) as u32,
+            cache_dir: flags.0.then(|| text.to_string()),
+            config_json: text.to_string(),
+            sessions: (0..words.len() % 4)
+                .map(|i| AssignedSession {
+                    id: word(i),
+                    scenario: text.to_string(),
+                    estimator: text.chars().rev().collect(),
+                    interval_ticks: word(i + 1),
+                    offset_ticks: word(i + 2),
+                    combination: word(i + 3),
+                })
+                .collect(),
+        }),
+        2 => Message::TickBarrier(TickBarrier {
+            ticks: word(0),
+            done: flags.1,
+        }),
+        3 => Message::SessionReport(SessionReport {
+            id: word(0),
+            scenario: text.to_string(),
+            label: text.to_uppercase(),
+            packets_streamed: word(1),
+            scored: (0..words.len() % 5).map(outcome).collect(),
+            per_packet: (0..words.len() % 3).map(outcome).collect(),
+            estimates: (0..words.len() % 3).map(filter).collect(),
+            truths: (0..words.len() % 3).map(filter).collect(),
+        }),
+        4 => Message::CacheStats(CacheStats {
+            ticks: word(0),
+            cache: ModelCacheStats {
+                hits: word(1),
+                disk_hits: word(2),
+                misses: word(3),
+                evictions: word(4),
+                entries: word(5) as usize,
+            },
+            batches: BatchCounters {
+                batch_calls: word(6),
+                images: word(7),
+                max_batch: word(8) as usize,
+            },
+        }),
+        5 => Message::Shutdown,
+        _ => Message::Error {
+            message: text.to_string(),
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Valid messages survive a full frame round trip bit-exactly:
+    /// encode → frame → unframe → decode → re-encode yields the same
+    /// payload bytes and the same kind tag (byte comparison sidesteps
+    /// NaN's `PartialEq`).
+    #[test]
+    fn messages_round_trip_through_frames_bit_exactly(
+        selector in 0usize..7,
+        words in proptest::collection::vec(any::<u64>(), 1..12),
+        text_bytes in proptest::collection::vec(any::<u8>(), 0..40),
+        flags in (any::<bool>(), any::<bool>()),
+    ) {
+        let text = String::from_utf8_lossy(&text_bytes).into_owned();
+        let msg = build_message(selector, &words, &text, flags);
+        let payload = msg.encode_payload();
+
+        let mut framed = Vec::new();
+        write_frame(&mut framed, msg.kind(), &payload).unwrap();
+        let (kind, unframed) = read_frame(&mut framed.as_slice()).unwrap();
+        prop_assert_eq!(kind, msg.kind());
+        prop_assert_eq!(&unframed, &payload);
+
+        let decoded = Message::decode_payload(kind, &unframed).unwrap();
+        prop_assert_eq!(decoded.kind(), msg.kind());
+        prop_assert_eq!(decoded.encode_payload(), payload);
+    }
+
+    /// Arbitrary byte soup never panics or hangs the frame reader: it
+    /// yields a frame or a typed error.
+    #[test]
+    fn random_bytes_never_panic_the_frame_reader(
+        bytes in proptest::collection::vec(any::<u8>(), 0..600),
+    ) {
+        match read_frame(&mut bytes.as_slice()) {
+            Ok((kind, payload)) => {
+                // A random blob that frames correctly must really carry
+                // that many bytes.
+                prop_assert!(payload.len() as u32 <= MAX_FRAME_PAYLOAD);
+                let _ = Message::decode_payload(kind, &payload);
+            }
+            Err(
+                WireError::Closed
+                | WireError::Truncated { .. }
+                | WireError::BadMagic { .. }
+                | WireError::UnsupportedVersion { .. }
+                | WireError::FrameTooLarge { .. }
+                | WireError::Io(_),
+            ) => {}
+            Err(other) => prop_assert!(false, "unexpected error class: {other:?}"),
+        }
+    }
+
+    /// Arbitrary payload bytes under every kind tag decode totally:
+    /// a message or a typed error, never a panic — and never an
+    /// allocation driven by an untrusted length prefix (a hostile
+    /// `u32::MAX` element count must fail, not OOM).
+    #[test]
+    fn random_payloads_never_panic_the_message_decoder(
+        kind in 0u16..10,
+        payload in proptest::collection::vec(any::<u8>(), 0..300),
+    ) {
+        let _ = Message::decode_payload(kind, &payload);
+    }
+
+    /// Every strict prefix of a valid frame fails with a typed error —
+    /// mid-frame EOF at any byte offset is handled, not panicked on.
+    #[test]
+    fn every_truncation_of_a_valid_frame_fails_typed(
+        selector in 0usize..7,
+        words in proptest::collection::vec(any::<u64>(), 1..6),
+        cut_point in any::<prop::sample::Index>(),
+    ) {
+        let msg = build_message(selector, &words, "труба-77", (true, false));
+        let mut framed = Vec::new();
+        write_frame(&mut framed, msg.kind(), &msg.encode_payload()).unwrap();
+
+        let cut = cut_point.index(framed.len());
+        // The length prefix pins the payload size, so a strict prefix of
+        // the byte stream must fail at one layer or the other — a cut can
+        // never be self-delimiting.
+        let failure = match read_frame(&mut framed[..cut].as_ref()) {
+            Err(e) => Some(e),
+            Ok((kind, payload)) => Message::decode_payload(kind, &payload).err(),
+        };
+        prop_assert!(
+            failure.is_some(),
+            "cut at {} of {} decoded fully", cut, framed.len()
+        );
+        let err = failure.expect("just asserted Some");
+        prop_assert!(
+            matches!(
+                err,
+                WireError::Closed
+                    | WireError::Truncated { .. }
+                    | WireError::Malformed { .. }
+                    | WireError::TrailingBytes { .. }
+            ),
+            "cut at {} of {}: unexpected error {:?}", cut, framed.len(), err
+        );
+    }
+
+    /// Flipping any single byte of a valid frame never panics the
+    /// reader/decoder stack; it yields some message or a typed error.
+    #[test]
+    fn single_byte_corruption_is_handled_totally(
+        selector in 0usize..7,
+        words in proptest::collection::vec(any::<u64>(), 1..6),
+        flip_at in any::<prop::sample::Index>(),
+        flip_with in 1u8..=255,
+    ) {
+        let msg = build_message(selector, &words, "frame", (false, true));
+        let mut framed = Vec::new();
+        write_frame(&mut framed, msg.kind(), &msg.encode_payload()).unwrap();
+        let at = flip_at.index(framed.len());
+        framed[at] ^= flip_with;
+
+        if let Ok((kind, payload)) = read_frame(&mut framed.as_slice()) {
+            let _ = Message::decode_payload(kind, &payload);
+        }
+    }
+}

@@ -27,10 +27,16 @@
 //! bit-identical to per-image prediction) — and traces are kept per
 //! session.  The serve golden test pins this down against the offline
 //! streaming pipeline at shard counts 1, 2 and 8.
+//!
+//! [`ServeEngine`] exposes the same loop in stepping form (`run_ticks`),
+//! which is what the cross-process coordinator in `vvd-net` drives between
+//! tick barriers — stepping granularity is pure scheduling and invisible
+//! in every trace.
 
 use crate::loadgen::Workload;
 use crate::planner::{run_batched_inference, BatchCounters};
 use crate::report::ServeReport;
+use crate::store::SessionStore;
 use std::time::Instant;
 
 /// Execution options of a serve run.
@@ -52,56 +58,124 @@ impl Default for ServeOptions {
 
 /// Runs the workload to completion and reports what happened.
 pub fn serve(workload: Workload, options: &ServeOptions) -> ServeReport {
-    let Workload {
-        mut store, cache, ..
-    } = workload;
-    let shards = options.shards.max(1);
+    let mut engine = ServeEngine::new(workload, options);
+    while engine.step_tick() {}
+    engine.finish()
+}
 
-    // vvd-allow: wall-clock — observability only; `ServeReport::digest()` excludes timing
-    let started = Instant::now();
-    let mut ticks = 0u64;
-    let mut batches = BatchCounters::default();
+/// A stepping form of the serve loop: the same three-phase tick engine as
+/// [`serve`], but advanced explicitly, a bounded number of ticks at a
+/// time.
+///
+/// This is what the cross-process serving layer (`vvd-net`) drives: a
+/// worker process holds one `ServeEngine` over its assigned session
+/// subset and advances it between coordinator tick barriers.  Stepping
+/// granularity is pure scheduling — every trace the engine produces is
+/// bit-identical whether the workload ran through one [`serve`] call or
+/// through any sequence of [`run_ticks`](Self::run_ticks) calls.
+pub struct ServeEngine {
+    store: SessionStore,
+    cache: vvd_estimation::ModelCache,
+    shards: usize,
+    ticks: u64,
+    batches: BatchCounters,
+    started: Instant,
+}
 
-    while let Some(tick) = store.next_due_tick() {
+impl ServeEngine {
+    /// Wraps a built workload in a stepping engine.
+    pub fn new(workload: Workload, options: &ServeOptions) -> Self {
+        let Workload { store, cache, .. } = workload;
+        ServeEngine {
+            store,
+            cache,
+            shards: options.shards.max(1),
+            ticks: 0,
+            batches: BatchCounters::default(),
+            // vvd-allow: wall-clock — observability only; `ServeReport::digest()` excludes timing
+            started: Instant::now(),
+        }
+    }
+
+    /// `true` once every session has streamed all of its packets.
+    pub fn finished(&self) -> bool {
+        self.store.next_due_tick().is_none()
+    }
+
+    /// Ticks processed so far.
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+
+    /// Runs one tick (prepare / batch-infer / complete over every due
+    /// session).  Returns `false` — without ticking — once the workload is
+    /// drained.
+    pub fn step_tick(&mut self) -> bool {
+        let Some(tick) = self.store.next_due_tick() else {
+            return false;
+        };
+
         // Phase 1: prepare every due session's packet (sharded).
-        store.for_each_sharded(shards, |session| {
+        self.store.for_each_sharded(self.shards, |session| {
             if session.due(tick) {
                 session.prepare(tick);
             }
         });
 
         // Phase 2: one batched forward pass per distinct model.
-        batches.absorb(run_batched_inference(store.sessions_mut()));
+        self.batches
+            .absorb(run_batched_inference(self.store.sessions_mut()));
 
         // Phase 3: decode, score, observe (sharded).
-        store.for_each_sharded(shards, |session| {
+        self.store.for_each_sharded(self.shards, |session| {
             if session.has_pending() {
                 session.complete();
             }
         });
 
-        ticks += 1;
+        self.ticks += 1;
+        true
     }
-    let wall = started.elapsed();
 
-    let sessions = store.into_sessions();
-    let meta: Vec<(usize, String, String, usize)> = sessions
-        .iter()
-        .map(|s| {
-            (
-                s.id(),
-                s.scenario().to_string(),
-                s.label().to_string(),
-                s.total_packets(),
-            )
-        })
-        .collect();
-    let traces = sessions
-        .into_iter()
-        .map(|s| s.into_trace())
-        .collect::<Vec<_>>();
+    /// Runs up to `max_ticks` ticks, returning the number actually
+    /// processed (less than `max_ticks` only when the workload drained).
+    pub fn run_ticks(&mut self, max_ticks: u64) -> u64 {
+        let mut processed = 0;
+        while processed < max_ticks && self.step_tick() {
+            processed += 1;
+        }
+        processed
+    }
 
-    ServeReport::assemble(meta, traces, ticks, batches, cache.stats(), wall)
+    /// Consumes the engine, assembling the final report.
+    pub fn finish(self) -> ServeReport {
+        let wall = self.started.elapsed();
+        let sessions = self.store.into_sessions();
+        let meta: Vec<(usize, String, String, usize)> = sessions
+            .iter()
+            .map(|s| {
+                (
+                    s.id(),
+                    s.scenario().to_string(),
+                    s.label().to_string(),
+                    s.total_packets(),
+                )
+            })
+            .collect();
+        let traces = sessions
+            .into_iter()
+            .map(|s| s.into_trace())
+            .collect::<Vec<_>>();
+
+        ServeReport::assemble(
+            meta,
+            traces,
+            self.ticks,
+            self.batches,
+            self.cache.stats(),
+            wall,
+        )
+    }
 }
 
 #[cfg(test)]
@@ -128,6 +202,30 @@ mod tests {
                 .every(2)
                 .offset(1),
         ]
+    }
+
+    #[test]
+    fn stepping_engine_matches_one_shot_serve_at_any_granularity() {
+        let cfg = tiny_config();
+        let gen = LoadGenerator::new(cfg);
+        let reference = serve(
+            gen.build(&cheap_specs()).unwrap(),
+            &ServeOptions { shards: 1 },
+        );
+        for granularity in [1u64, 3, 7, 1000] {
+            let workload = gen.build(&cheap_specs()).unwrap();
+            let mut engine = ServeEngine::new(workload, &ServeOptions { shards: 2 });
+            assert!(!engine.finished());
+            while !engine.finished() {
+                let processed = engine.run_ticks(granularity);
+                assert!(processed <= granularity);
+            }
+            assert_eq!(engine.run_ticks(5), 0, "a drained engine must not tick");
+            let report = engine.finish();
+            assert_eq!(report.digest(), reference.digest());
+            assert_eq!(report.ticks, reference.ticks);
+            assert_eq!(report.packets_streamed, reference.packets_streamed);
+        }
     }
 
     #[test]

@@ -51,7 +51,7 @@ pub mod report;
 pub mod session;
 pub mod store;
 
-pub use engine::{serve, ServeOptions};
+pub use engine::{serve, ServeEngine, ServeOptions};
 pub use loadgen::{mixed_session_specs, LoadGenerator, ServeSpecError, Workload};
 pub use planner::BatchCounters;
 pub use report::{ServeReport, SessionReport};

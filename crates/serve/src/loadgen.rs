@@ -102,14 +102,19 @@ impl LoadGenerator {
         self
     }
 
-    /// Builds the workload: validate everything, generate one campaign per
-    /// distinct scenario, fit every estimator (sharing trainings through
-    /// one model cache), wire up the sessions.
+    /// Validates session specs without generating anything: scenario and
+    /// estimator specs must parse, intervals must be non-zero, combination
+    /// indices must be in range for this generator's configuration.
+    ///
+    /// [`build`](Self::build) performs exactly this validation before
+    /// spending compute; the cross-process coordinator (`vvd-net`) calls it
+    /// up front so an invalid workload is rejected before any worker
+    /// process is spawned.
     ///
     /// # Errors
     /// Returns the first invalid scenario/estimator spec, zero interval or
-    /// out-of-range combination index — before any campaign is generated.
-    pub fn build(&self, specs: &[SessionSpec]) -> Result<Workload, ServeSpecError> {
+    /// out-of-range combination index.
+    pub fn validate(&self, specs: &[SessionSpec]) -> Result<(), ServeSpecError> {
         let registry = EstimatorRegistry::new();
         let scenario_registry =
             vvd_channel::scenario::ScenarioRegistry::new().with_cir_config(self.config.cir);
@@ -131,11 +136,49 @@ impl LoadGenerator {
                 )));
             }
         }
+        Ok(())
+    }
+
+    /// Builds the workload: validate everything, generate one campaign per
+    /// distinct scenario, fit every estimator (sharing trainings through
+    /// one model cache), wire up the sessions.
+    ///
+    /// # Errors
+    /// Returns the first invalid scenario/estimator spec, zero interval or
+    /// out-of-range combination index — before any campaign is generated.
+    pub fn build(&self, specs: &[SessionSpec]) -> Result<Workload, ServeSpecError> {
+        let assigned: Vec<(usize, SessionSpec)> = specs.iter().cloned().enumerate().collect();
+        self.build_assigned(&assigned, ModelCache::new())
+    }
+
+    /// Builds a workload over an explicitly identified session subset — the
+    /// cross-process form of [`build`](Self::build).
+    ///
+    /// Each entry carries the session's *workload-global* id alongside its
+    /// spec: a worker process building `[(1, a), (5, b)]` produces sessions
+    /// whose ids, labels and traces are bit-identical to sessions 1 and 5
+    /// of the full single-process build, so a coordinator can merge
+    /// per-worker traces back into one report indistinguishable from the
+    /// in-process run.  The caller supplies the model cache (workers attach
+    /// the shared on-disk layer here, so same-provenance models train once
+    /// cluster-wide).
+    ///
+    /// # Errors
+    /// Same validation as [`build`](Self::build), over the subset.
+    pub fn build_assigned(
+        &self,
+        assigned: &[(usize, SessionSpec)],
+        cache: ModelCache,
+    ) -> Result<Workload, ServeSpecError> {
+        let subset: Vec<SessionSpec> = assigned.iter().map(|(_, s)| s.clone()).collect();
+        self.validate(&subset)?;
+        let registry = EstimatorRegistry::new();
+        let combos = combinations_for(self.config.n_sets, self.config.n_combinations);
 
         // One campaign per distinct scenario spec; generation itself
         // validates the spec against the scenario registry.
         let mut campaigns: BTreeMap<String, Arc<Campaign>> = self.prebuilt.clone();
-        for spec in specs {
+        for (_, spec) in assigned {
             if !campaigns.contains_key(&spec.scenario) {
                 let campaign = Campaign::generate_spec(&self.config, &spec.scenario)?;
                 campaigns.insert(spec.scenario.clone(), Arc::new(campaign));
@@ -145,9 +188,9 @@ impl LoadGenerator {
         // Fit phase: sequential in session-id order (training through the
         // shared cache is deterministic, and same-provenance sessions after
         // the first are cache hits).
-        let cache = ModelCache::new();
-        let mut sessions = Vec::with_capacity(specs.len());
-        for (id, spec) in specs.iter().enumerate() {
+        let mut sessions = Vec::with_capacity(assigned.len());
+        for (id, spec) in assigned {
+            let (id, spec) = (*id, spec);
             let campaign = Arc::clone(&campaigns[&spec.scenario]);
             let combination = combos[spec.combination].clone();
             let cirs = training_cirs(&campaign, &combination);

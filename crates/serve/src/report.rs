@@ -59,7 +59,14 @@ pub struct ServeReport {
 
 impl ServeReport {
     /// Assembles the report from the drained sessions' traces.
-    pub(crate) fn assemble(
+    ///
+    /// `meta` is one `(session_id, scenario, estimator label, packets
+    /// streamed)` tuple per trace, in the same order as `traces`.  This is
+    /// public so the cross-process coordinator (`vvd-net`) can reassemble
+    /// one merged report from per-worker traces collected over the wire;
+    /// merging in fixed global-session order makes the merged
+    /// [`digest`](Self::digest) bit-identical to the in-process run's.
+    pub fn assemble(
         meta: Vec<(usize, String, String, usize)>,
         traces: Vec<EstimatorTrace>,
         ticks: u64,

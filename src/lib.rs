@@ -23,7 +23,11 @@
 //! * [`serve`] — the sharded multi-link serving engine that multiplexes
 //!   many concurrent streaming estimators over shared compute, coalescing
 //!   same-model VVD predictions across sessions into batched NN forward
-//!   passes.
+//!   passes,
+//! * [`net`] — cross-process serving: a coordinator partitioning a serve
+//!   workload over worker processes (framed wire protocol, tick barriers,
+//!   shared on-disk model cache) whose merged report is bit-identical to
+//!   the single-process run.
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the system
 //! inventory and the per-experiment index.
@@ -35,6 +39,7 @@ pub use vvd_channel as channel;
 pub use vvd_core as core;
 pub use vvd_dsp as dsp;
 pub use vvd_estimation as estimation;
+pub use vvd_net as net;
 pub use vvd_nn as nn;
 pub use vvd_phy as phy;
 pub use vvd_serve as serve;

@@ -6,6 +6,7 @@
 
 use proptest::prelude::*;
 use std::sync::{Arc, OnceLock};
+use vvd::net::{serve_cluster, ClusterOptions, WorkerBackend};
 use vvd::serve::{serve, LoadGenerator, ServeOptions, SessionSpec};
 use vvd::testbed::{Campaign, EvalConfig};
 
@@ -47,9 +48,8 @@ fn schedule_strategy(n: usize) -> impl Strategy<Value = Vec<(u64, u64)>> {
     proptest::collection::vec((1u64..4, 0u64..6), n)
 }
 
-fn run_digest(heads: &[usize], schedule: &[(u64, u64)], shards: usize) -> (u64, u64) {
-    let cfg = property_config();
-    let specs: Vec<SessionSpec> = heads
+fn build_specs(heads: &[usize], schedule: &[(u64, u64)]) -> Vec<SessionSpec> {
+    heads
         .iter()
         .zip(schedule)
         .map(|(&head, &(interval, offset))| {
@@ -57,10 +57,14 @@ fn run_digest(heads: &[usize], schedule: &[(u64, u64)], shards: usize) -> (u64, 
                 .every(interval)
                 .offset(offset)
         })
-        .collect();
+        .collect()
+}
+
+fn run_digest(heads: &[usize], schedule: &[(u64, u64)], shards: usize) -> (u64, u64) {
+    let cfg = property_config();
     let workload = LoadGenerator::new(cfg)
         .with_campaign("paper", shared_campaign())
-        .build(&specs)
+        .build(&build_specs(heads, schedule))
         .unwrap();
     let report = serve(workload, &ServeOptions { shards });
     (report.digest(), report.packets_streamed)
@@ -104,5 +108,42 @@ proptest! {
         let (digest_a, _) = run_digest(&[head_a], &schedule, 1);
         let (digest_b, _) = run_digest(&[head_b], &schedule, 1);
         prop_assert_ne!(digest_a, digest_b);
+    }
+}
+
+proptest! {
+    // Each case runs a full cluster (workers rebuild their campaign
+    // slice), so a handful of cases keeps the suite fast.
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// The process axis extends the invariance: partitioning a random
+    /// workload over 1–5 loopback worker processes at any barrier
+    /// granularity reproduces the single-process digest bit-exactly.
+    #[test]
+    fn digest_is_invariant_to_worker_process_count(
+        heads in proptest::collection::vec(0usize..HEADS.len(), 1..6),
+        schedule in schedule_strategy(6),
+        workers in 1usize..=5,
+        granularity in 1u64..16,
+    ) {
+        let n = heads.len();
+        let (reference, streamed) = run_digest(&heads, &schedule[..n], 1);
+        let report = serve_cluster(
+            &property_config(),
+            &build_specs(&heads, &schedule[..n]),
+            &ClusterOptions {
+                workers,
+                shards: 2,
+                granularity,
+                cache_dir: None,
+                backend: WorkerBackend::Loopback,
+            },
+        )
+        .unwrap();
+        prop_assert_eq!(report.packets_streamed, streamed);
+        prop_assert!(
+            report.digest() == reference,
+            "digest diverged at {} workers, granularity {}", workers, granularity
+        );
     }
 }
