@@ -87,6 +87,53 @@ fn binary_fails_on_a_planted_hashmap_in_serve() {
 }
 
 #[test]
+fn checkpoint_modules_are_governed_by_the_critical_crate_rules() {
+    // The session-durability layer (`crates/serve/src/checkpoint.rs` and
+    // the cluster recovery path in `crates/net`) must stay inside the
+    // critical-crate set: a message-less panic path planted in a
+    // checkpoint module trips the gate like any other serve/net file.
+    let cfg = Config::default();
+    for governed in ["serve", "net"] {
+        assert!(
+            cfg.critical_crates.iter().any(|c| c == governed),
+            "crate `{governed}` left the critical set — checkpoint modules would go unlinted"
+        );
+    }
+
+    let dir = std::env::temp_dir().join(format!(
+        "vvd-analyze-ckpt-{}-{:x}",
+        std::process::id(),
+        std::ptr::from_ref(&workspace_root) as usize
+    ));
+    let serve_src = dir.join("crates/serve/src");
+    std::fs::create_dir_all(&serve_src).expect("temp workspace is writable");
+    std::fs::write(
+        serve_src.join("checkpoint.rs"),
+        "//! planted\n/// d\npub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n",
+    )
+    .expect("temp workspace is writable");
+
+    let out = Command::new(env!("CARGO_BIN_EXE_vvd-analyze"))
+        .args(["--root"])
+        .arg(&dir)
+        .args(["--format", "json"])
+        .output()
+        .expect("vvd-analyze binary runs");
+    let json = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "planted unwrap in a checkpoint module did not trip the gate: {json}"
+    );
+    assert!(
+        json.contains("checkpoint.rs"),
+        "finding does not point at the checkpoint module: {json}"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn binary_rejects_unknown_arguments() {
     let out = Command::new(env!("CARGO_BIN_EXE_vvd-analyze"))
         .arg("--frobnicate")

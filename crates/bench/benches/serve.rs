@@ -143,6 +143,8 @@ fn main() {
             granularity: 64,
             cache_dir: Some(cache_dir.clone()),
             backend: WorkerBackend::SelfExec,
+            checkpoints: false,
+            fault: None,
         },
     )
     .expect("cluster serve succeeds");

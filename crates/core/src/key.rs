@@ -51,6 +51,17 @@ impl ModelKey {
     pub fn to_hex(&self) -> String {
         format!("{:016x}{:016x}", self.0, self.1)
     }
+
+    /// The two 64-bit digest halves, for binary serialization (checkpoint
+    /// frames encode keys as two little-endian `u64`s).
+    pub fn to_parts(&self) -> (u64, u64) {
+        (self.0, self.1)
+    }
+
+    /// Rebuilds a key from its [`to_parts`](Self::to_parts) halves.
+    pub fn from_parts(a: u64, b: u64) -> Self {
+        ModelKey(a, b)
+    }
 }
 
 impl fmt::Display for ModelKey {
@@ -203,6 +214,18 @@ mod tests {
             base,
             ModelKey::for_training(VvdVariant::Current, &cfg, &train, &val2)
         );
+    }
+
+    #[test]
+    fn parts_round_trip() {
+        let key = ModelKey::for_training(
+            VvdVariant::Current,
+            &VvdConfig::quick(),
+            &dataset(2, 0.5),
+            &dataset(1, 0.2),
+        );
+        let (a, b) = key.to_parts();
+        assert_eq!(ModelKey::from_parts(a, b), key);
     }
 
     #[test]

@@ -33,6 +33,12 @@ pub const WORKERS_ENV: &str = "VVD_WORKERS";
 /// (`vvd-net`): the number of worker *processes* a coordinator spawns.
 pub const PROCS_ENV: &str = "VVD_PROCS";
 
+/// Name of the environment variable enabling periodic serve-session
+/// checkpoints: a positive integer is the checkpoint interval in engine
+/// ticks.  Unset (or non-positive/unparsable) means no ambient checkpoint
+/// policy — checkpointing is opt-in, like multi-process serving.
+pub const CHECKPOINT_TICKS_ENV: &str = "VVD_CHECKPOINT_TICKS";
+
 /// `VVD_WORKERS` when explicitly set to a positive integer.
 fn explicit_workers() -> Option<usize> {
     std::env::var(WORKERS_ENV)
@@ -77,6 +83,21 @@ pub fn per_process_worker_budget(procs: usize) -> usize {
     }
 }
 
+/// The ambient checkpoint-interval budget of serving layers:
+/// `VVD_CHECKPOINT_TICKS` when set to a positive integer (the interval in
+/// engine ticks between checkpoint frames), `None` otherwise.
+///
+/// Like the worker budget this is an *environment policy*, so it lives in
+/// this module — the single ambient-environment site the `ambient-env`
+/// lint of `vvd-analyze` permits.  Serving layers treat `None` as
+/// "checkpointing off": a plain run writes no frames.
+pub fn checkpoint_interval() -> Option<u64> {
+    std::env::var(CHECKPOINT_TICKS_ENV)
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .filter(|&n| n >= 1)
+}
+
 fn hardware_parallelism() -> usize {
     std::thread::available_parallelism()
         .map(|n| n.get())
@@ -100,6 +121,18 @@ mod tests {
         // environment does not set it (and must not — ambient env writes
         // would race other tests), so the default must be 1 process.
         assert!(proc_budget() >= 1);
+    }
+
+    #[test]
+    fn checkpoint_interval_is_opt_in() {
+        // The test environment does not set VVD_CHECKPOINT_TICKS (and must
+        // not — ambient env writes would race other tests), so the default
+        // policy is "no checkpointing"; when an operator *does* set it,
+        // the interval is at least one tick.
+        match checkpoint_interval() {
+            None => {}
+            Some(n) => assert!(n >= 1),
+        }
     }
 
     #[test]

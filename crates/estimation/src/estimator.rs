@@ -37,6 +37,7 @@
 
 use crate::cache::{ModelCache, ModelCacheStats};
 use crate::kalman::KalmanChannelEstimator;
+use crate::state::{EstimatorState, StateError};
 use std::cell::RefCell;
 use std::collections::VecDeque;
 use vvd_core::{ModelKey, VvdConfig, VvdDataset, VvdModel, VvdTrainingReport, VvdVariant};
@@ -423,6 +424,41 @@ pub trait ChannelEstimator: Send {
         self.estimate(req)
     }
 
+    /// Exports the estimator's *streaming* state — everything `observe`
+    /// has accumulated since `fit` — as a serializable
+    /// [`EstimatorState`] tree.
+    ///
+    /// Fit products (AR models, trained network weights) are deliberately
+    /// excluded: they are deterministic functions of the training data and
+    /// are rebuilt by re-fitting on resume (VVD weights through the shared
+    /// [`ModelCache`], whose [`ModelKey`] the state records as a
+    /// provenance pin).  The default, for estimators with no streaming
+    /// state, is [`EstimatorState::Stateless`].
+    fn save_state(&self) -> EstimatorState {
+        EstimatorState::Stateless
+    }
+
+    /// Restores previously saved streaming state into this estimator.
+    ///
+    /// Only valid on an estimator that has been fitted the same way as the
+    /// one the state was saved from (same spec, same training data) — the
+    /// checkpoint/resume contract of the serving layer.  Loading validates
+    /// the state's shape against this instance and leaves the estimator
+    /// untouched on error.
+    ///
+    /// # Errors
+    /// [`StateError::Kind`] on a shape mismatch, plus the estimator's own
+    /// dimension/provenance checks.
+    fn load_state(&mut self, state: &EstimatorState) -> Result<(), StateError> {
+        match state {
+            EstimatorState::Stateless => Ok(()),
+            other => Err(StateError::Kind {
+                expected: "stateless",
+                found: other.kind(),
+            }),
+        }
+    }
+
     /// `true` when the *quality* of this estimator's estimates depends on
     /// the camera frames carrying information about the channel (the
     /// VVD family, and combinators that can delegate to it).
@@ -563,6 +599,34 @@ impl ChannelEstimator for Previous {
         }
         Estimate::aligned(self.history.front().expect("non-empty history").clone())
     }
+
+    fn save_state(&self) -> EstimatorState {
+        EstimatorState::Previous {
+            history: self.history.iter().cloned().collect(),
+        }
+    }
+
+    fn load_state(&mut self, state: &EstimatorState) -> Result<(), StateError> {
+        match state {
+            EstimatorState::Previous { history } => {
+                if history.len() > self.lag {
+                    return Err(StateError::Dimension {
+                        context: format!(
+                            "Previous history length {} exceeds lag {}",
+                            history.len(),
+                            self.lag
+                        ),
+                    });
+                }
+                self.history = history.iter().cloned().collect();
+                Ok(())
+            }
+            other => Err(StateError::Kind {
+                expected: "previous",
+                found: other.kind(),
+            }),
+        }
+    }
 }
 
 /// Kalman filtering over an AR(p) tap model of *any* order (the paper's
@@ -612,6 +676,29 @@ impl ChannelEstimator for Kalman {
 
     fn estimate(&mut self, _req: &EstimateRequest<'_>) -> Estimate {
         Estimate::aligned(self.filter().predicted_cir())
+    }
+
+    fn save_state(&self) -> EstimatorState {
+        match &self.filter {
+            Some(filter) => EstimatorState::Kalman {
+                taps: filter.export_states(),
+            },
+            None => EstimatorState::Stateless,
+        }
+    }
+
+    fn load_state(&mut self, state: &EstimatorState) -> Result<(), StateError> {
+        match (state, self.filter.as_mut()) {
+            (EstimatorState::Kalman { taps }, Some(filter)) => filter.import_states(taps),
+            (EstimatorState::Kalman { .. }, None) => Err(StateError::Unfitted {
+                estimator: "Kalman",
+            }),
+            (EstimatorState::Stateless, None) => Ok(()),
+            (other, _) => Err(StateError::Kind {
+                expected: "kalman",
+                found: other.kind(),
+            }),
+        }
     }
 }
 
@@ -708,6 +795,39 @@ impl ChannelEstimator for Vvd {
     fn uses_camera(&self) -> bool {
         true
     }
+
+    fn save_state(&self) -> EstimatorState {
+        EstimatorState::Vvd {
+            key: self.model.as_ref().map(|m| m.key()),
+        }
+    }
+
+    fn load_state(&mut self, state: &EstimatorState) -> Result<(), StateError> {
+        let key_hex = |key: &Option<ModelKey>| match key {
+            Some(k) => k.to_hex(),
+            None => "unfitted".to_string(),
+        };
+        match state {
+            EstimatorState::Vvd { key } => {
+                // The weights already rehydrated through the model cache
+                // when the resumed workload re-fitted; all that is left is
+                // to pin the provenance: a different key means replay
+                // would run a *different* network than the checkpoint saw.
+                let current = self.model.as_ref().map(|m| m.key());
+                if *key != current {
+                    return Err(StateError::ModelKey {
+                        expected: key_hex(key),
+                        found: key_hex(&current),
+                    });
+                }
+                Ok(())
+            }
+            other => Err(StateError::Kind {
+                expected: "vvd",
+                found: other.kind(),
+            }),
+        }
+    }
 }
 
 /// Uses the primary estimator when it produces an estimate and falls back
@@ -795,6 +915,26 @@ impl ChannelEstimator for Fallback {
     fn uses_camera(&self) -> bool {
         self.primary.uses_camera() || self.secondary.uses_camera()
     }
+
+    fn save_state(&self) -> EstimatorState {
+        EstimatorState::Fallback {
+            primary: Box::new(self.primary.save_state()),
+            secondary: Box::new(self.secondary.save_state()),
+        }
+    }
+
+    fn load_state(&mut self, state: &EstimatorState) -> Result<(), StateError> {
+        match state {
+            EstimatorState::Fallback { primary, secondary } => {
+                self.primary.load_state(primary)?;
+                self.secondary.load_state(secondary)
+            }
+            other => Err(StateError::Kind {
+                expected: "fallback",
+                found: other.kind(),
+            }),
+        }
+    }
 }
 
 /// The preamble-based estimate of the packet received `lag` packets earlier
@@ -864,6 +1004,34 @@ impl ChannelEstimator for AgedPreamble {
 
     fn wants_preamble_observations(&self) -> bool {
         self.lag > 0
+    }
+
+    fn save_state(&self) -> EstimatorState {
+        EstimatorState::AgedPreamble {
+            history: self.history.iter().cloned().collect(),
+        }
+    }
+
+    fn load_state(&mut self, state: &EstimatorState) -> Result<(), StateError> {
+        match state {
+            EstimatorState::AgedPreamble { history } => {
+                if history.len() > self.lag {
+                    return Err(StateError::Dimension {
+                        context: format!(
+                            "AgedPreamble history length {} exceeds lag {}",
+                            history.len(),
+                            self.lag
+                        ),
+                    });
+                }
+                self.history = history.iter().cloned().collect();
+                Ok(())
+            }
+            other => Err(StateError::Kind {
+                expected: "aged-preamble",
+                found: other.kind(),
+            }),
+        }
     }
 }
 
@@ -1269,6 +1437,169 @@ mod tests {
         });
         assert!(aged.would_defer(&req));
         assert_eq!(aged.estimate(&req), Estimate::Skip);
+    }
+
+    #[test]
+    fn streaming_state_round_trips_for_stateful_estimators() {
+        let frames = NoFrames;
+        let a = cir(1.0);
+        let b = cir(2.0);
+
+        // Previous: observe two packets, save, load into a fresh fitted
+        // instance, and check the next estimate matches.
+        let mut prev = Previous::packets(2);
+        for c in [&a, &b] {
+            prev.observe(&PacketObservation {
+                perfect_cir: c,
+                aligned_cir: c,
+                preamble_estimate: None,
+            });
+        }
+        let state = prev.save_state();
+        let mut resumed = Previous::packets(2);
+        resumed.load_state(&state).unwrap();
+        assert_eq!(resumed.save_state(), state, "load→save is lossless");
+        let req = request(&frames, &a, None, true);
+        assert_eq!(resumed.estimate(&req), prev.estimate(&req));
+
+        // AgedPreamble: history with a failed-fit hole survives the trip.
+        let mut aged = AgedPreamble::packets(2);
+        for obs in [Some(&b), None] {
+            aged.observe(&PacketObservation {
+                perfect_cir: &a,
+                aligned_cir: &a,
+                preamble_estimate: obs,
+            });
+        }
+        let state = aged.save_state();
+        let mut resumed = AgedPreamble::packets(2);
+        resumed.load_state(&state).unwrap();
+        assert_eq!(resumed.save_state(), state);
+        assert_eq!(resumed.estimate(&req), aged.estimate(&req));
+    }
+
+    #[test]
+    fn nested_fallback_state_round_trips_recursively() {
+        let build = || {
+            Fallback::new(
+                Box::new(Previous::packets(1)),
+                Box::new(Fallback::new(
+                    Box::new(AgedPreamble::packets(1)),
+                    Box::new(Kalman::ar(1)),
+                )),
+            )
+        };
+        let train: Vec<FirFilter> = (0..20).map(|k| cir(1.0 + 0.02 * k as f64)).collect();
+        let ctx = TrainingContext::new(&train);
+        let mut live = build();
+        live.fit(&ctx);
+        let pre = cir(0.5);
+        for c in &train[..5] {
+            live.observe(&PacketObservation {
+                perfect_cir: c,
+                aligned_cir: c,
+                preamble_estimate: Some(&pre),
+            });
+        }
+        let state = live.save_state();
+        assert_eq!(state.kind(), "fallback");
+
+        let mut resumed = build();
+        resumed.fit(&ctx);
+        resumed.load_state(&state).unwrap();
+        assert_eq!(
+            resumed.save_state(),
+            state,
+            "recursive load→save is lossless"
+        );
+
+        let frames = NoFrames;
+        let perfect = cir(3.0);
+        let req = request(&frames, &perfect, None, true);
+        assert_eq!(resumed.estimate(&req), live.estimate(&req));
+    }
+
+    #[test]
+    fn load_state_rejects_mismatched_kinds_and_unfitted_targets() {
+        // Stateless estimators reject stateful snapshots...
+        assert!(matches!(
+            Standard.load_state(&EstimatorState::Kalman { taps: Vec::new() }),
+            Err(StateError::Kind {
+                expected: "stateless",
+                ..
+            })
+        ));
+        // ...and accept the stateless one.
+        assert!(Standard.load_state(&EstimatorState::Stateless).is_ok());
+
+        // A stateful snapshot into the wrong stateful estimator.
+        let mut prev = Previous::packets(1);
+        assert!(matches!(
+            prev.load_state(&EstimatorState::AgedPreamble {
+                history: Vec::new()
+            }),
+            Err(StateError::Kind {
+                expected: "previous",
+                ..
+            })
+        ));
+
+        // A fitted-Kalman snapshot into an unfitted Kalman.
+        let train: Vec<FirFilter> = (0..20).map(|k| cir(1.0 + 0.02 * k as f64)).collect();
+        let mut fitted = Kalman::ar(1);
+        fitted.fit(&TrainingContext::new(&train));
+        let state = fitted.save_state();
+        assert!(matches!(
+            Kalman::ar(1).load_state(&state),
+            Err(StateError::Unfitted {
+                estimator: "Kalman"
+            })
+        ));
+
+        // A history deeper than the lag cannot be loaded.
+        let deep = EstimatorState::Previous {
+            history: vec![cir(1.0), cir(2.0)],
+        };
+        assert!(matches!(
+            Previous::packets(1).load_state(&deep),
+            Err(StateError::Dimension { .. })
+        ));
+    }
+
+    #[test]
+    fn vvd_state_pins_the_model_key() {
+        let ds = tiny_vvd_dataset();
+        let cfg = tiny_vvd_config();
+        let source = FixedSource(ds.clone());
+        let pool = VvdModelPool::new(&cfg, &source);
+        let mut vvd = Vvd::new(VvdVariant::Current);
+        vvd.fit(&TrainingContext::new(&[]).with_vvd(&pool));
+        let state = vvd.save_state();
+        match &state {
+            EstimatorState::Vvd { key: Some(_) } => {}
+            other => panic!("fitted VVD state must carry a key, got {other:?}"),
+        }
+
+        // Same training provenance: the key matches and loading succeeds.
+        let mut same = Vvd::new(VvdVariant::Current);
+        same.fit(&TrainingContext::new(&[]).with_vvd(&pool));
+        same.load_state(&state).unwrap();
+
+        // Different provenance (different config seed): typed mismatch.
+        let mut cfg2 = cfg;
+        cfg2.seed = cfg.seed.wrapping_add(1);
+        let pool2 = VvdModelPool::new(&cfg2, &source);
+        let mut other = Vvd::new(VvdVariant::Current);
+        other.fit(&TrainingContext::new(&[]).with_vvd(&pool2));
+        assert!(matches!(
+            other.load_state(&state),
+            Err(StateError::ModelKey { .. })
+        ));
+        // An unfitted VVD mismatches a fitted snapshot the same way.
+        assert!(matches!(
+            Vvd::new(VvdVariant::Current).load_state(&state),
+            Err(StateError::ModelKey { .. })
+        ));
     }
 
     #[test]

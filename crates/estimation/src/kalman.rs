@@ -8,6 +8,7 @@
 //! decoding packet `k` never looks at packet `k` itself.
 
 use crate::ar::fit_ar_coefficients;
+use crate::state::{KalmanTapState, StateError};
 use vvd_dsp::solve::invert;
 use vvd_dsp::{CMatrix, CVec, Complex, FirFilter};
 
@@ -60,6 +61,57 @@ impl KalmanTapFilter {
     /// The filter's current one-step-ahead prediction of the tap value.
     pub fn predicted(&self) -> Complex {
         self.state[0]
+    }
+
+    /// Exports the filter's streaming state (state estimate, covariance,
+    /// observation history) for checkpointing.  The AR model itself (Φ, Q,
+    /// U) is a fit product and is rebuilt by re-fitting.
+    pub fn export_state(&self) -> KalmanTapState {
+        KalmanTapState {
+            state: self.state.as_slice().to_vec(),
+            cov: self.cov.data().to_vec(),
+            history: self.history.clone(),
+        }
+    }
+
+    /// Restores previously exported streaming state into this (fitted)
+    /// filter.
+    ///
+    /// # Errors
+    /// [`StateError::Dimension`] when the state was exported from a filter
+    /// of a different AR order.
+    pub fn import_state(&mut self, state: &KalmanTapState) -> Result<(), StateError> {
+        if state.state.len() != self.order {
+            return Err(StateError::Dimension {
+                context: format!(
+                    "Kalman state length {} vs AR order {}",
+                    state.state.len(),
+                    self.order
+                ),
+            });
+        }
+        if state.cov.len() != self.order * self.order {
+            return Err(StateError::Dimension {
+                context: format!(
+                    "Kalman covariance length {} vs AR order {}",
+                    state.cov.len(),
+                    self.order
+                ),
+            });
+        }
+        if state.history.len() > self.order {
+            return Err(StateError::Dimension {
+                context: format!(
+                    "Kalman history length {} exceeds AR order {}",
+                    state.history.len(),
+                    self.order
+                ),
+            });
+        }
+        self.state = CVec(state.state.clone());
+        self.cov = CMatrix::from_vec(self.order, self.order, state.cov.clone());
+        self.history = state.history.clone();
+        Ok(())
     }
 
     /// Incorporates the observed (perfect-estimate) tap value for the current
@@ -152,6 +204,33 @@ impl KalmanChannelEstimator {
         FirFilter::new(CVec(self.taps.iter().map(|t| t.predicted()).collect()))
     }
 
+    /// Exports the streaming state of every tap filter, in tap order.
+    pub fn export_states(&self) -> Vec<KalmanTapState> {
+        self.taps.iter().map(|t| t.export_state()).collect()
+    }
+
+    /// Restores previously exported per-tap streaming states into this
+    /// (fitted) estimator.
+    ///
+    /// # Errors
+    /// [`StateError::Dimension`] when the tap count or any per-tap shape
+    /// disagrees with this fit.
+    pub fn import_states(&mut self, states: &[KalmanTapState]) -> Result<(), StateError> {
+        if states.len() != self.taps.len() {
+            return Err(StateError::Dimension {
+                context: format!(
+                    "Kalman tap count {} vs fitted {}",
+                    states.len(),
+                    self.taps.len()
+                ),
+            });
+        }
+        for (tap, state) in self.taps.iter_mut().zip(states) {
+            tap.import_state(state)?;
+        }
+        Ok(())
+    }
+
     /// Feeds the perfect channel estimate of the just-received packet into
     /// the filters and advances the prediction to the next packet.
     pub fn observe(&mut self, perfect_cir: &FirFilter) {
@@ -231,6 +310,49 @@ mod tests {
         let pred = kalman.predicted_cir();
         let err = pred.taps().squared_error(constant.taps()) / constant.energy();
         assert!(err < 0.02, "prediction error ratio {err}");
+    }
+
+    #[test]
+    fn exported_state_round_trips_and_resumes_bit_identically() {
+        let cirs = synthetic_cir_sequence(120, 3);
+        let (train, test) = cirs.split_at(80);
+        let mut live = KalmanChannelEstimator::fit(train, 2);
+        for cir in &test[..20] {
+            live.observe(cir);
+        }
+        let states = live.export_states();
+
+        // A freshly fitted filter that imports the state must continue the
+        // exact same trajectory.
+        let mut resumed = KalmanChannelEstimator::fit(train, 2);
+        resumed.import_states(&states).unwrap();
+        assert_eq!(resumed.export_states(), states, "import→export is lossless");
+        for cir in &test[20..] {
+            live.observe(cir);
+            resumed.observe(cir);
+            assert_eq!(
+                live.predicted_cir(),
+                resumed.predicted_cir(),
+                "resumed filter diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn import_rejects_mismatched_shapes() {
+        let cirs = synthetic_cir_sequence(60, 3);
+        let mut k2 = KalmanChannelEstimator::fit(&cirs, 2);
+        let from_order_1 = KalmanChannelEstimator::fit(&cirs, 1).export_states();
+        assert!(matches!(
+            k2.import_states(&from_order_1),
+            Err(StateError::Dimension { .. })
+        ));
+        let mut short = k2.export_states();
+        short.pop();
+        assert!(matches!(
+            k2.import_states(&short),
+            Err(StateError::Dimension { .. })
+        ));
     }
 
     #[test]

@@ -32,7 +32,11 @@
 //!   [`estimator::VvdModelPool`] resolves trainings through,
 //! * [`registry`] — the pluggable [`EstimatorRegistry`] that builds boxed
 //!   estimators from a [`Technique`] or from a spec string such as
-//!   `"kalman:ar=7"` or `"fallback:preamble,vvd:current"`.
+//!   `"kalman:ar=7"` or `"fallback:preamble,vvd:current"`,
+//! * [`state`] — the serializable [`EstimatorState`] tree that
+//!   [`ChannelEstimator::save_state`]/[`ChannelEstimator::load_state`]
+//!   move streaming estimators in and out of, which is what serve-session
+//!   checkpoints persist.
 //!
 //! The streaming evaluation pipeline that drives boxed estimators over a
 //! simulated measurement campaign lives in `vvd-testbed`.
@@ -49,6 +53,7 @@ pub mod ls;
 pub mod metrics;
 pub mod phase;
 pub mod registry;
+pub mod state;
 pub mod techniques;
 pub mod zf;
 
@@ -64,5 +69,6 @@ pub use ls::{ls_estimate, perfect_estimate, preamble_estimate};
 pub use metrics::{chip_error_rate, mean_squared_error, packet_error_rate};
 pub use phase::align_mean_phase;
 pub use registry::{EstimatorRegistry, SpecError};
+pub use state::{EstimatorState, KalmanTapState, StateError};
 pub use techniques::Technique;
 pub use zf::ZfEqualizer;

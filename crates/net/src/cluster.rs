@@ -33,7 +33,9 @@
 //! published model instead of retraining it.  Serving itself then runs
 //! fully concurrently between tick barriers.
 
-use crate::message::{AssignSessions, AssignedSession, CacheStats, Message, TickBarrier};
+use crate::message::{
+    AssignSessions, AssignedSession, CacheStats, Message, ResumeSessions, TickBarrier,
+};
 use crate::transport::{loopback_pair, ChildTransport, LoopbackTransport, Transport};
 use crate::wire::WireError;
 use crate::worker::{run_worker, WORKER_ARG};
@@ -42,7 +44,9 @@ use std::path::PathBuf;
 use std::process::Command;
 use std::time::Instant;
 use vvd_estimation::ModelCacheStats;
-use vvd_serve::{BatchCounters, LoadGenerator, ServeReport, ServeSpecError, SessionSpec};
+use vvd_serve::{
+    BatchCounters, LoadGenerator, ReportAssemblyError, ServeReport, ServeSpecError, SessionSpec,
+};
 use vvd_testbed::stream::EstimatorTrace;
 use vvd_testbed::EvalConfig;
 
@@ -62,6 +66,19 @@ pub enum WorkerBackend {
     /// `main` — this is how examples and benches become their own worker
     /// fleet without a second binary.
     SelfExec,
+}
+
+/// A deterministic fault injection: kill worker `worker`'s transport once
+/// at least `at_tick` ticks have been offered to it — always at a tick
+/// barrier, so the "crash" lands at the same protocol point on every run.
+/// This is how the resilience tests exercise crash recovery without
+/// nondeterministic signals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InjectedFault {
+    /// Index of the worker to kill.
+    pub worker: usize,
+    /// Cumulative offered-tick threshold at which the kill fires.
+    pub at_tick: u64,
 }
 
 /// Execution options of a cluster serve run.
@@ -84,6 +101,15 @@ pub struct ClusterOptions {
     pub cache_dir: Option<PathBuf>,
     /// Worker materialisation.
     pub backend: WorkerBackend,
+    /// When `true`, every worker ships a checkpoint frame with each
+    /// barrier ack and the coordinator recovers dead workers by
+    /// respawning them and resuming from the last acked checkpoint.
+    /// Defaults to whether `VVD_CHECKPOINT_TICKS` is set (the ambient
+    /// checkpoint policy of [`vvd_dsp::checkpoint_interval`]).
+    pub checkpoints: bool,
+    /// A deterministic fault injection, for testing crash recovery.
+    /// `None` (the default) injects nothing.
+    pub fault: Option<InjectedFault>,
 }
 
 impl Default for ClusterOptions {
@@ -95,6 +121,8 @@ impl Default for ClusterOptions {
             granularity: 64,
             cache_dir: None,
             backend: WorkerBackend::Loopback,
+            checkpoints: vvd_dsp::checkpoint_interval().is_some(),
+            fault: None,
         }
     }
 }
@@ -130,6 +158,9 @@ pub enum ClusterError {
         /// What was violated.
         context: String,
     },
+    /// The collected per-session reports do not merge into one complete
+    /// report (duplicate, missing or misordered session ids).
+    Merge(ReportAssemblyError),
 }
 
 impl fmt::Display for ClusterError {
@@ -146,6 +177,9 @@ impl fmt::Display for ClusterError {
             }
             ClusterError::Protocol { worker, context } => {
                 write!(f, "worker {worker} violated the protocol: {context}")
+            }
+            ClusterError::Merge(e) => {
+                write!(f, "collected session reports do not merge: {e}")
             }
         }
     }
@@ -174,6 +208,25 @@ impl WorkerLink {
         match self {
             WorkerLink::Loopback { transport, .. } => transport,
             WorkerLink::Child(child) => child,
+        }
+    }
+
+    /// Kills the worker mid-protocol (the [`InjectedFault`] hook).  For a
+    /// child process this kills it outright; for a loopback worker the
+    /// coordinator's transport end is swapped for a dead one, so the
+    /// worker thread sees a closed stream and exits — either way the
+    /// coordinator subsequently observes exactly what a real crash looks
+    /// like: sends fail and receives report a broken stream.
+    fn kill(&mut self) {
+        match self {
+            WorkerLink::Loopback { transport, thread } => {
+                let (dead, _) = loopback_pair();
+                // Dropping the old end closes both directions; the worker
+                // thread exits on its next recv and is left detached.
+                *transport = dead;
+                drop(thread.take());
+            }
+            WorkerLink::Child(child) => child.kill(),
         }
     }
 
@@ -302,46 +355,94 @@ pub fn serve_cluster_detailed(
         });
     }
 
+    let checkpoints = options.checkpoints;
+    let mut fault = options.fault;
+
+    // Each worker's assignment is kept verbatim: it is what a replacement
+    // worker receives (inside a ResumeSessions) when the original dies.
+    let assigns: Vec<AssignSessions> = parts
+        .iter()
+        .enumerate()
+        .map(|(w, sessions)| AssignSessions {
+            worker_index: w as u32,
+            shards: options.shards.max(1) as u32,
+            cache_dir: cache_dir.clone(),
+            config_json: config_json.clone(),
+            sessions: sessions.clone(),
+            checkpoints,
+        })
+        .collect();
+
     // Spawn + assign, staggered: wait for each worker's ready ack (fit
     // complete) before assigning the next, so shared-cache trainings
     // never race (module docs).
     let mut links: Vec<WorkerLink> = Vec::with_capacity(workers);
     let mut done: Vec<bool> = Vec::with_capacity(workers);
-    for (w, sessions) in parts.iter().enumerate() {
+    // Last checkpoint frame acked per worker (the resume point), and how
+    // many respawns each worker has left (bounds a crash-looping host).
+    let mut last_frame: Vec<Option<Vec<u8>>> = vec![None; workers];
+    let mut respawns_left: Vec<usize> = vec![MAX_RESPAWNS; workers];
+    for (w, assign) in assigns.iter().enumerate() {
         let mut link = spawn_link(&options.backend)?;
         let transport = link.transport();
         expect_hello(transport.recv(), w)?;
         transport
-            .send(&Message::AssignSessions(AssignSessions {
-                worker_index: w as u32,
-                shards: options.shards.max(1) as u32,
-                cache_dir: cache_dir.clone(),
-                config_json: config_json.clone(),
-                sessions: sessions.clone(),
-            }))
+            .send(&Message::AssignSessions(assign.clone()))
             .map_err(|error| ClusterError::Wire { worker: w, error })?;
-        let ready = expect_barrier(transport.recv(), w)?;
+        let ready = recv_ready(transport, w, checkpoints, &mut last_frame[w])?;
         done.push(ready.done);
         links.push(link);
     }
 
     // Barrier rounds: offer every unfinished worker a tick budget, then
     // collect every ack.  Workers advance concurrently within a round.
+    // A worker whose link dies mid-round (transport error where an ack was
+    // due) is — when checkpoints are on — respawned, handed its original
+    // assignment plus the last checkpoint frame it acked, and replays
+    // forward deterministically; without checkpoints the failure is final.
+    let mut offered: u64 = 0;
     while done.iter().any(|d| !d) {
-        for (w, link) in links.iter_mut().enumerate() {
-            if !done[w] {
-                link.transport()
-                    .send(&Message::TickBarrier(TickBarrier {
-                        ticks: granularity,
-                        done: false,
-                    }))
-                    .map_err(|error| ClusterError::Wire { worker: w, error })?;
+        // Deterministic fault injection, always at a barrier boundary.
+        if let Some(f) = fault {
+            if offered >= f.at_tick && f.worker < links.len() && !done[f.worker] {
+                links[f.worker].kill();
+                fault = None;
             }
         }
+        offered += granularity;
+
         for (w, link) in links.iter_mut().enumerate() {
             if !done[w] {
-                let ack = expect_barrier(link.transport().recv(), w)?;
-                done[w] = ack.done;
+                // A failed send means the link is dead; the recv pass
+                // below observes the same dead link and recovers it.
+                let _ = link.transport().send(&Message::TickBarrier(TickBarrier {
+                    ticks: granularity,
+                    done: false,
+                }));
+            }
+        }
+        for w in 0..links.len() {
+            if done[w] {
+                continue;
+            }
+            match recv_ready(links[w].transport(), w, checkpoints, &mut last_frame[w]) {
+                Ok(ack) => done[w] = ack.done,
+                // Transport/codec death at a barrier: recover when we can.
+                Err(ClusterError::Wire { error, .. }) => {
+                    let (link, ready) = recover_worker(
+                        w,
+                        &options.backend,
+                        &assigns[w],
+                        &mut last_frame[w],
+                        &mut respawns_left[w],
+                        checkpoints,
+                        error,
+                    )?;
+                    links[w] = link;
+                    done[w] = ready.done;
+                }
+                // Worker-reported and protocol errors are not crashes.
+                Err(other) => return Err(other),
             }
         }
     }
@@ -394,19 +495,10 @@ pub fn serve_cluster_detailed(
     }
 
     // Merge in ascending global session order — the single-process order.
+    // Completeness (exactly ids 0..specs.len(), no duplicates, no gaps) is
+    // the report assembler's job now: a session lost to an unrecovered
+    // worker surfaces as a typed merge error, never a mis-zipped report.
     session_reports.sort_by_key(|r| r.id);
-    for (expected, report) in session_reports.iter().enumerate() {
-        if report.id as usize != expected {
-            return Err(ClusterError::Protocol {
-                worker: report.id as usize % workers,
-                context: format!(
-                    "merged session ids are not 0..{} (got {} at position {expected})",
-                    specs.len(),
-                    report.id
-                ),
-            });
-        }
-    }
 
     let meta: Vec<(usize, String, String, usize)> = session_reports
         .iter()
@@ -431,9 +523,85 @@ pub fn serve_cluster_detailed(
         .collect();
 
     Ok(ClusterRun {
-        report: ServeReport::assemble(meta, traces, ticks, batches, model_cache, started.elapsed()),
+        report: ServeReport::assemble_complete(
+            specs.len(),
+            meta,
+            traces,
+            ticks,
+            batches,
+            model_cache,
+            started.elapsed(),
+        )
+        .map_err(ClusterError::Merge)?,
         per_worker,
     })
+}
+
+/// How many times one worker slot may be respawned before its failures
+/// become final — bounds a host that crash-loops faster than it serves.
+const MAX_RESPAWNS: usize = 3;
+
+/// Receives a worker's barrier ack — preceded, when checkpoints are on,
+/// by the checkpoint frame the ack vouches for (stored as the worker's
+/// resume point).
+fn recv_ready(
+    transport: &mut dyn Transport,
+    worker: usize,
+    checkpoints: bool,
+    last_frame: &mut Option<Vec<u8>>,
+) -> Result<TickBarrier, ClusterError> {
+    if checkpoints {
+        match transport.recv() {
+            Ok(Message::CheckpointFrame(checkpoint)) => *last_frame = Some(checkpoint.frame),
+            Ok(Message::Error { message }) => return Err(ClusterError::Worker { worker, message }),
+            Ok(other) => {
+                return Err(ClusterError::Protocol {
+                    worker,
+                    context: format!("expected CheckpointFrame, got {}", other.name()),
+                })
+            }
+            Err(error) => return Err(ClusterError::Wire { worker, error }),
+        }
+    }
+    expect_barrier(transport.recv(), worker)
+}
+
+/// Crash recovery for one worker slot: respawn, hand over the original
+/// assignment plus the last acked checkpoint frame, and wait for the
+/// replacement's ready ack (it replays to the checkpoint tick during its
+/// rebuild — deterministically, so the recovered run's traces are
+/// bit-identical to an uninterrupted one).
+///
+/// Without checkpoints (no resume point is ever collected) or once the
+/// respawn budget is spent, the original transport error is final.
+fn recover_worker(
+    worker: usize,
+    backend: &WorkerBackend,
+    assign: &AssignSessions,
+    last_frame: &mut Option<Vec<u8>>,
+    respawns_left: &mut usize,
+    checkpoints: bool,
+    original: WireError,
+) -> Result<(WorkerLink, TickBarrier), ClusterError> {
+    if !checkpoints || *respawns_left == 0 {
+        return Err(ClusterError::Wire {
+            worker,
+            error: original,
+        });
+    }
+    *respawns_left -= 1;
+
+    let mut link = spawn_link(backend)?;
+    let transport = link.transport();
+    expect_hello(transport.recv(), worker)?;
+    transport
+        .send(&Message::ResumeSessions(ResumeSessions {
+            assign: assign.clone(),
+            frame: last_frame.clone(),
+        }))
+        .map_err(|error| ClusterError::Wire { worker, error })?;
+    let ready = recv_ready(transport, worker, checkpoints, last_frame)?;
+    Ok((link, ready))
 }
 
 fn expect_hello(received: Result<Message, WireError>, worker: usize) -> Result<(), ClusterError> {
@@ -505,6 +673,8 @@ mod tests {
                     granularity: 3,
                     cache_dir: None,
                     backend: WorkerBackend::Loopback,
+                    checkpoints: false,
+                    fault: None,
                 },
             )
             .unwrap();
@@ -546,6 +716,8 @@ mod tests {
                 granularity: 1000,
                 cache_dir: None,
                 backend: WorkerBackend::Loopback,
+                checkpoints: false,
+                fault: None,
             },
         )
         .unwrap();
@@ -581,11 +753,71 @@ mod tests {
                     granularity,
                     cache_dir: None,
                     backend: WorkerBackend::Loopback,
+                    checkpoints: false,
+                    fault: None,
                 },
             )
             .unwrap();
             digests.push(report.digest());
         }
         assert!(digests.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn killed_worker_resumes_from_checkpoint_with_identical_digest() {
+        let cfg = tiny_config();
+        let reference = serve(
+            LoadGenerator::new(cfg).build(&mixed_specs()).unwrap(),
+            &ServeOptions { shards: 1 },
+        );
+        // Kill a worker at several protocol points: before any serving
+        // tick (only the ready-ack checkpoint exists) and mid-stream.
+        for (worker, at_tick) in [(0usize, 0u64), (0, 2), (1, 4)] {
+            let report = serve_cluster(
+                &cfg,
+                &mixed_specs(),
+                &ClusterOptions {
+                    workers: 2,
+                    shards: 1,
+                    granularity: 2,
+                    cache_dir: None,
+                    backend: WorkerBackend::Loopback,
+                    checkpoints: true,
+                    fault: Some(InjectedFault { worker, at_tick }),
+                },
+            )
+            .unwrap();
+            assert_eq!(
+                report.digest(),
+                reference.digest(),
+                "digest diverged after killing worker {worker} at tick {at_tick}"
+            );
+        }
+    }
+
+    #[test]
+    fn a_crash_without_checkpoints_is_final() {
+        let cfg = tiny_config();
+        let err = serve_cluster(
+            &cfg,
+            &mixed_specs(),
+            &ClusterOptions {
+                workers: 2,
+                shards: 1,
+                granularity: 2,
+                cache_dir: None,
+                backend: WorkerBackend::Loopback,
+                checkpoints: false,
+                fault: Some(InjectedFault {
+                    worker: 0,
+                    at_tick: 2,
+                }),
+            },
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, ClusterError::Wire { worker: 0, .. }),
+            "got {err}"
+        );
     }
 }

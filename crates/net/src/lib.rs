@@ -15,8 +15,10 @@
 //!   IEEE-754 bit patterns), and typed [`WireError`]s for every way a
 //!   stream can be truncated, corrupted or oversized — decoding never
 //!   panics and never allocates from an untrusted length.
-//! * [`message`] — the seven-message cluster protocol
-//!   ([`Hello`](message::Hello) … [`Message::Shutdown`]).
+//! * [`message`] — the nine-message cluster protocol
+//!   ([`Hello`](message::Hello) … [`Message::Shutdown`]), including the
+//!   checkpoint/resume pair ([`CheckpointFrame`](message::CheckpointFrame),
+//!   [`ResumeSessions`](message::ResumeSessions)) behind crash recovery.
 //! * [`transport`] — who carries the frames: in-process loopback channel
 //!   pairs, worker-side stdio, coordinator-side child processes.
 //! * [`worker`] / [`cluster`] — the two protocol roles: a worker wraps a
@@ -24,7 +26,11 @@
 //!   session subset; the coordinator ([`serve_cluster`]) partitions
 //!   round-robin, staggers fits so a shared disk model cache trains every
 //!   distinct model exactly once cluster-wide, drives tick barriers and
-//!   merges traces in global session order.
+//!   merges traces in global session order.  With checkpoints on
+//!   ([`ClusterOptions::checkpoints`]), every barrier ack carries a
+//!   checkpoint frame and a worker that dies mid-stream is respawned and
+//!   resumed from its last acked checkpoint — the merged digest is still
+//!   bit-identical to the uninterrupted run.
 //!
 //! Cluster sizing follows `VVD_PROCS` × `VVD_WORKERS`
 //! ([`vvd_dsp::proc_budget`] / [`vvd_dsp::per_process_worker_budget`]).
@@ -42,7 +48,8 @@ pub mod wire;
 pub mod worker;
 
 pub use cluster::{
-    serve_cluster, serve_cluster_detailed, ClusterError, ClusterOptions, ClusterRun, WorkerBackend,
+    serve_cluster, serve_cluster_detailed, ClusterError, ClusterOptions, ClusterRun, InjectedFault,
+    WorkerBackend,
 };
 pub use message::Message;
 pub use transport::{loopback_pair, ChildTransport, StdioTransport, Transport};

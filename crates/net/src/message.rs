@@ -1,6 +1,6 @@
 //! The cluster message set and its [`WireCodec`] encodings.
 //!
-//! Seven messages run the whole coordinator ⇄ worker protocol:
+//! Nine messages run the whole coordinator ⇄ worker protocol:
 //!
 //! | message                    | direction        | meaning                                        |
 //! |----------------------------|------------------|------------------------------------------------|
@@ -11,6 +11,9 @@
 //! | [`CacheStats`]             | worker → coord   | end-of-run model-cache + batching accounting   |
 //! | [`Message::Shutdown`]      | coord → worker   | orderly exit                                   |
 //! | [`Message::Error`]         | both             | typed failure, terminates the peer's run       |
+//! | [`CheckpointFrame`]        | worker → coord   | engine checkpoint frame, sent before each ack  |
+//! | [`ResumeSessions`]         | coord → worker   | re-assignment of a dead worker's sessions plus |
+//! |                            |                  | the last good checkpoint to replay from        |
 //!
 //! Payload encodings are deterministic little-endian ([`WireCodec`]);
 //! floats travel as IEEE-754 bit patterns, so the traces a coordinator
@@ -66,6 +69,10 @@ pub struct AssignSessions {
     pub config_json: String,
     /// The assigned sessions, in ascending global-id order.
     pub sessions: Vec<AssignedSession>,
+    /// When `true`, the worker sends a [`CheckpointFrame`] before every
+    /// barrier ack (the ready ack included), giving the coordinator a
+    /// resume point for crash recovery.
+    pub checkpoints: bool,
 }
 
 /// Coordinator → worker: advance your engine by up to `ticks` ticks.
@@ -113,6 +120,30 @@ pub struct CacheStats {
     pub batches: BatchCounters,
 }
 
+/// An engine checkpoint in transit: the worker's
+/// [`EngineCheckpoint`](vvd_serve::EngineCheckpoint) already encoded as a
+/// self-delimiting `VVDC` frame.  The coordinator keeps it opaque — it
+/// only ever stores the latest frame per worker and hands it back in a
+/// [`ResumeSessions`] — so the checkpoint layout can evolve without the
+/// cluster protocol noticing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointFrame {
+    /// The encoded checkpoint frame.
+    pub frame: Vec<u8>,
+}
+
+/// The coordinator's crash-recovery order: the dead worker's original
+/// assignment plus the last good checkpoint frame to resume from (`None`
+/// when the worker died before its first checkpoint — the replacement
+/// starts from scratch).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResumeSessions {
+    /// The original assignment, verbatim.
+    pub assign: AssignSessions,
+    /// The last checkpoint frame the dead worker acked, if any.
+    pub frame: Option<Vec<u8>>,
+}
+
 /// Every frame that travels between coordinator and worker.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Message {
@@ -133,6 +164,11 @@ pub enum Message {
         /// Human-readable description of what failed.
         message: String,
     },
+    /// An engine checkpoint frame (worker → coordinator, before each
+    /// barrier ack when checkpoints are on).
+    CheckpointFrame(CheckpointFrame),
+    /// Crash recovery: re-assignment plus the checkpoint to resume from.
+    ResumeSessions(ResumeSessions),
 }
 
 impl Message {
@@ -146,6 +182,8 @@ impl Message {
             Message::CacheStats(_) => 5,
             Message::Shutdown => 6,
             Message::Error { .. } => 7,
+            Message::CheckpointFrame(_) => 8,
+            Message::ResumeSessions(_) => 9,
         }
     }
 
@@ -159,6 +197,8 @@ impl Message {
             Message::CacheStats(_) => "CacheStats",
             Message::Shutdown => "Shutdown",
             Message::Error { .. } => "Error",
+            Message::CheckpointFrame(_) => "CheckpointFrame",
+            Message::ResumeSessions(_) => "ResumeSessions",
         }
     }
 
@@ -173,6 +213,8 @@ impl Message {
             Message::CacheStats(m) => m.encode(&mut enc),
             Message::Shutdown => {}
             Message::Error { message } => message.encode(&mut enc),
+            Message::CheckpointFrame(m) => m.encode(&mut enc),
+            Message::ResumeSessions(m) => m.encode(&mut enc),
         }
         enc.into_bytes()
     }
@@ -195,6 +237,8 @@ impl Message {
             7 => Message::Error {
                 message: String::decode(&mut dec)?,
             },
+            8 => Message::CheckpointFrame(CheckpointFrame::decode(&mut dec)?),
+            9 => Message::ResumeSessions(ResumeSessions::decode(&mut dec)?),
             other => return Err(WireError::UnknownKind { found: other }),
         };
         dec.finish()?;
@@ -241,6 +285,7 @@ impl WireCodec for AssignSessions {
         self.cache_dir.encode(enc);
         self.config_json.encode(enc);
         self.sessions.encode(enc);
+        self.checkpoints.encode(enc);
     }
     fn decode(dec: &mut Decoder<'_>) -> Result<Self, WireError> {
         Ok(AssignSessions {
@@ -249,6 +294,31 @@ impl WireCodec for AssignSessions {
             cache_dir: Option::<String>::decode(dec)?,
             config_json: String::decode(dec)?,
             sessions: Vec::<AssignedSession>::decode(dec)?,
+            checkpoints: bool::decode(dec)?,
+        })
+    }
+}
+
+impl WireCodec for CheckpointFrame {
+    fn encode(&self, enc: &mut Encoder) {
+        self.frame.encode(enc);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, WireError> {
+        Ok(CheckpointFrame {
+            frame: Vec::<u8>::decode(dec)?,
+        })
+    }
+}
+
+impl WireCodec for ResumeSessions {
+    fn encode(&self, enc: &mut Encoder) {
+        self.assign.encode(enc);
+        self.frame.encode(enc);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, WireError> {
+        Ok(ResumeSessions {
+            assign: AssignSessions::decode(dec)?,
+            frame: Option::<Vec<u8>>::decode(dec)?,
         })
     }
 }
@@ -377,6 +447,7 @@ mod tests {
                     offset_ticks: 1,
                     combination: 0,
                 }],
+                checkpoints: true,
             }),
             Message::TickBarrier(TickBarrier {
                 ticks: 16,
@@ -419,6 +490,20 @@ mod tests {
             Message::Error {
                 message: "nope".into(),
             },
+            Message::CheckpointFrame(CheckpointFrame {
+                frame: vec![b'V', b'V', b'D', b'C', 1, 0, 0, 0, 0, 0, 255],
+            }),
+            Message::ResumeSessions(ResumeSessions {
+                assign: AssignSessions {
+                    worker_index: 0,
+                    shards: 1,
+                    cache_dir: None,
+                    config_json: "{}".into(),
+                    sessions: vec![],
+                    checkpoints: true,
+                },
+                frame: Some(vec![0xde, 0xad]),
+            }),
         ]
     }
 

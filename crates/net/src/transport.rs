@@ -208,6 +208,18 @@ impl ChildTransport {
         self.writer.take();
         self.child.wait()
     }
+
+    /// Kills the child immediately, mid-protocol — the deterministic
+    /// fault-injection hook behind
+    /// [`InjectedFault`](crate::InjectedFault): the coordinator calls
+    /// this at an exact tick barrier, so a "crash" happens at the same
+    /// protocol point on every run.  After this, `send` reports
+    /// [`WireError::Closed`] and `recv` reports the broken stream.
+    pub fn kill(&mut self) {
+        self.writer.take();
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
 }
 
 impl Drop for ChildTransport {

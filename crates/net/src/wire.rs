@@ -298,6 +298,15 @@ impl WireCodec for bool {
     }
 }
 
+impl WireCodec for u8 {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u8(*self);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, WireError> {
+        dec.take_u8("u8")
+    }
+}
+
 impl WireCodec for u32 {
     fn encode(&self, enc: &mut Encoder) {
         enc.put_u32(*self);

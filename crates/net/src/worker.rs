@@ -14,11 +14,11 @@
 //! cluster-wide: the first worker to need a model trains and publishes it,
 //! every later worker loads it from disk.
 
-use crate::message::{AssignSessions, CacheStats, Hello, Message, TickBarrier};
+use crate::message::{AssignSessions, CacheStats, CheckpointFrame, Hello, Message, TickBarrier};
 use crate::transport::{StdioTransport, Transport};
 use crate::wire::WireError;
 use vvd_estimation::ModelCache;
-use vvd_serve::{LoadGenerator, ServeEngine, ServeOptions, SessionSpec};
+use vvd_serve::{EngineCheckpoint, LoadGenerator, ServeEngine, ServeOptions, SessionSpec};
 use vvd_testbed::EvalConfig;
 
 /// Argument sentinel that switches a self-executing binary into worker
@@ -38,15 +38,18 @@ pub fn run_worker<T: Transport>(transport: &mut T) -> Result<(), WireError> {
         pid: u64::from(std::process::id()),
     }))?;
 
-    let assign = match transport.recv()? {
-        Message::AssignSessions(a) => a,
+    // A fresh assignment or a crash-recovery re-assignment (the original
+    // assignment plus the last good checkpoint frame to replay from).
+    let (assign, resume_frame) = match transport.recv()? {
+        Message::AssignSessions(a) => (a, None),
+        Message::ResumeSessions(resume) => (resume.assign, resume.frame),
         Message::Shutdown => return Ok(()),
         other => {
             return Err(protocol_violation("AssignSessions", &other));
         }
     };
 
-    let mut engine = match build_engine(&assign) {
+    let mut engine = match build_engine(&assign, resume_frame.as_deref()) {
         Ok(engine) => engine,
         Err(message) => {
             transport.send(&Message::Error {
@@ -57,6 +60,12 @@ pub fn run_worker<T: Transport>(transport: &mut T) -> Result<(), WireError> {
     };
 
     // Ready ack: the fit is done (every assigned model trained or loaded).
+    // With checkpoints on, every barrier ack — this one included — is
+    // preceded by a checkpoint frame, so the coordinator always holds a
+    // resume point exactly as fresh as the progress it has acked.
+    if assign.checkpoints {
+        send_checkpoint(transport, &engine)?;
+    }
     transport.send(&Message::TickBarrier(TickBarrier {
         ticks: engine.ticks(),
         done: engine.finished(),
@@ -66,6 +75,9 @@ pub fn run_worker<T: Transport>(transport: &mut T) -> Result<(), WireError> {
         match transport.recv()? {
             Message::TickBarrier(barrier) => {
                 engine.run_ticks(barrier.ticks.max(1));
+                if assign.checkpoints {
+                    send_checkpoint(transport, &engine)?;
+                }
                 transport.send(&Message::TickBarrier(TickBarrier {
                     ticks: engine.ticks(),
                     done: engine.finished(),
@@ -134,8 +146,29 @@ pub fn maybe_run_worker() {
     }
 }
 
-/// Rebuilds the assigned workload slice and wraps it in a stepping engine.
-fn build_engine(assign: &AssignSessions) -> Result<ServeEngine, String> {
+/// Snapshots the engine and ships the frame ahead of a barrier ack.
+fn send_checkpoint<T: Transport>(transport: &mut T, engine: &ServeEngine) -> Result<(), WireError> {
+    match engine.checkpoint() {
+        Ok(checkpoint) => transport.send(&Message::CheckpointFrame(CheckpointFrame {
+            frame: checkpoint.to_frame(),
+        })),
+        Err(e) => {
+            let message = format!("checkpoint failed: {e}");
+            transport.send(&Message::Error {
+                message: message.clone(),
+            })?;
+            Err(WireError::Protocol(message))
+        }
+    }
+}
+
+/// Rebuilds the assigned workload slice and wraps it in a stepping engine
+/// — from scratch, or resumed from a checkpoint frame when recovering a
+/// dead worker's sessions.
+fn build_engine(
+    assign: &AssignSessions,
+    resume_frame: Option<&[u8]>,
+) -> Result<ServeEngine, String> {
     let config: EvalConfig = serde_json::from_str(&assign.config_json)
         .map_err(|e| format!("invalid campaign config: {e}"))?;
 
@@ -165,12 +198,18 @@ fn build_engine(assign: &AssignSessions) -> Result<ServeEngine, String> {
         .build_assigned(&assigned, cache)
         .map_err(|e| format!("workload build failed: {e}"))?;
 
-    Ok(ServeEngine::new(
-        workload,
-        &ServeOptions {
-            shards: assign.shards.max(1) as usize,
-        },
-    ))
+    let options = ServeOptions {
+        shards: assign.shards.max(1) as usize,
+    };
+    match resume_frame {
+        None => Ok(ServeEngine::new(workload, &options)),
+        Some(bytes) => {
+            let checkpoint = EngineCheckpoint::from_frame(bytes)
+                .map_err(|e| format!("checkpoint frame decode failed: {e}"))?;
+            ServeEngine::resume(workload, &options, &checkpoint)
+                .map_err(|e| format!("resume from checkpoint failed: {e}"))
+        }
+    }
 }
 
 fn protocol_violation(expected: &str, got: &Message) -> WireError {

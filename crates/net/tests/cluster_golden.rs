@@ -73,6 +73,8 @@ fn worker_processes_reproduce_the_single_process_digest_at_1_2_and_4() {
                 granularity: 5,
                 cache_dir: Some(cache_dir.clone()),
                 backend: WorkerBackend::Binary(worker_binary()),
+                checkpoints: false,
+                fault: None,
             },
         )
         .unwrap_or_else(|e| panic!("cluster of {workers} worker processes failed: {e}"));

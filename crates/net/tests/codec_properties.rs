@@ -6,7 +6,8 @@
 use proptest::prelude::*;
 use vvd_estimation::ModelCacheStats;
 use vvd_net::message::{
-    AssignSessions, AssignedSession, CacheStats, Hello, Message, SessionReport, TickBarrier,
+    AssignSessions, AssignedSession, CacheStats, CheckpointFrame, Hello, Message, ResumeSessions,
+    SessionReport, TickBarrier,
 };
 use vvd_net::wire::{read_frame, write_frame, WireError, MAX_FRAME_PAYLOAD};
 use vvd_phy::DecodeOutcome;
@@ -31,24 +32,26 @@ fn build_message(selector: usize, words: &[u64], text: &str, flags: (bool, bool)
             .collect();
         vvd_dsp::FirFilter::from_taps(&taps)
     };
-    match selector % 7 {
+    let assign = || AssignSessions {
+        worker_index: word(0) as u32,
+        shards: word(1) as u32,
+        cache_dir: flags.0.then(|| text.to_string()),
+        config_json: text.to_string(),
+        sessions: (0..words.len() % 4)
+            .map(|i| AssignedSession {
+                id: word(i),
+                scenario: text.to_string(),
+                estimator: text.chars().rev().collect(),
+                interval_ticks: word(i + 1),
+                offset_ticks: word(i + 2),
+                combination: word(i + 3),
+            })
+            .collect(),
+        checkpoints: flags.1,
+    };
+    match selector % 9 {
         0 => Message::Hello(Hello { pid: word(0) }),
-        1 => Message::AssignSessions(AssignSessions {
-            worker_index: word(0) as u32,
-            shards: word(1) as u32,
-            cache_dir: flags.0.then(|| text.to_string()),
-            config_json: text.to_string(),
-            sessions: (0..words.len() % 4)
-                .map(|i| AssignedSession {
-                    id: word(i),
-                    scenario: text.to_string(),
-                    estimator: text.chars().rev().collect(),
-                    interval_ticks: word(i + 1),
-                    offset_ticks: word(i + 2),
-                    combination: word(i + 3),
-                })
-                .collect(),
-        }),
+        1 => Message::AssignSessions(assign()),
         2 => Message::TickBarrier(TickBarrier {
             ticks: word(0),
             done: flags.1,
@@ -79,6 +82,15 @@ fn build_message(selector: usize, words: &[u64], text: &str, flags: (bool, bool)
             },
         }),
         5 => Message::Shutdown,
+        6 => Message::CheckpointFrame(CheckpointFrame {
+            frame: (0..words.len() % 6).map(|i| word(i) as u8).collect(),
+        }),
+        7 => Message::ResumeSessions(ResumeSessions {
+            assign: assign(),
+            frame: flags
+                .0
+                .then(|| (0..words.len() % 6).map(|i| word(i) as u8).collect()),
+        }),
         _ => Message::Error {
             message: text.to_string(),
         },
@@ -94,7 +106,7 @@ proptest! {
     /// NaN's `PartialEq`).
     #[test]
     fn messages_round_trip_through_frames_bit_exactly(
-        selector in 0usize..7,
+        selector in 0usize..9,
         words in proptest::collection::vec(any::<u64>(), 1..12),
         text_bytes in proptest::collection::vec(any::<u8>(), 0..40),
         flags in (any::<bool>(), any::<bool>()),
@@ -155,7 +167,7 @@ proptest! {
     /// mid-frame EOF at any byte offset is handled, not panicked on.
     #[test]
     fn every_truncation_of_a_valid_frame_fails_typed(
-        selector in 0usize..7,
+        selector in 0usize..9,
         words in proptest::collection::vec(any::<u64>(), 1..6),
         cut_point in any::<prop::sample::Index>(),
     ) {
@@ -192,7 +204,7 @@ proptest! {
     /// reader/decoder stack; it yields some message or a typed error.
     #[test]
     fn single_byte_corruption_is_handled_totally(
-        selector in 0usize..7,
+        selector in 0usize..9,
         words in proptest::collection::vec(any::<u64>(), 1..6),
         flip_at in any::<prop::sample::Index>(),
         flip_with in 1u8..=255,

@@ -33,6 +33,7 @@
 //! tick barriers — stepping granularity is pure scheduling and invisible
 //! in every trace.
 
+use crate::checkpoint::{CheckpointError, CheckpointStore, EngineCheckpoint};
 use crate::loadgen::Workload;
 use crate::planner::{run_batched_inference, BatchCounters};
 use crate::report::ServeReport;
@@ -80,6 +81,33 @@ pub struct ServeEngine {
     ticks: u64,
     batches: BatchCounters,
     started: Instant,
+    policy: Option<CheckpointPolicy>,
+}
+
+/// The engine's periodic checkpoint policy: write a frame to the store
+/// every `every_ticks` processed ticks.
+struct CheckpointPolicy {
+    store: Box<dyn CheckpointStore>,
+    every_ticks: u64,
+    last_error: Option<CheckpointError>,
+}
+
+/// Snapshots a session store at a tick boundary (free function so the
+/// engine can snapshot while holding `&mut self.policy`).
+fn snapshot(
+    store: &SessionStore,
+    ticks: u64,
+    batches: BatchCounters,
+) -> Result<EngineCheckpoint, CheckpointError> {
+    let mut sessions = Vec::with_capacity(store.sessions().len());
+    for session in store.sessions() {
+        sessions.push(session.checkpoint()?);
+    }
+    Ok(EngineCheckpoint {
+        ticks,
+        batches,
+        sessions,
+    })
 }
 
 impl ServeEngine {
@@ -94,7 +122,73 @@ impl ServeEngine {
             batches: BatchCounters::default(),
             // vvd-allow: wall-clock — observability only; `ServeReport::digest()` excludes timing
             started: Instant::now(),
+            policy: None,
         }
+    }
+
+    /// Enables periodic checkpointing: after every `every_ticks` processed
+    /// ticks (and the value is clamped to ≥ 1) the engine writes a frame
+    /// to `store`.  Checkpoint *write* failures never interrupt serving —
+    /// the durability layer is advisory — but the last error is kept and
+    /// visible through [`checkpoint_error`](Self::checkpoint_error).
+    pub fn with_checkpoints(mut self, store: Box<dyn CheckpointStore>, every_ticks: u64) -> Self {
+        self.policy = Some(CheckpointPolicy {
+            store,
+            every_ticks: every_ticks.max(1),
+            last_error: None,
+        });
+        self
+    }
+
+    /// Snapshots the engine at the current tick boundary.
+    ///
+    /// # Errors
+    /// [`CheckpointError::MidTick`] when any session holds a pending
+    /// packet (cannot happen between [`step_tick`](Self::step_tick)
+    /// calls — ticks are atomic).
+    pub fn checkpoint(&self) -> Result<EngineCheckpoint, CheckpointError> {
+        snapshot(&self.store, self.ticks, self.batches)
+    }
+
+    /// Rebuilds an engine from a freshly built workload and a checkpoint:
+    /// the fit products come from the workload (re-derived
+    /// deterministically or rehydrated through the shared model cache),
+    /// the streaming position from the checkpoint.  The resumed engine's
+    /// remaining run is bit-identical to the uninterrupted one.
+    ///
+    /// # Errors
+    /// [`CheckpointError::SessionCount`] / `SessionMismatch` / `State`
+    /// when the checkpoint does not belong to this workload.
+    pub fn resume(
+        workload: Workload,
+        options: &ServeOptions,
+        checkpoint: &EngineCheckpoint,
+    ) -> Result<Self, CheckpointError> {
+        let mut engine = ServeEngine::new(workload, options);
+        if engine.store.len() != checkpoint.sessions.len() {
+            return Err(CheckpointError::SessionCount {
+                expected: checkpoint.sessions.len(),
+                found: engine.store.len(),
+            });
+        }
+        for (session, ckpt) in engine
+            .store
+            .sessions_mut()
+            .iter_mut()
+            .zip(&checkpoint.sessions)
+        {
+            session.restore(ckpt)?;
+        }
+        engine.ticks = checkpoint.ticks;
+        engine.batches = checkpoint.batches;
+        Ok(engine)
+    }
+
+    /// The last checkpoint-write failure, when periodic checkpointing is
+    /// on and a write failed.  Serving itself is never interrupted by
+    /// durability errors.
+    pub fn checkpoint_error(&self) -> Option<&CheckpointError> {
+        self.policy.as_ref().and_then(|p| p.last_error.as_ref())
     }
 
     /// `true` once every session has streamed all of its packets.
@@ -134,6 +228,20 @@ impl ServeEngine {
         });
 
         self.ticks += 1;
+
+        // Periodic checkpointing, at the just-completed tick boundary.
+        let due = self
+            .policy
+            .as_ref()
+            .is_some_and(|p| self.ticks.is_multiple_of(p.every_ticks));
+        if due {
+            let snap = snapshot(&self.store, self.ticks, self.batches);
+            let policy = self.policy.as_mut().expect("policy presence checked above");
+            if let Err(e) = snap.and_then(|c| policy.store.save(&c)) {
+                policy.last_error = Some(e);
+            }
+        }
+
         true
     }
 
@@ -175,6 +283,7 @@ impl ServeEngine {
             self.cache.stats(),
             wall,
         )
+        .expect("engine sessions are unique and id-ordered by construction")
     }
 }
 
@@ -250,6 +359,115 @@ mod tests {
         // No VVD estimator in the mix: the planner never ran.
         assert_eq!(report.batches.batch_calls, 0);
         assert_eq!(report.batch_occupancy(), 0.0);
+    }
+
+    #[test]
+    fn resume_from_checkpoint_matches_uninterrupted_run() {
+        let cfg = tiny_config();
+        let gen = LoadGenerator::new(cfg);
+        let reference = serve(
+            gen.build(&cheap_specs()).unwrap(),
+            &ServeOptions { shards: 1 },
+        );
+
+        // Interrupt after 5 ticks, snapshot, resume in a fresh engine.
+        let mut first = ServeEngine::new(
+            gen.build(&cheap_specs()).unwrap(),
+            &ServeOptions { shards: 2 },
+        );
+        assert_eq!(first.run_ticks(5), 5);
+        let checkpoint = first.checkpoint().unwrap();
+        drop(first);
+
+        let mut resumed = ServeEngine::resume(
+            gen.build(&cheap_specs()).unwrap(),
+            &ServeOptions { shards: 3 },
+            &checkpoint,
+        )
+        .unwrap();
+        assert_eq!(resumed.ticks(), 5);
+        while resumed.step_tick() {}
+        let report = resumed.finish();
+        assert_eq!(report.digest(), reference.digest());
+        assert_eq!(report.ticks, reference.ticks);
+    }
+
+    #[test]
+    fn periodic_checkpoint_policy_writes_resumable_frames() {
+        use crate::checkpoint::{EngineCheckpoint, MemoryCheckpointStore};
+
+        let cfg = tiny_config();
+        let gen = LoadGenerator::new(cfg);
+        let reference = serve(
+            gen.build(&cheap_specs()).unwrap(),
+            &ServeOptions { shards: 1 },
+        );
+
+        let mut engine = ServeEngine::new(
+            gen.build(&cheap_specs()).unwrap(),
+            &ServeOptions { shards: 2 },
+        )
+        .with_checkpoints(Box::new(MemoryCheckpointStore::new()), 3);
+        assert_eq!(engine.run_ticks(7), 7);
+        assert!(engine.checkpoint_error().is_none());
+
+        // Reach inside: the policy wrote frames at ticks 3 and 6, and the
+        // latest resumes to the same final digest.
+        let store = engine
+            .policy
+            .take()
+            .expect("checkpointing was enabled")
+            .store;
+        let latest = store.load_latest().unwrap().expect("frames were written");
+        assert_eq!(latest.ticks, 6);
+        // Frames survive a byte-level round trip (the wire is what crosses
+        // process boundaries).
+        let latest = EngineCheckpoint::from_frame(&latest.to_frame()).unwrap();
+
+        let mut resumed = ServeEngine::resume(
+            gen.build(&cheap_specs()).unwrap(),
+            &ServeOptions { shards: 1 },
+            &latest,
+        )
+        .unwrap();
+        while resumed.step_tick() {}
+        assert_eq!(resumed.finish().digest(), reference.digest());
+    }
+
+    #[test]
+    fn resume_rejects_a_foreign_checkpoint() {
+        use crate::checkpoint::CheckpointError;
+
+        let cfg = tiny_config();
+        let gen = LoadGenerator::new(cfg);
+        let mut engine = ServeEngine::new(
+            gen.build(&cheap_specs()).unwrap(),
+            &ServeOptions { shards: 1 },
+        );
+        engine.run_ticks(2);
+        let checkpoint = engine.checkpoint().unwrap();
+
+        // Wrong session count.
+        let fewer: Vec<SessionSpec> = cheap_specs().into_iter().take(2).collect();
+        assert!(matches!(
+            ServeEngine::resume(
+                gen.build(&fewer).unwrap(),
+                &ServeOptions { shards: 1 },
+                &checkpoint
+            ),
+            Err(CheckpointError::SessionCount { .. })
+        ));
+
+        // Same count, different workload shape.
+        let swapped: Vec<SessionSpec> = cheap_specs().into_iter().rev().collect();
+        assert!(matches!(
+            ServeEngine::resume(
+                gen.build(&swapped).unwrap(),
+                &ServeOptions { shards: 1 },
+                &checkpoint
+            ),
+            Err(CheckpointError::SessionMismatch { .. })
+        ));
     }
 
     #[test]

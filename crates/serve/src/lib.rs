@@ -25,6 +25,13 @@
 //!   [`predict_batch`](vvd_core::VvdModel::predict_batch) call per
 //!   distinct model, amortising the cost that dominates per-packet CPU
 //!   time.
+//! * [`checkpoint`] — session durability: versioned binary
+//!   [`EngineCheckpoint`] frames carrying every session's *streaming*
+//!   state (cursor, trace, estimator state) across process boundaries,
+//!   with in-memory and on-disk [`CheckpointStore`]s.  Resuming from a
+//!   checkpoint is bit-identical to never having stopped, because fit
+//!   products are re-derived deterministically by the load generator and
+//!   only streaming position is restored.
 //! * [`serve`] / [`ServeReport`] — the tick loop and its accounting:
 //!   per-session PER/CER/MSE, throughput, batch occupancy and model-cache
 //!   counters, plus a stable outcome [`digest`](ServeReport::digest).
@@ -44,6 +51,7 @@
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod checkpoint;
 pub mod engine;
 pub mod loadgen;
 pub mod planner;
@@ -51,9 +59,13 @@ pub mod report;
 pub mod session;
 pub mod store;
 
+pub use checkpoint::{
+    load_checkpoint_file, CheckpointError, CheckpointStore, DirCheckpointStore, EngineCheckpoint,
+    MemoryCheckpointStore, SessionCheckpoint, CHECKPOINT_MAGIC, CHECKPOINT_VERSION,
+};
 pub use engine::{serve, ServeEngine, ServeOptions};
 pub use loadgen::{mixed_session_specs, LoadGenerator, ServeSpecError, Workload};
 pub use planner::BatchCounters;
-pub use report::{ServeReport, SessionReport};
+pub use report::{ReportAssemblyError, ServeReport, SessionReport};
 pub use session::{LinkSession, SessionSpec};
 pub use store::SessionStore;

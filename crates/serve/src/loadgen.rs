@@ -172,6 +172,15 @@ impl LoadGenerator {
     ) -> Result<Workload, ServeSpecError> {
         let subset: Vec<SessionSpec> = assigned.iter().map(|(_, s)| s.clone()).collect();
         self.validate(&subset)?;
+        // Ids must be strictly increasing: the report assembler and the
+        // checkpoint/resume machinery both index sessions by id order, so a
+        // duplicated or shuffled assignment is a structural spec error.
+        if let Some(pair) = assigned.windows(2).find(|pair| pair[1].0 <= pair[0].0) {
+            return Err(ServeSpecError::Session(format!(
+                "assigned session ids must be strictly increasing (got {} after {})",
+                pair[1].0, pair[0].0
+            )));
+        }
         let registry = EstimatorRegistry::new();
         let combos = combinations_for(self.config.n_sets, self.config.n_combinations);
 
@@ -280,6 +289,21 @@ mod tests {
             gen.build(&bad_combo),
             Err(ServeSpecError::Session(_))
         ));
+    }
+
+    #[test]
+    fn assigned_ids_must_be_strictly_increasing() {
+        let gen = LoadGenerator::new(EvalConfig::smoke());
+        let spec = SessionSpec::new("paper", "standard");
+        for bad in [
+            vec![(1, spec.clone()), (1, spec.clone())],
+            vec![(2, spec.clone()), (0, spec.clone())],
+        ] {
+            assert!(matches!(
+                gen.build_assigned(&bad, ModelCache::new()),
+                Err(ServeSpecError::Session(_))
+            ));
+        }
     }
 
     #[test]

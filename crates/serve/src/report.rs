@@ -2,6 +2,7 @@
 //! cache accounting, plus a stable outcome digest.
 
 use crate::planner::BatchCounters;
+use std::error::Error;
 use std::fmt;
 use std::time::Duration;
 use vvd_estimation::metrics::{chip_error_rate, mean_squared_error, packet_error_rate};
@@ -57,6 +58,70 @@ pub struct ServeReport {
     pub wall: Duration,
 }
 
+/// What can make a set of per-session results unassemblable into one
+/// [`ServeReport`].
+///
+/// Before this existed, `assemble` blindly zipped metadata with traces,
+/// so a duplicated or dropped session report (a real hazard once reports
+/// are collected from remote workers) silently mis-attributed every
+/// session after the defect.  Now each defect is a typed error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReportAssemblyError {
+    /// `meta` and `traces` have different lengths.
+    LengthMismatch {
+        /// Metadata tuples supplied.
+        meta: usize,
+        /// Traces supplied.
+        traces: usize,
+    },
+    /// The same session id appears twice.
+    DuplicateSession {
+        /// The repeated id.
+        id: usize,
+    },
+    /// Session ids are not in increasing order.
+    MisorderedSession {
+        /// The id that went backwards.
+        id: usize,
+    },
+    /// A complete assembly (every session of a workload) is missing an id.
+    MissingSession {
+        /// The absent id.
+        id: usize,
+    },
+    /// A complete assembly got the wrong number of sessions.
+    CountMismatch {
+        /// Sessions the workload has.
+        expected: usize,
+        /// Sessions supplied.
+        found: usize,
+    },
+}
+
+impl fmt::Display for ReportAssemblyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReportAssemblyError::LengthMismatch { meta, traces } => {
+                write!(f, "{meta} session metadata tuples but {traces} traces")
+            }
+            ReportAssemblyError::DuplicateSession { id } => {
+                write!(f, "session {id} reported twice")
+            }
+            ReportAssemblyError::MisorderedSession { id } => {
+                write!(f, "session {id} out of order (ids must be increasing)")
+            }
+            ReportAssemblyError::MissingSession { id } => {
+                write!(f, "session {id} missing from the assembled report")
+            }
+            ReportAssemblyError::CountMismatch { expected, found } => {
+                write!(f, "expected {expected} session reports, got {found}")
+            }
+        }
+    }
+}
+
+impl Error for ReportAssemblyError {}
+
 impl ServeReport {
     /// Assembles the report from the drained sessions' traces.
     ///
@@ -66,6 +131,15 @@ impl ServeReport {
     /// one merged report from per-worker traces collected over the wire;
     /// merging in fixed global-session order makes the merged
     /// [`digest`](Self::digest) bit-identical to the in-process run's.
+    ///
+    /// Ids must be strictly increasing but need not be contiguous (a
+    /// single worker's subset of a workload is a legitimate partial
+    /// report); use [`assemble_complete`](Self::assemble_complete) when
+    /// the result must cover a whole workload.
+    ///
+    /// # Errors
+    /// [`ReportAssemblyError`] on mismatched lengths, duplicate ids or
+    /// misordered ids.
     pub fn assemble(
         meta: Vec<(usize, String, String, usize)>,
         traces: Vec<EstimatorTrace>,
@@ -73,7 +147,25 @@ impl ServeReport {
         batches: BatchCounters,
         model_cache: ModelCacheStats,
         wall: Duration,
-    ) -> Self {
+    ) -> Result<Self, ReportAssemblyError> {
+        if meta.len() != traces.len() {
+            return Err(ReportAssemblyError::LengthMismatch {
+                meta: meta.len(),
+                traces: traces.len(),
+            });
+        }
+        let mut prev: Option<usize> = None;
+        for (id, _, _, _) in &meta {
+            match prev {
+                Some(p) if *id == p => {
+                    return Err(ReportAssemblyError::DuplicateSession { id: *id })
+                }
+                Some(p) if *id < p => {
+                    return Err(ReportAssemblyError::MisorderedSession { id: *id })
+                }
+                _ => prev = Some(*id),
+            }
+        }
         let sessions: Vec<SessionReport> = meta
             .into_iter()
             .zip(&traces)
@@ -96,7 +188,7 @@ impl ServeReport {
             .collect();
         let packets_streamed = sessions.iter().map(|s| s.packets_streamed as u64).sum();
         let packets_served = sessions.iter().map(|s| s.packets_scored as u64).sum();
-        ServeReport {
+        Ok(ServeReport {
             sessions,
             traces,
             ticks,
@@ -105,7 +197,49 @@ impl ServeReport {
             batches,
             model_cache,
             wall,
+        })
+    }
+
+    /// Like [`assemble`](Self::assemble), but for a *complete* report over
+    /// a workload of `expected` sessions: additionally requires exactly
+    /// `expected` reports with ids `0..expected` — the invariant the
+    /// cross-process coordinator needs after collecting per-worker reports
+    /// (a crashed worker whose sessions were never recovered shows up here
+    /// as a typed [`ReportAssemblyError::MissingSession`], not as a
+    /// silently mis-zipped report).
+    ///
+    /// # Errors
+    /// Everything [`assemble`](Self::assemble) rejects, plus
+    /// [`ReportAssemblyError::CountMismatch`] and
+    /// [`ReportAssemblyError::MissingSession`].
+    pub fn assemble_complete(
+        expected: usize,
+        meta: Vec<(usize, String, String, usize)>,
+        traces: Vec<EstimatorTrace>,
+        ticks: u64,
+        batches: BatchCounters,
+        model_cache: ModelCacheStats,
+        wall: Duration,
+    ) -> Result<Self, ReportAssemblyError> {
+        if meta.len() != expected {
+            return Err(ReportAssemblyError::CountMismatch {
+                expected,
+                found: meta.len(),
+            });
         }
+        let report = Self::assemble(meta, traces, ticks, batches, model_cache, wall)?;
+        // Ids are now known strictly increasing with exactly `expected` of
+        // them, so at the first position whose id differs from its index
+        // that index is the smallest absent id.
+        if let Some((index, _)) = report
+            .sessions
+            .iter()
+            .enumerate()
+            .find(|(index, s)| s.session_id != *index)
+        {
+            return Err(ReportAssemblyError::MissingSession { id: index });
+        }
+        Ok(report)
     }
 
     /// Mean images per batched NN forward call (see
@@ -224,5 +358,122 @@ impl Fnv {
         self.write_u64(o.chip_errors as u64);
         self.write_u64(o.chip_count as u64);
         self.write_u64(o.symbol_errors as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace(label: &str) -> EstimatorTrace {
+        EstimatorTrace {
+            label: label.into(),
+            scored: Vec::new(),
+            estimates: Vec::new(),
+            truths: Vec::new(),
+            per_packet: Vec::new(),
+        }
+    }
+
+    type Meta = Vec<(usize, String, String, usize)>;
+
+    fn meta_for(ids: &[usize]) -> (Meta, Vec<EstimatorTrace>) {
+        let meta = ids
+            .iter()
+            .map(|&id| (id, "paper".to_string(), format!("est-{id}"), 5))
+            .collect();
+        let traces = ids.iter().map(|&id| trace(&format!("est-{id}"))).collect();
+        (meta, traces)
+    }
+
+    fn assemble_ids(ids: &[usize]) -> Result<ServeReport, ReportAssemblyError> {
+        let (meta, traces) = meta_for(ids);
+        ServeReport::assemble(
+            meta,
+            traces,
+            10,
+            BatchCounters::default(),
+            ModelCacheStats::default(),
+            Duration::ZERO,
+        )
+    }
+
+    fn assemble_complete_ids(
+        expected: usize,
+        ids: &[usize],
+    ) -> Result<ServeReport, ReportAssemblyError> {
+        let (meta, traces) = meta_for(ids);
+        ServeReport::assemble_complete(
+            expected,
+            meta,
+            traces,
+            10,
+            BatchCounters::default(),
+            ModelCacheStats::default(),
+            Duration::ZERO,
+        )
+    }
+
+    #[test]
+    fn assemble_accepts_increasing_possibly_sparse_ids() {
+        // A single worker's subset of a workload is a legitimate partial
+        // report: increasing but non-contiguous ids assemble fine.
+        let report = assemble_ids(&[1, 4, 6]).unwrap();
+        assert_eq!(report.sessions.len(), 3);
+        assert_eq!(report.sessions[1].session_id, 4);
+    }
+
+    #[test]
+    fn assemble_rejects_each_defect_with_a_typed_error() {
+        // Duplicated session report — the exact bug the old blind zip let
+        // through silently.
+        assert_eq!(
+            assemble_ids(&[0, 1, 1, 2]).unwrap_err(),
+            ReportAssemblyError::DuplicateSession { id: 1 }
+        );
+        // Misordered reports.
+        assert_eq!(
+            assemble_ids(&[0, 2, 1]).unwrap_err(),
+            ReportAssemblyError::MisorderedSession { id: 1 }
+        );
+        // Metadata/trace length mismatch.
+        let (meta, mut traces) = meta_for(&[0, 1]);
+        traces.pop();
+        assert_eq!(
+            ServeReport::assemble(
+                meta,
+                traces,
+                10,
+                BatchCounters::default(),
+                ModelCacheStats::default(),
+                Duration::ZERO,
+            )
+            .unwrap_err(),
+            ReportAssemblyError::LengthMismatch { meta: 2, traces: 1 }
+        );
+    }
+
+    #[test]
+    fn assemble_complete_requires_exactly_the_whole_workload() {
+        assert!(assemble_complete_ids(3, &[0, 1, 2]).is_ok());
+        // Too few reports.
+        assert_eq!(
+            assemble_complete_ids(3, &[0, 1]).unwrap_err(),
+            ReportAssemblyError::CountMismatch {
+                expected: 3,
+                found: 2
+            }
+        );
+        // Right count, but a dropped session replaced by a later id — the
+        // smallest absent id is reported.
+        assert_eq!(
+            assemble_complete_ids(3, &[0, 2, 3]).unwrap_err(),
+            ReportAssemblyError::MissingSession { id: 1 }
+        );
+        // Duplicates are still caught by the underlying validation.
+        assert_eq!(
+            assemble_complete_ids(3, &[0, 1, 1]).unwrap_err(),
+            ReportAssemblyError::DuplicateSession { id: 1 }
+        );
     }
 }

@@ -21,6 +21,7 @@
 //! how many other sessions were in flight, in which order packets arrived,
 //! or how many shards the store ran on.
 
+use crate::checkpoint::{CheckpointError, SessionCheckpoint};
 use std::sync::Arc;
 use vvd_core::VvdModel;
 use vvd_dsp::{CVec, FirFilter};
@@ -226,6 +227,81 @@ impl LinkSession {
     /// Consumes the session, returning its trace.
     pub fn into_trace(self) -> EstimatorTrace {
         self.trace
+    }
+
+    /// Snapshots the session's streaming state (cursor, next-due tick,
+    /// accumulated trace, estimator state) as a [`SessionCheckpoint`].
+    ///
+    /// Only valid at a tick boundary: a session holding a
+    /// prepared-but-uncompleted packet cannot be snapshotted (the pending
+    /// half-state is deliberately not serializable).
+    pub(crate) fn checkpoint(&self) -> Result<SessionCheckpoint, CheckpointError> {
+        if self.pending.is_some() {
+            return Err(CheckpointError::MidTick { session: self.id });
+        }
+        Ok(SessionCheckpoint {
+            id: self.id,
+            scenario: self.scenario.clone(),
+            label: self.label.clone(),
+            interval: self.interval,
+            next_due: self.next_due,
+            cursor: self.cursor,
+            estimator: self.estimator.save_state(),
+            trace: self.trace.clone(),
+        })
+    }
+
+    /// Restores a freshly built (and freshly *fitted*) session to the
+    /// checkpointed streaming position.
+    ///
+    /// The checkpoint carries only streaming state; the fit products
+    /// (Kalman AR coefficients, VVD weights) were already re-derived by
+    /// the load generator — deterministically, or rehydrated through the
+    /// model cache — before this runs.  The identity fields pin that the
+    /// rebuilt session really is the checkpointed one.
+    pub(crate) fn restore(&mut self, ckpt: &SessionCheckpoint) -> Result<(), CheckpointError> {
+        let mismatch = |context: String| CheckpointError::SessionMismatch {
+            session: ckpt.id,
+            context,
+        };
+        if self.id != ckpt.id {
+            return Err(mismatch(format!("id {} in the rebuilt workload", self.id)));
+        }
+        if self.scenario != ckpt.scenario {
+            return Err(mismatch(format!(
+                "scenario {:?} vs checkpointed {:?}",
+                self.scenario, ckpt.scenario
+            )));
+        }
+        if self.label != ckpt.label || self.trace.label != ckpt.trace.label {
+            return Err(mismatch(format!(
+                "label {:?} vs checkpointed {:?}",
+                self.label, ckpt.label
+            )));
+        }
+        if self.interval != ckpt.interval {
+            return Err(mismatch(format!(
+                "interval {} vs checkpointed {}",
+                self.interval, ckpt.interval
+            )));
+        }
+        if ckpt.cursor > self.total_packets() {
+            return Err(mismatch(format!(
+                "cursor {} beyond the campaign's {} test packets",
+                ckpt.cursor,
+                self.total_packets()
+            )));
+        }
+        self.estimator
+            .load_state(&ckpt.estimator)
+            .map_err(|error| CheckpointError::State {
+                session: ckpt.id,
+                error,
+            })?;
+        self.next_due = ckpt.next_due;
+        self.cursor = ckpt.cursor;
+        self.trace = ckpt.trace.clone();
+        Ok(())
     }
 
     /// Phase 1 of serving the due packet: regenerate its waveform, fit the

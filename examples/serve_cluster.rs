@@ -77,6 +77,8 @@ fn main() {
                 granularity: 16,
                 cache_dir: Some(cache_dir.clone()),
                 backend: WorkerBackend::SelfExec,
+                checkpoints: false,
+                fault: None,
             },
         )
         .expect("cluster serve succeeds");

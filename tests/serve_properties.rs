@@ -137,6 +137,8 @@ proptest! {
                 granularity,
                 cache_dir: None,
                 backend: WorkerBackend::Loopback,
+                checkpoints: false,
+                fault: None,
             },
         )
         .unwrap();
