@@ -1,8 +1,19 @@
 //! Fixture: an ambient env read outside the designated config modules.
+//! Registered variables (`VVD_WORKERS`, `VVD_PIPELINE`, `VVD_AUTOTUNE_DIR`)
+//! get no dispensation: the allowlist is the *module that owns the read*,
+//! never the variable name.
 
 pub fn workers() -> usize {
     std::env::var("VVD_WORKERS")
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(1)
+}
+
+pub fn pipeline() -> bool {
+    std::env::var("VVD_PIPELINE").is_ok()
+}
+
+pub fn autotune_dir() -> Option<String> {
+    std::env::var("VVD_AUTOTUNE_DIR").ok()
 }

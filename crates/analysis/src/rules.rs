@@ -121,6 +121,11 @@ pub struct Config {
     /// Crates whose whole purpose is wall-clock measurement — rule
     /// `wall-clock` does not apply.
     pub bench_crates: Vec<String>,
+    /// The designated observability-timing modules outside the bench
+    /// crates (workspace-relative paths) — rule `wall-clock` does not
+    /// apply.  Each entry quarantines wall-clock reads behind one audited
+    /// type whose output is report-only (never fed into digests).
+    pub timing_modules: Vec<String>,
 }
 
 impl Default for Config {
@@ -141,7 +146,9 @@ impl Default for Config {
             .map(str::to_string)
             .to_vec(),
             env_modules: [
-                // VVD_WORKERS — the one worker-budget knob.
+                // VVD_WORKERS / VVD_PROCS / VVD_CHECKPOINT_TICKS /
+                // VVD_PIPELINE / VVD_AUTOTUNE_DIR — the execution-policy
+                // knobs.
                 "crates/dsp/src/workers.rs",
                 // VVD_BENCH_PRESET — bench campaign scale.
                 "crates/bench/src/lib.rs",
@@ -151,6 +158,17 @@ impl Default for Config {
             .map(str::to_string)
             .to_vec(),
             bench_crates: vec!["bench".to_string()],
+            timing_modules: [
+                // GEMM autotune sweeps: wall time picks tile sizes, every
+                // candidate is bit-identical, so speed never leaks into
+                // results.
+                "crates/nn/src/kernels/autotune.rs",
+                // The serve engine's phase stopwatch: report-only
+                // dsp/infer/overlap timings, excluded from digests.
+                "crates/serve/src/timing.rs",
+            ]
+            .map(str::to_string)
+            .to_vec(),
         }
     }
 }
@@ -203,7 +221,9 @@ pub fn analyze_source(rel_path: &str, source: &str, cfg: &Config) -> Vec<Finding
     if !cfg.env_modules.iter().any(|m| m == rel_path) {
         check_ambient_env(rel_path, &unit, &mut findings);
     }
-    if !cfg.bench_crates.contains(&ctx.crate_name) {
+    if !cfg.bench_crates.contains(&ctx.crate_name)
+        && !cfg.timing_modules.iter().any(|m| m == rel_path)
+    {
         check_wall_clock(rel_path, &unit, &mut findings);
     }
     check_ambient_entropy(rel_path, &unit, &mut findings);
@@ -609,6 +629,50 @@ mod tests {
             "fn f() { let _t = std::time::Instant::now(); }\n"
         )
         .is_empty());
+    }
+
+    #[test]
+    fn instant_now_in_timing_module_is_fine() {
+        assert!(run(
+            "crates/serve/src/timing.rs",
+            "fn f() { let _t = std::time::Instant::now(); }\n"
+        )
+        .is_empty());
+        assert!(run(
+            "crates/nn/src/kernels/autotune.rs",
+            "fn f() { let _t = std::time::Instant::now(); }\n"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn timing_module_allowlist_is_exact_path_match() {
+        // A sibling file in the same directory gets no timing dispensation.
+        let f = run(
+            "crates/serve/src/engine.rs",
+            "fn f() { let _t = std::time::Instant::now(); }\n",
+        );
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::WallClock);
+    }
+
+    #[test]
+    fn pipeline_env_read_outside_workers_module_fires() {
+        // VVD_PIPELINE / VVD_AUTOTUNE_DIR are owned by
+        // crates/dsp/src/workers.rs; a stray read anywhere else is an
+        // ambient-env violation regardless of the variable's name.
+        let f = run(
+            "crates/serve/src/engine.rs",
+            "fn f() -> bool { std::env::var(\"VVD_PIPELINE\").is_ok() }\n",
+        );
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::AmbientEnv);
+        let f = run(
+            "crates/nn/src/kernels/autotune.rs",
+            "fn f() -> bool { std::env::var(\"VVD_AUTOTUNE_DIR\").is_ok() }\n",
+        );
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::AmbientEnv);
     }
 
     #[test]

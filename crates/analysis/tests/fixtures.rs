@@ -85,6 +85,34 @@ fn allowed_fixtures_are_waived() {
 }
 
 #[test]
+fn every_registered_env_var_fires_when_read_outside_its_module() {
+    // VVD_WORKERS, VVD_PIPELINE and VVD_AUTOTUNE_DIR are all registered to
+    // crates/dsp/src/workers.rs — reading any of them from unregistered
+    // code is one finding per read site.
+    let findings = run(Rule::AmbientEnv, "violating.rs");
+    let env_findings = findings
+        .iter()
+        .filter(|f| f.rule == Rule::AmbientEnv)
+        .count();
+    assert_eq!(
+        env_findings, 3,
+        "expected one ambient-env finding per registered-variable read; got: {findings:#?}"
+    );
+}
+
+#[test]
+fn timing_module_dispensation_does_not_extend_to_fixture_paths() {
+    // The wall-clock fixture scans under crates/serve/src/fixture.rs —
+    // adjacent to the allowlisted crates/serve/src/timing.rs — and must
+    // still fire: the timing allowlist is exact-path, not per-directory.
+    let findings = run(Rule::WallClock, "violating.rs");
+    assert!(
+        findings.iter().any(|f| f.rule == Rule::WallClock),
+        "wall-clock fixture no longer fires: {findings:#?}"
+    );
+}
+
+#[test]
 fn violating_fixtures_fire_at_real_spans() {
     // Findings must point into the fixture, not at synthetic positions
     // (attr-drift anchors the crate root's first line by design).

@@ -5,8 +5,15 @@
 //! The forward/backward targets exercise the blocked-GEMM + batched-im2col
 //! kernels on the quick-preset architecture; the cache targets show what a
 //! content-addressed hit saves relative to retraining the same provenance.
+//!
+//! The binary also snapshots the GEMM autotuner: for one representative
+//! shape class per orientation it sweeps every candidate tile
+//! (`autotune::tune_now`), then times the default tiles against the
+//! sweep's winner.  Set `VVD_BENCH_JSON=<path>` to write the comparison as
+//! a JSON snapshot (`BENCH_nn.json` at the repo root is the committed
+//! reference of the tiny preset).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use vvd_core::{build_vvd_cnn, ModelKey, VvdConfig, VvdDataset, VvdModel, VvdSample, VvdVariant};
@@ -136,9 +143,128 @@ fn bench_model_cache(c: &mut Criterion) {
     });
 }
 
+/// One tuned-vs-default autotune comparison, ready for the JSON snapshot.
+struct TunedShape {
+    op: &'static str,
+    m: usize,
+    k: usize,
+    n: usize,
+    tiles: vvd_nn::kernels::autotune::GemmTiles,
+    default_ms: f64,
+    tuned_ms: f64,
+}
+
+/// Sweeps the autotuner on one representative shape per GEMM orientation
+/// (sizes the serve path's batched forward/backward passes make hot) and
+/// times the default tiles against each sweep winner.
+fn autotune_snapshot() -> Vec<TunedShape> {
+    use vvd_nn::kernels::autotune::{tune_now, GemmOp, DEFAULT_TILES};
+    use vvd_nn::kernels::{gemm_at_tiled, gemm_bt_tiled, gemm_tiled};
+
+    let shapes = [
+        (GemmOp::Nn, "nn", 16usize, 512usize, 256usize),
+        (GemmOp::At, "at", 256, 16, 512),
+        (GemmOp::Bt, "bt", 16, 256, 512),
+    ];
+    let mut rows = Vec::new();
+    for (op, name, m, k, n) in shapes {
+        let (a_len, b_len) = match op {
+            GemmOp::Nn => (m * k, k * n),
+            GemmOp::At => (k * m, k * n),
+            GemmOp::Bt => (m * k, n * k),
+        };
+        let a: Vec<f32> = (0..a_len).map(|i| ((i as f32) * 0.29).sin()).collect();
+        let b: Vec<f32> = (0..b_len).map(|i| ((i as f32) * 0.41).cos()).collect();
+        let tiles = tune_now(op, m, k, n);
+        let time = |t| {
+            let mut best = std::time::Duration::MAX;
+            for _ in 0..3 {
+                let start = std::time::Instant::now();
+                let c = match op {
+                    GemmOp::Nn => gemm_tiled(&a, &b, m, k, n, t),
+                    GemmOp::At => gemm_at_tiled(&a, &b, m, k, n, t),
+                    GemmOp::Bt => gemm_bt_tiled(&a, &b, m, k, n, t),
+                };
+                let elapsed = start.elapsed();
+                std::hint::black_box(c);
+                best = best.min(elapsed);
+            }
+            best.as_secs_f64() * 1e3
+        };
+        let default_ms = time(DEFAULT_TILES);
+        let tuned_ms = time(tiles);
+        println!(
+            "autotune {name} {m}x{k}x{n}: default {default_ms:.3}ms, tuned {tuned_ms:.3}ms \
+             (row_block {}, col_block {})",
+            tiles.row_block, tiles.col_block,
+        );
+        rows.push(TunedShape {
+            op: name,
+            m,
+            k,
+            n,
+            tiles,
+            default_ms,
+            tuned_ms,
+        });
+    }
+    rows
+}
+
+fn write_snapshot(rows: &[TunedShape]) {
+    let Ok(path) = std::env::var("VVD_BENCH_JSON") else {
+        return;
+    };
+    let entries: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                concat!(
+                    "    {{\n",
+                    "      \"op\": {op:?},\n",
+                    "      \"m\": {m},\n",
+                    "      \"k\": {k},\n",
+                    "      \"n\": {n},\n",
+                    "      \"row_block\": {row},\n",
+                    "      \"col_block\": {col},\n",
+                    "      \"default_ms\": {default_ms:.3},\n",
+                    "      \"tuned_ms\": {tuned_ms:.3}\n",
+                    "    }}"
+                ),
+                op = r.op,
+                m = r.m,
+                k = r.k,
+                n = r.n,
+                row = r.tiles.row_block,
+                col = r.tiles.col_block,
+                default_ms = r.default_ms,
+                tuned_ms = r.tuned_ms,
+            )
+        })
+        .collect();
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"nn\",\n",
+            "  \"preset\": {preset:?},\n",
+            "  \"autotune\": [\n{entries}\n  ]\n",
+            "}}\n"
+        ),
+        preset = std::env::var("VVD_BENCH_PRESET").unwrap_or_else(|_| "tiny".to_string()),
+        entries = entries.join(",\n"),
+    );
+    std::fs::write(&path, json).expect("snapshot path is writable");
+    println!("wrote snapshot to {path}");
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
     targets = bench_forward_backward, bench_train_epoch, bench_model_cache
 }
-criterion_main!(benches);
+
+fn main() {
+    let rows = autotune_snapshot();
+    write_snapshot(&rows);
+    benches();
+}

@@ -107,6 +107,13 @@ pub struct ClusterOptions {
     /// Defaults to whether `VVD_CHECKPOINT_TICKS` is set (the ambient
     /// checkpoint policy of [`vvd_dsp::checkpoint_interval`]).
     pub checkpoints: bool,
+    /// Whether worker engines run the double-buffered tick pipeline
+    /// (`ServeOptions::pipeline`).  Defaults to
+    /// [`vvd_dsp::pipeline_enabled`] *in the coordinator*, and is pinned
+    /// into every worker's assignment so the cluster never mixes ambient
+    /// per-process defaults.  Pure scheduling: digests are identical
+    /// either way, at every cluster size.
+    pub pipeline: bool,
     /// A deterministic fault injection, for testing crash recovery.
     /// `None` (the default) injects nothing.
     pub fault: Option<InjectedFault>,
@@ -122,6 +129,7 @@ impl Default for ClusterOptions {
             cache_dir: None,
             backend: WorkerBackend::Loopback,
             checkpoints: vvd_dsp::checkpoint_interval().is_some(),
+            pipeline: vvd_dsp::pipeline_enabled(),
             fault: None,
         }
     }
@@ -370,6 +378,7 @@ pub fn serve_cluster_detailed(
             config_json: config_json.clone(),
             sessions: sessions.clone(),
             checkpoints,
+            pipeline: options.pipeline,
         })
         .collect();
 
@@ -661,7 +670,10 @@ mod tests {
         let cfg = tiny_config();
         let reference = serve(
             LoadGenerator::new(cfg).build(&mixed_specs()).unwrap(),
-            &ServeOptions { shards: 1 },
+            &ServeOptions {
+                shards: 1,
+                ..ServeOptions::default()
+            },
         );
         for workers in [1usize, 2, 3, 5, 7] {
             let report = serve_cluster(
@@ -674,6 +686,7 @@ mod tests {
                     cache_dir: None,
                     backend: WorkerBackend::Loopback,
                     checkpoints: false,
+                    pipeline: vvd_dsp::pipeline_enabled(),
                     fault: None,
                 },
             )
@@ -705,7 +718,10 @@ mod tests {
         ];
         let reference = serve(
             LoadGenerator::new(cfg).build(&specs).unwrap(),
-            &ServeOptions { shards: 1 },
+            &ServeOptions {
+                shards: 1,
+                ..ServeOptions::default()
+            },
         );
         let run = serve_cluster_detailed(
             &cfg,
@@ -717,6 +733,7 @@ mod tests {
                 cache_dir: None,
                 backend: WorkerBackend::Loopback,
                 checkpoints: false,
+                pipeline: vvd_dsp::pipeline_enabled(),
                 fault: None,
             },
         )
@@ -754,6 +771,7 @@ mod tests {
                     cache_dir: None,
                     backend: WorkerBackend::Loopback,
                     checkpoints: false,
+                    pipeline: vvd_dsp::pipeline_enabled(),
                     fault: None,
                 },
             )
@@ -768,7 +786,10 @@ mod tests {
         let cfg = tiny_config();
         let reference = serve(
             LoadGenerator::new(cfg).build(&mixed_specs()).unwrap(),
-            &ServeOptions { shards: 1 },
+            &ServeOptions {
+                shards: 1,
+                ..ServeOptions::default()
+            },
         );
         // Kill a worker at several protocol points: before any serving
         // tick (only the ready-ack checkpoint exists) and mid-stream.
@@ -783,6 +804,7 @@ mod tests {
                     cache_dir: None,
                     backend: WorkerBackend::Loopback,
                     checkpoints: true,
+                    pipeline: vvd_dsp::pipeline_enabled(),
                     fault: Some(InjectedFault { worker, at_tick }),
                 },
             )
@@ -808,6 +830,7 @@ mod tests {
                 cache_dir: None,
                 backend: WorkerBackend::Loopback,
                 checkpoints: false,
+                pipeline: vvd_dsp::pipeline_enabled(),
                 fault: Some(InjectedFault {
                     worker: 0,
                     at_tick: 2,

@@ -73,6 +73,11 @@ pub struct AssignSessions {
     /// barrier ack (the ready ack included), giving the coordinator a
     /// resume point for crash recovery.
     pub checkpoints: bool,
+    /// Whether the worker's engine runs the double-buffered tick pipeline
+    /// (`ServeOptions::pipeline`).  Pure scheduling — the setting cannot
+    /// change any reported bit — but the coordinator pins it explicitly so
+    /// a cluster never mixes ambient per-process env defaults.
+    pub pipeline: bool,
 }
 
 /// Coordinator → worker: advance your engine by up to `ticks` ticks.
@@ -286,6 +291,7 @@ impl WireCodec for AssignSessions {
         self.config_json.encode(enc);
         self.sessions.encode(enc);
         self.checkpoints.encode(enc);
+        self.pipeline.encode(enc);
     }
     fn decode(dec: &mut Decoder<'_>) -> Result<Self, WireError> {
         Ok(AssignSessions {
@@ -295,6 +301,7 @@ impl WireCodec for AssignSessions {
             config_json: String::decode(dec)?,
             sessions: Vec::<AssignedSession>::decode(dec)?,
             checkpoints: bool::decode(dec)?,
+            pipeline: bool::decode(dec)?,
         })
     }
 }
@@ -448,6 +455,7 @@ mod tests {
                     combination: 0,
                 }],
                 checkpoints: true,
+                pipeline: true,
             }),
             Message::TickBarrier(TickBarrier {
                 ticks: 16,
@@ -501,6 +509,7 @@ mod tests {
                     config_json: "{}".into(),
                     sessions: vec![],
                     checkpoints: true,
+                    pipeline: false,
                 },
                 frame: Some(vec![0xde, 0xad]),
             }),

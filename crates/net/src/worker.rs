@@ -200,6 +200,7 @@ fn build_engine(
 
     let options = ServeOptions {
         shards: assign.shards.max(1) as usize,
+        pipeline: assign.pipeline,
     };
     match resume_frame {
         None => Ok(ServeEngine::new(workload, &options)),

@@ -48,6 +48,7 @@ fn build_message(selector: usize, words: &[u64], text: &str, flags: (bool, bool)
             })
             .collect(),
         checkpoints: flags.1,
+        pipeline: flags.0,
     };
     match selector % 9 {
         0 => Message::Hello(Hello { pid: word(0) }),

@@ -54,7 +54,10 @@ fn a_killed_worker_process_is_resumed_with_an_identical_digest_at_1_2_and_4() {
     let specs = mixed_specs();
     let reference = serve(
         LoadGenerator::new(cfg).build(&specs).unwrap(),
-        &ServeOptions { shards: 1 },
+        &ServeOptions {
+            shards: 1,
+            ..ServeOptions::default()
+        },
     );
 
     for (workers, at_tick) in [(1usize, 2u64), (2, 2), (2, 4), (4, 2)] {
@@ -69,6 +72,7 @@ fn a_killed_worker_process_is_resumed_with_an_identical_digest_at_1_2_and_4() {
                 cache_dir: Some(cache_dir.clone()),
                 backend: WorkerBackend::Binary(worker_binary()),
                 checkpoints: true,
+                pipeline: vvd_dsp::pipeline_enabled(),
                 fault: Some(InjectedFault { worker: 0, at_tick }),
             },
         )
@@ -100,7 +104,10 @@ fn checkpoints_are_harmless_when_no_fault_fires() {
     let specs = mixed_specs();
     let reference = serve(
         LoadGenerator::new(cfg).build(&specs).unwrap(),
-        &ServeOptions { shards: 1 },
+        &ServeOptions {
+            shards: 1,
+            ..ServeOptions::default()
+        },
     );
     let report = serve_cluster(
         &cfg,
@@ -112,6 +119,7 @@ fn checkpoints_are_harmless_when_no_fault_fires() {
             cache_dir: None,
             backend: WorkerBackend::Binary(worker_binary()),
             checkpoints: true,
+            pipeline: vvd_dsp::pipeline_enabled(),
             fault: None,
         },
     )
@@ -133,6 +141,7 @@ fn a_killed_worker_process_without_checkpoints_is_a_final_wire_error() {
             cache_dir: None,
             backend: WorkerBackend::Binary(worker_binary()),
             checkpoints: false,
+            pipeline: vvd_dsp::pipeline_enabled(),
             fault: Some(InjectedFault {
                 worker: 1,
                 at_tick: 2,

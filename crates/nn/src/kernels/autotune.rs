@@ -1,0 +1,362 @@
+//! Measured GEMM block-size selection, memoized per shape class.
+//!
+//! PR 4 picked the GEMM block sizes (`ROW_BLOCK = 32`, `COL_BLOCK = 256`)
+//! by eye; this module picks them by *measurement*.  Each distinct GEMM
+//! shape class — the op kind plus a bucketed problem shape — is swept once
+//! per process across a small candidate set, the fastest candidate wins,
+//! and the winner is memoized in a process-wide table (plus an optional
+//! on-disk layer under `VVD_AUTOTUNE_DIR`, so a fleet of worker processes
+//! sweeps each class once cluster-wide instead of once per process).
+//!
+//! ## Why tuning is determinism-safe
+//!
+//! Tile sizes only partition the *output*: every output element is still
+//! produced by one straight, ascending-`k` accumulation chain from a
+//! `+0.0` start, identical for every candidate (see the
+//! [`super`] module docs).  The sweep therefore picks *speed*, never
+//! *values* — which is exactly why the winner may legitimately differ from
+//! machine to machine and run to run while every digest stays bit-stable.
+//! The kernel proptests pin this: all candidate tiles must be bit-identical
+//! to the naive references on randomized shapes.
+//!
+//! ## Wall-clock containment
+//!
+//! This is one of the two modules in the workspace allowed to read the
+//! wall clock outside bench code (`vvd-analyze`'s `timing-modules`
+//! allowlist): timing here only ever selects among bit-identical
+//! schedules, so it cannot leak into results.
+
+use std::collections::BTreeMap;
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+use super::gemm::{gemm_at_tiled, gemm_bt_tiled, gemm_tiled, COL_BLOCK, ROW_BLOCK};
+
+/// Block sizes for one GEMM invocation: how the output is partitioned.
+///
+/// Every field choice yields bit-identical results (tiles only partition
+/// the output; accumulation order per element is fixed) — the struct is
+/// purely a speed knob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct GemmTiles {
+    /// Row-tile height used by the dot-product (`Bᵀ`) kernel.
+    pub row_block: usize,
+    /// Column-panel width used by the streaming (`NN`/`AᵀB`) kernels.
+    pub col_block: usize,
+}
+
+/// The hand-picked PR 4 block sizes — the fallback when a shape is too
+/// small to be worth sweeping, and the baseline the bench snapshot
+/// compares tuned winners against.
+pub const DEFAULT_TILES: GemmTiles = GemmTiles {
+    row_block: ROW_BLOCK,
+    col_block: COL_BLOCK,
+};
+
+/// Which GEMM kernel a shape class belongs to — the three kernels stream
+/// memory differently, so they are tuned independently.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum GemmOp {
+    /// `C = A · B` (forward / im2col batched path).
+    Nn,
+    /// `C = Aᵀ · B` (backward data path).
+    At,
+    /// `C = A · Bᵀ` (backward weight / dot-product path).
+    Bt,
+}
+
+impl GemmOp {
+    /// Stable lowercase name, used in disk-layer file names and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            GemmOp::Nn => "nn",
+            GemmOp::At => "at",
+            GemmOp::Bt => "bt",
+        }
+    }
+}
+
+/// A memoization key: the op kind plus the problem shape with the batch
+/// dimension `m` bucketed to its next power of two (serve batch sizes
+/// wobble tick to tick; `k`/`n` come from the model geometry and are
+/// stable).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct ShapeClass {
+    /// Kernel kind.
+    pub op: GemmOp,
+    /// `m` rounded up to a power of two (the sweep measures at this size).
+    pub m_bucket: usize,
+    /// Exact inner dimension.
+    pub k: usize,
+    /// Exact output columns.
+    pub n: usize,
+}
+
+/// Problems below this many multiply-adds are not worth sweeping: the
+/// kernel finishes in microseconds and every candidate ties, so the
+/// default tiles are used without measurement.
+const MIN_TUNE_WORK: usize = 1 << 21;
+
+/// Timed repetitions per candidate; the minimum is kept (least-noise
+/// estimator for a deterministic workload).
+const SWEEP_REPS: usize = 2;
+
+/// The candidate tile set for one kernel kind.  The first entry is
+/// [`DEFAULT_TILES`], so a sweep can only ever *improve* on the hand-picked
+/// sizes (ties keep the earliest — i.e. default — candidate).
+pub fn candidates(op: GemmOp) -> Vec<GemmTiles> {
+    match op {
+        // The NN / AᵀB kernels stream column panels; sweep the panel width.
+        GemmOp::Nn | GemmOp::At => [256usize, 64, 128, 512]
+            .iter()
+            .map(|&col_block| GemmTiles {
+                row_block: ROW_BLOCK,
+                col_block,
+            })
+            .collect(),
+        // The Bᵀ kernel tiles output rows; sweep the tile height.
+        GemmOp::Bt => [32usize, 8, 16, 64]
+            .iter()
+            .map(|&row_block| GemmTiles {
+                row_block,
+                col_block: COL_BLOCK,
+            })
+            .collect(),
+    }
+}
+
+/// The shape class a concrete `(m, k, n)` problem falls into.
+pub fn class_of(op: GemmOp, m: usize, k: usize, n: usize) -> ShapeClass {
+    ShapeClass {
+        op,
+        m_bucket: m.max(1).next_power_of_two(),
+        k,
+        n,
+    }
+}
+
+fn table() -> &'static Mutex<BTreeMap<ShapeClass, GemmTiles>> {
+    static TABLE: OnceLock<Mutex<BTreeMap<ShapeClass, GemmTiles>>> = OnceLock::new();
+    TABLE.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+fn lookup(class: &ShapeClass) -> Option<GemmTiles> {
+    table()
+        .lock()
+        .expect("autotune table mutex poisoned")
+        .get(class)
+        .copied()
+}
+
+fn memoize(class: ShapeClass, tiles: GemmTiles) {
+    table()
+        .lock()
+        .expect("autotune table mutex poisoned")
+        .insert(class, tiles);
+}
+
+/// The block sizes to use for one GEMM invocation: the memoized winner of
+/// the shape class, sweeping it first if this is the class's first
+/// above-threshold visit.  Sub-threshold problems short-circuit to
+/// [`DEFAULT_TILES`] without measurement.
+pub fn tiles_for(op: GemmOp, m: usize, k: usize, n: usize) -> GemmTiles {
+    if m.saturating_mul(k).saturating_mul(n) < MIN_TUNE_WORK {
+        return DEFAULT_TILES;
+    }
+    tune_class(class_of(op, m, k, n))
+}
+
+/// Forces a sweep-backed decision for the class of `(m, k, n)` regardless
+/// of the work threshold — the bench snapshot and CI smoke use this to
+/// exercise the sweep on shapes the serve path makes hot.
+pub fn tune_now(op: GemmOp, m: usize, k: usize, n: usize) -> GemmTiles {
+    tune_class(class_of(op, m, k, n))
+}
+
+fn tune_class(class: ShapeClass) -> GemmTiles {
+    if let Some(tiles) = lookup(&class) {
+        return tiles;
+    }
+    if let Some(tiles) = load_disk(&class) {
+        memoize(class, tiles);
+        return tiles;
+    }
+    let tiles = sweep(&class);
+    store_disk(&class, tiles);
+    memoize(class, tiles);
+    tiles
+}
+
+/// A snapshot of every memoized decision, for bench reporting.
+pub fn report() -> Vec<(ShapeClass, GemmTiles)> {
+    table()
+        .lock()
+        .expect("autotune table mutex poisoned")
+        .iter()
+        .map(|(c, t)| (*c, *t))
+        .collect()
+}
+
+/// Deterministic dense test operand (same recipe as the kernel unit
+/// tests): the sweep's inputs never involve entropy, only its timings do.
+fn pattern(len: usize, seed: f32) -> Vec<f32> {
+    (0..len).map(|i| ((i as f32) * 0.37 + seed).sin()).collect()
+}
+
+/// Times one candidate on the class's representative shape and returns the
+/// best-of-[`SWEEP_REPS`] duration.
+fn time_candidate(
+    class: &ShapeClass,
+    tiles: GemmTiles,
+    a: &[f32],
+    b: &[f32],
+) -> std::time::Duration {
+    let (m, k, n) = (class.m_bucket, class.k, class.n);
+    let mut best = std::time::Duration::MAX;
+    for _ in 0..SWEEP_REPS {
+        let start = Instant::now();
+        let c = match class.op {
+            GemmOp::Nn => gemm_tiled(a, b, m, k, n, tiles),
+            GemmOp::At => gemm_at_tiled(a, b, m, k, n, tiles),
+            GemmOp::Bt => gemm_bt_tiled(a, b, m, k, n, tiles),
+        };
+        let elapsed = start.elapsed();
+        std::hint::black_box(&c);
+        best = best.min(elapsed);
+    }
+    best
+}
+
+/// Sweeps every candidate for the class and returns the fastest; ties keep
+/// the earliest candidate (the default), so noise can only flip a decision
+/// between schedules that are bit-identical anyway.
+fn sweep(class: &ShapeClass) -> GemmTiles {
+    let (m, k, n) = (class.m_bucket, class.k, class.n);
+    let (a_len, b_len) = match class.op {
+        GemmOp::Nn => (m * k, k * n),
+        GemmOp::At => (k * m, k * n),
+        GemmOp::Bt => (m * k, n * k),
+    };
+    let a = pattern(a_len, 0.1);
+    let b = pattern(b_len, 0.7);
+    let mut best_tiles = DEFAULT_TILES;
+    let mut best_time = std::time::Duration::MAX;
+    for tiles in candidates(class.op) {
+        let t = time_candidate(class, tiles, &a, &b);
+        if t < best_time {
+            best_time = t;
+            best_tiles = tiles;
+        }
+    }
+    best_tiles
+}
+
+/// File name of a class's disk-layer entry.
+fn disk_file(class: &ShapeClass) -> String {
+    format!(
+        "gemm-{}-{}x{}x{}.tiles",
+        class.op.name(),
+        class.m_bucket,
+        class.k,
+        class.n
+    )
+}
+
+/// Serializes a decision for the disk layer (`"row_block col_block"`).
+fn format_tiles(tiles: GemmTiles) -> String {
+    format!("{} {}\n", tiles.row_block, tiles.col_block)
+}
+
+/// Parses a disk-layer entry; `None` on any malformed content.
+fn parse_tiles(s: &str) -> Option<GemmTiles> {
+    let mut it = s.split_whitespace();
+    let row_block = it.next()?.parse::<usize>().ok()?;
+    let col_block = it.next()?.parse::<usize>().ok()?;
+    if it.next().is_some() {
+        return None;
+    }
+    Some(GemmTiles {
+        row_block,
+        col_block,
+    })
+}
+
+/// Loads a class's decision from the `VVD_AUTOTUNE_DIR` layer, if mounted.
+/// Entries that fail to parse — or name tiles outside the candidate set
+/// (e.g. written by a different build) — are ignored, like a corrupt
+/// model-cache file: the class is simply re-swept.
+fn load_disk(class: &ShapeClass) -> Option<GemmTiles> {
+    let dir = vvd_dsp::autotune_dir()?;
+    let content = std::fs::read_to_string(dir.join(disk_file(class))).ok()?;
+    parse_tiles(&content).filter(|t| candidates(class.op).contains(t))
+}
+
+/// Publishes a decision to the `VVD_AUTOTUNE_DIR` layer, if mounted.
+/// Write-to-temp + rename, so concurrent processes never observe a torn
+/// entry; failures are ignored (the disk layer is an optimization, never
+/// a correctness dependency).
+fn store_disk(class: &ShapeClass, tiles: GemmTiles) {
+    let Some(dir) = vvd_dsp::autotune_dir() else {
+        return;
+    };
+    if std::fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    let tmp = dir.join(format!(".{}.{}.tmp", disk_file(class), std::process::id()));
+    if std::fs::write(&tmp, format_tiles(tiles)).is_ok() {
+        let _ = std::fs::rename(&tmp, dir.join(disk_file(class)));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_tiles_lead_every_candidate_set() {
+        for op in [GemmOp::Nn, GemmOp::At, GemmOp::Bt] {
+            let c = candidates(op);
+            assert!(!c.is_empty());
+            assert_eq!(c[0], DEFAULT_TILES, "ties must keep the default");
+        }
+    }
+
+    #[test]
+    fn small_problems_skip_the_sweep() {
+        // Far below MIN_TUNE_WORK: must return the default without
+        // measuring (and without touching the memo table).
+        assert_eq!(tiles_for(GemmOp::Nn, 4, 8, 16), DEFAULT_TILES);
+    }
+
+    #[test]
+    fn tune_now_returns_a_candidate_and_memoizes() {
+        let tiles = tune_now(GemmOp::Bt, 24, 48, 40);
+        assert!(candidates(GemmOp::Bt).contains(&tiles));
+        let class = class_of(GemmOp::Bt, 24, 48, 40);
+        assert_eq!(lookup(&class), Some(tiles));
+        // Second call is a memo hit returning the same decision.
+        assert_eq!(tune_now(GemmOp::Bt, 24, 48, 40), tiles);
+    }
+
+    #[test]
+    fn class_buckets_batch_dimension_only() {
+        let a = class_of(GemmOp::Nn, 5, 72, 300);
+        let b = class_of(GemmOp::Nn, 8, 72, 300);
+        assert_eq!(a, b, "m in (4,8] buckets to 8");
+        assert_ne!(a, class_of(GemmOp::Nn, 9, 72, 300));
+        assert_ne!(a, class_of(GemmOp::Nn, 5, 73, 300), "k is exact");
+    }
+
+    #[test]
+    fn disk_entry_round_trips_and_rejects_garbage() {
+        let tiles = GemmTiles {
+            row_block: 16,
+            col_block: 128,
+        };
+        assert_eq!(parse_tiles(&format_tiles(tiles)), Some(tiles));
+        assert_eq!(parse_tiles(""), None);
+        assert_eq!(parse_tiles("12"), None);
+        assert_eq!(parse_tiles("a b"), None);
+        assert_eq!(parse_tiles("1 2 3"), None);
+    }
+}

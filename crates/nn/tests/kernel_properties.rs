@@ -71,6 +71,35 @@ proptest! {
         );
     }
 
+    /// Every autotune candidate tile produces bit-identical output for all
+    /// three GEMM orientations on randomized shapes — the property that
+    /// makes wall-clock tile selection safe: whichever candidate the sweep
+    /// picks, the digests cannot move.
+    #[test]
+    fn every_autotune_candidate_tile_is_bit_identical(
+        dims in (1usize..40, 1usize..60, 1usize..90),
+        seed in 0u64..1_000_000,
+    ) {
+        use vvd_nn::kernels::autotune::{candidates, GemmOp};
+        let (m, k, n) = dims;
+        let a = data(m * k, seed);
+        let b = data(k * n, seed.wrapping_add(4));
+        let bt = data(n * k, seed.wrapping_add(5));
+        let nn_ref = reference::matmul(&a, &b, m, k, n);
+        for tiles in candidates(GemmOp::Nn) {
+            prop_assert_eq!(&kernels::gemm_tiled(&a, &b, m, k, n, tiles), &nn_ref);
+        }
+        let at = data(k * m, seed.wrapping_add(6));
+        let at_ref = reference::matmul_at(&at, &b, m, k, n);
+        for tiles in candidates(GemmOp::At) {
+            prop_assert_eq!(&kernels::gemm_at_tiled(&at, &b, m, k, n, tiles), &at_ref);
+        }
+        let bt_ref = reference::matmul_bt(&a, &bt, m, k, n);
+        for tiles in candidates(GemmOp::Bt) {
+            prop_assert_eq!(&kernels::gemm_bt_tiled(&a, &bt, m, k, n, tiles), &bt_ref);
+        }
+    }
+
     /// im2col + GEMM convolution (any stride, any padding) is bit-identical
     /// to the direct convolution reference.
     #[test]

@@ -35,10 +35,11 @@
 
 use crate::checkpoint::{CheckpointError, CheckpointStore, EngineCheckpoint};
 use crate::loadgen::Workload;
+use crate::pipeline::{self, PrefetchBuffer};
 use crate::planner::{run_batched_inference, BatchCounters};
-use crate::report::ServeReport;
+use crate::report::{PhaseTimings, ServeReport};
 use crate::store::SessionStore;
-use std::time::Instant;
+use crate::timing::Stopwatch;
 
 /// Execution options of a serve run.
 #[derive(Debug, Clone, Copy)]
@@ -47,12 +48,20 @@ pub struct ServeOptions {
     /// The default follows `vvd_dsp::worker_budget()` (the `VVD_WORKERS`
     /// override included); any value produces bit-identical results.
     pub shards: usize,
+    /// Whether the engine overlaps the *next* tick's DSP synthesis with
+    /// the current tick's batched inference (the double-buffered tick
+    /// pipeline, see `crate::pipeline`).  The default follows
+    /// `vvd_dsp::pipeline_enabled()` (the `VVD_PIPELINE` env knob, on
+    /// unless explicitly disabled); pipelining is pure scheduling, so
+    /// either value produces bit-identical results.
+    pub pipeline: bool,
 }
 
 impl Default for ServeOptions {
     fn default() -> Self {
         ServeOptions {
             shards: vvd_dsp::worker_budget(),
+            pipeline: vvd_dsp::pipeline_enabled(),
         }
     }
 }
@@ -78,9 +87,16 @@ pub struct ServeEngine {
     store: SessionStore,
     cache: vvd_estimation::ModelCache,
     shards: usize,
+    pipeline: bool,
     ticks: u64,
     batches: BatchCounters,
-    started: Instant,
+    started: Stopwatch,
+    phases: PhaseTimings,
+    /// Products the pipeline synthesized during the previous tick, waiting
+    /// to be stashed into their sessions when their tick starts.  Never
+    /// checkpointed: the buffer is transient and recomputable, so a resume
+    /// simply starts without one.
+    prefetch: Option<PrefetchBuffer>,
     policy: Option<CheckpointPolicy>,
 }
 
@@ -118,10 +134,12 @@ impl ServeEngine {
             store,
             cache,
             shards: options.shards.max(1),
+            pipeline: options.pipeline,
             ticks: 0,
             batches: BatchCounters::default(),
-            // vvd-allow: wall-clock — observability only; `ServeReport::digest()` excludes timing
-            started: Instant::now(),
+            started: Stopwatch::start(),
+            phases: PhaseTimings::default(),
+            prefetch: None,
             policy: None,
         }
     }
@@ -204,27 +222,105 @@ impl ServeEngine {
     /// Runs one tick (prepare / batch-infer / complete over every due
     /// session).  Returns `false` — without ticking — once the workload is
     /// drained.
+    ///
+    /// With the pipeline on, the next tick's DSP synthesis runs on scope
+    /// threads while this tick's inference and commit phases execute; the
+    /// products rendezvous at the end of the tick and are consumed — in
+    /// tick order — by the next prepare phase.  Pure scheduling: every
+    /// result bit is identical with the pipeline on or off.
     pub fn step_tick(&mut self) -> bool {
         let Some(tick) = self.store.next_due_tick() else {
             return false;
         };
 
-        // Phase 1: prepare every due session's packet (sharded).
+        // Stash the previous tick's prefetched products (cheap moves; a
+        // buffer planned for a different tick — impossible in a steady run,
+        // conceivable only across exotic restarts — is simply dropped and
+        // the products recomputed inline).
+        if let Some(buffer) = self.prefetch.take() {
+            if buffer.tick == tick {
+                let sessions = self.store.sessions_mut();
+                for (idx, product) in buffer.items {
+                    sessions[idx].stash_synthesized(product);
+                }
+            }
+        }
+
+        // Phase 1: prepare every due session's packet (sharded),
+        // consuming prefetched products where available.
+        let sw = Stopwatch::start();
         self.store.for_each_sharded(self.shards, |session| {
             if session.due(tick) {
                 session.prepare(tick);
             }
         });
+        self.phases.dsp += sw.elapsed();
 
-        // Phase 2: one batched forward pass per distinct model.
-        self.batches
-            .absorb(run_batched_inference(self.store.sessions_mut()));
+        // Mid-tick, after prepare: every due session is pending, so the
+        // next tick and its due set are fully determined — plan its
+        // synthesis now, before any estimator state mutates.
+        let planned = if self.pipeline {
+            pipeline::plan_jobs(&self.store)
+        } else {
+            None
+        };
 
-        // Phase 3: decode, score, observe (sharded).
-        self.store.for_each_sharded(self.shards, |session| {
-            if session.has_pending() {
-                session.complete();
-            }
+        // Phases 2 + 3, with the next tick's synthesis overlapped on
+        // scope threads.  Jobs are plain data (Arc'd campaigns + indices),
+        // so the synth threads never touch a session while inference and
+        // commit mutate them.
+        let shards = self.shards;
+        let store = &mut self.store;
+        let batches = &mut self.batches;
+        let phases = &mut self.phases;
+        self.prefetch = std::thread::scope(|scope| {
+            let synth = planned.map(|(next_tick, mut jobs)| {
+                let threads = shards.min(jobs.len()).max(1);
+                let chunk_size = jobs.len().div_ceil(threads);
+                let mut handles = Vec::with_capacity(threads);
+                while !jobs.is_empty() {
+                    let rest = jobs.split_off(chunk_size.min(jobs.len()));
+                    let chunk = std::mem::replace(&mut jobs, rest);
+                    handles.push(scope.spawn(move || pipeline::run_jobs(chunk)));
+                }
+                (next_tick, handles)
+            });
+
+            // Phase 2: one batched forward pass per distinct model.
+            let sw = Stopwatch::start();
+            batches.absorb(run_batched_inference(store.sessions_mut()));
+            let infer = sw.elapsed();
+            phases.infer += infer;
+
+            // Phase 3: decode, score, observe (sharded).
+            let sw = Stopwatch::start();
+            store.for_each_sharded(shards, |session| {
+                if session.has_pending() {
+                    session.complete();
+                }
+            });
+            let commit = sw.elapsed();
+            phases.dsp += commit;
+
+            // Rendezvous: join the synth threads and buffer their
+            // products for the next tick.
+            synth.map(|(next_tick, handles)| {
+                let mut items = Vec::new();
+                let mut busy = std::time::Duration::ZERO;
+                for handle in handles {
+                    let (chunk_items, chunk_busy) =
+                        handle.join().expect("pipeline synth worker panicked");
+                    items.extend(chunk_items);
+                    busy = busy.max(chunk_busy);
+                }
+                let window = infer + commit;
+                phases.window += window;
+                phases.overlap += busy.min(window);
+                PrefetchBuffer {
+                    tick: next_tick,
+                    items,
+                }
+            })
         });
 
         self.ticks += 1;
@@ -275,7 +371,7 @@ impl ServeEngine {
             .map(|s| s.into_trace())
             .collect::<Vec<_>>();
 
-        ServeReport::assemble(
+        let mut report = ServeReport::assemble(
             meta,
             traces,
             self.ticks,
@@ -283,7 +379,9 @@ impl ServeEngine {
             self.cache.stats(),
             wall,
         )
-        .expect("engine sessions are unique and id-ordered by construction")
+        .expect("engine sessions are unique and id-ordered by construction");
+        report.phases = self.phases;
+        report
     }
 }
 
@@ -319,11 +417,20 @@ mod tests {
         let gen = LoadGenerator::new(cfg);
         let reference = serve(
             gen.build(&cheap_specs()).unwrap(),
-            &ServeOptions { shards: 1 },
+            &ServeOptions {
+                shards: 1,
+                ..ServeOptions::default()
+            },
         );
         for granularity in [1u64, 3, 7, 1000] {
             let workload = gen.build(&cheap_specs()).unwrap();
-            let mut engine = ServeEngine::new(workload, &ServeOptions { shards: 2 });
+            let mut engine = ServeEngine::new(
+                workload,
+                &ServeOptions {
+                    shards: 2,
+                    ..ServeOptions::default()
+                },
+            );
             assert!(!engine.finished());
             while !engine.finished() {
                 let processed = engine.run_ticks(granularity);
@@ -341,7 +448,13 @@ mod tests {
     fn serve_drains_every_session_and_reports_consistently() {
         let cfg = tiny_config();
         let workload = LoadGenerator::new(cfg).build(&cheap_specs()).unwrap();
-        let report = serve(workload, &ServeOptions { shards: 2 });
+        let report = serve(
+            workload,
+            &ServeOptions {
+                shards: 2,
+                ..ServeOptions::default()
+            },
+        );
 
         assert_eq!(report.sessions.len(), 4);
         let per_session = cfg.packets_per_set;
@@ -367,13 +480,19 @@ mod tests {
         let gen = LoadGenerator::new(cfg);
         let reference = serve(
             gen.build(&cheap_specs()).unwrap(),
-            &ServeOptions { shards: 1 },
+            &ServeOptions {
+                shards: 1,
+                ..ServeOptions::default()
+            },
         );
 
         // Interrupt after 5 ticks, snapshot, resume in a fresh engine.
         let mut first = ServeEngine::new(
             gen.build(&cheap_specs()).unwrap(),
-            &ServeOptions { shards: 2 },
+            &ServeOptions {
+                shards: 2,
+                ..ServeOptions::default()
+            },
         );
         assert_eq!(first.run_ticks(5), 5);
         let checkpoint = first.checkpoint().unwrap();
@@ -381,7 +500,10 @@ mod tests {
 
         let mut resumed = ServeEngine::resume(
             gen.build(&cheap_specs()).unwrap(),
-            &ServeOptions { shards: 3 },
+            &ServeOptions {
+                shards: 3,
+                ..ServeOptions::default()
+            },
             &checkpoint,
         )
         .unwrap();
@@ -400,12 +522,18 @@ mod tests {
         let gen = LoadGenerator::new(cfg);
         let reference = serve(
             gen.build(&cheap_specs()).unwrap(),
-            &ServeOptions { shards: 1 },
+            &ServeOptions {
+                shards: 1,
+                ..ServeOptions::default()
+            },
         );
 
         let mut engine = ServeEngine::new(
             gen.build(&cheap_specs()).unwrap(),
-            &ServeOptions { shards: 2 },
+            &ServeOptions {
+                shards: 2,
+                ..ServeOptions::default()
+            },
         )
         .with_checkpoints(Box::new(MemoryCheckpointStore::new()), 3);
         assert_eq!(engine.run_ticks(7), 7);
@@ -426,7 +554,10 @@ mod tests {
 
         let mut resumed = ServeEngine::resume(
             gen.build(&cheap_specs()).unwrap(),
-            &ServeOptions { shards: 1 },
+            &ServeOptions {
+                shards: 1,
+                ..ServeOptions::default()
+            },
             &latest,
         )
         .unwrap();
@@ -442,7 +573,10 @@ mod tests {
         let gen = LoadGenerator::new(cfg);
         let mut engine = ServeEngine::new(
             gen.build(&cheap_specs()).unwrap(),
-            &ServeOptions { shards: 1 },
+            &ServeOptions {
+                shards: 1,
+                ..ServeOptions::default()
+            },
         );
         engine.run_ticks(2);
         let checkpoint = engine.checkpoint().unwrap();
@@ -452,7 +586,10 @@ mod tests {
         assert!(matches!(
             ServeEngine::resume(
                 gen.build(&fewer).unwrap(),
-                &ServeOptions { shards: 1 },
+                &ServeOptions {
+                    shards: 1,
+                    ..ServeOptions::default()
+                },
                 &checkpoint
             ),
             Err(CheckpointError::SessionCount { .. })
@@ -463,11 +600,43 @@ mod tests {
         assert!(matches!(
             ServeEngine::resume(
                 gen.build(&swapped).unwrap(),
-                &ServeOptions { shards: 1 },
+                &ServeOptions {
+                    shards: 1,
+                    ..ServeOptions::default()
+                },
                 &checkpoint
             ),
             Err(CheckpointError::SessionMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn pipeline_on_and_off_produce_identical_digests() {
+        let cfg = tiny_config();
+        let gen = LoadGenerator::new(cfg);
+        let off = serve(
+            gen.build(&cheap_specs()).unwrap(),
+            &ServeOptions {
+                shards: 2,
+                pipeline: false,
+            },
+        );
+        assert_eq!(off.phases.window, std::time::Duration::ZERO);
+        assert_eq!(off.phases.overlap_pct(), 0.0);
+        let on = serve(
+            gen.build(&cheap_specs()).unwrap(),
+            &ServeOptions {
+                shards: 2,
+                pipeline: true,
+            },
+        );
+        assert_eq!(on.digest(), off.digest());
+        assert_eq!(on.ticks, off.ticks);
+        // The pipelined run actually prefetched: scored packets exist on
+        // every tick after the first, so overlap windows accumulated.
+        assert!(on.phases.window > std::time::Duration::ZERO);
+        assert!(on.phases.dsp > std::time::Duration::ZERO);
+        assert!((0.0..=100.0).contains(&on.phases.overlap_pct()));
     }
 
     #[test]
@@ -476,12 +645,18 @@ mod tests {
         let gen = LoadGenerator::new(cfg);
         let base = serve(
             gen.build(&cheap_specs()).unwrap(),
-            &ServeOptions { shards: 1 },
+            &ServeOptions {
+                shards: 1,
+                ..ServeOptions::default()
+            },
         );
         // Different shard count.
         let sharded = serve(
             gen.build(&cheap_specs()).unwrap(),
-            &ServeOptions { shards: 3 },
+            &ServeOptions {
+                shards: 3,
+                ..ServeOptions::default()
+            },
         );
         assert_eq!(base.digest(), sharded.digest());
         // Different arrival schedule (all sessions burst at tick 0, one
@@ -490,7 +665,13 @@ mod tests {
             .into_iter()
             .map(|s| s.every(1).offset(0))
             .collect();
-        let bursty = serve(gen.build(&burst).unwrap(), &ServeOptions { shards: 2 });
+        let bursty = serve(
+            gen.build(&burst).unwrap(),
+            &ServeOptions {
+                shards: 2,
+                ..ServeOptions::default()
+            },
+        );
         assert_eq!(base.digest(), bursty.digest());
         assert!(bursty.ticks < base.ticks);
     }

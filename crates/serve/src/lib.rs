@@ -18,6 +18,13 @@
 //!   sessions hold `Arc`-clones of a single trained network.
 //! * [`SessionStore`] — owns the [`LinkSession`]s and shards each engine
 //!   phase over `std::thread::scope` workers.
+//! * The **tick pipeline** (`VVD_PIPELINE`, on by default) — double
+//!   buffering across ticks: while tick T's coalesced batch infers, scope
+//!   threads synthesize tick T+1's estimator-independent DSP products
+//!   (waveform regeneration + preamble LS), which the next prepare phase
+//!   consumes in tick order.  Pure scheduling: every digest is
+//!   bit-identical with the pipeline on or off, which the pipeline golden
+//!   pins at shard counts 1/2/8 and cluster sizes 1/2/4.
 //! * The **inference planner** (`BatchCounters` and friends) — coalesces
 //!   the NN forward passes all due sessions would run this tick, grouped
 //!   by the model's training-provenance
@@ -54,10 +61,12 @@
 pub mod checkpoint;
 pub mod engine;
 pub mod loadgen;
+mod pipeline;
 pub mod planner;
 pub mod report;
 pub mod session;
 pub mod store;
+pub mod timing;
 
 pub use checkpoint::{
     load_checkpoint_file, CheckpointError, CheckpointStore, DirCheckpointStore, EngineCheckpoint,
@@ -66,6 +75,6 @@ pub use checkpoint::{
 pub use engine::{serve, ServeEngine, ServeOptions};
 pub use loadgen::{mixed_session_specs, LoadGenerator, ServeSpecError, Workload};
 pub use planner::BatchCounters;
-pub use report::{ReportAssemblyError, ServeReport, SessionReport};
+pub use report::{PhaseTimings, ReportAssemblyError, ServeReport, SessionReport};
 pub use session::{LinkSession, SessionSpec};
 pub use store::SessionStore;

@@ -73,6 +73,7 @@ pub struct Workload {
 }
 
 /// Builds [`Workload`]s from session specs.
+#[derive(Clone)]
 pub struct LoadGenerator {
     config: EvalConfig,
     prebuilt: BTreeMap<String, Arc<Campaign>>,
@@ -245,6 +246,14 @@ impl LoadGenerator {
 /// bench and the examples: sessions sharing a scenario share a campaign,
 /// sessions sharing a VVD head share a trained network, and the interval
 /// mix makes every tick's batch composition different.
+///
+/// Scenarios advance in blocks of two (`(i / 2) % scenarios.len()`) while
+/// estimators advance every session: each estimator family is paired with
+/// *every* scenario as `i` grows, so same-provenance models span the
+/// round-robin worker partition and a cluster's shared disk cache is
+/// actually exercised (strict per-index alternation would pin each
+/// estimator family to one scenario whenever the list lengths share a
+/// factor, privatising every model to a single worker).
 pub fn mixed_session_specs(n: usize, scenarios: &[&str], estimators: &[&str]) -> Vec<SessionSpec> {
     assert!(
         !scenarios.is_empty() && !estimators.is_empty(),
@@ -253,7 +262,7 @@ pub fn mixed_session_specs(n: usize, scenarios: &[&str], estimators: &[&str]) ->
     (0..n)
         .map(|i| {
             SessionSpec::new(
-                scenarios[i % scenarios.len()],
+                scenarios[(i / 2) % scenarios.len()],
                 estimators[i % estimators.len()],
             )
             .every((i % 3 + 1) as u64)
@@ -311,7 +320,9 @@ mod tests {
         let specs = mixed_session_specs(7, &["paper", "rayleigh:doppler=10"], &["ground-truth"]);
         assert_eq!(specs.len(), 7);
         assert_eq!(specs[0].scenario, "paper");
-        assert_eq!(specs[1].scenario, "rayleigh:doppler=10");
+        assert_eq!(specs[1].scenario, "paper");
+        assert_eq!(specs[2].scenario, "rayleigh:doppler=10");
+        assert_eq!(specs[4].scenario, "paper");
         assert!(specs.iter().all(|s| s.interval_ticks >= 1));
         assert!(specs
             .iter()

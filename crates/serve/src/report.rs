@@ -30,6 +30,51 @@ pub struct SessionReport {
     pub mse: Option<f64>,
 }
 
+/// Per-phase wall-clock accounting of the tick engine, accumulated over a
+/// whole run.
+///
+/// Pure observability: none of these numbers feed the
+/// [`digest`](ServeReport::digest), and they legitimately vary run to run.
+/// `dsp` covers the DSP-bound phases (packet prepare + decode/commit),
+/// `infer` the batched NN forward passes; when the tick pipeline is on,
+/// `overlap` is how much next-tick synthesis ran *concurrently* with the
+/// infer/commit window (`window`), i.e. DSP work the pipeline hid.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseTimings {
+    /// Wall time spent in the DSP-bound phases (prepare + complete).
+    pub dsp: Duration,
+    /// Wall time spent in the batched-inference phase.
+    pub infer: Duration,
+    /// Next-tick synthesis time that overlapped the infer/commit window
+    /// (zero when the pipeline is off).
+    pub overlap: Duration,
+    /// Total infer/commit window during which synthesis could overlap
+    /// (zero when the pipeline is off or nothing was prefetchable).
+    pub window: Duration,
+}
+
+impl PhaseTimings {
+    /// DSP-phase wall time in milliseconds.
+    pub fn dsp_ms(&self) -> f64 {
+        self.dsp.as_secs_f64() * 1e3
+    }
+
+    /// Inference-phase wall time in milliseconds.
+    pub fn infer_ms(&self) -> f64 {
+        self.infer.as_secs_f64() * 1e3
+    }
+
+    /// Share of the infer/commit window that next-tick synthesis kept busy
+    /// concurrently, in percent (0 when the pipeline never overlapped).
+    pub fn overlap_pct(&self) -> f64 {
+        if self.window.is_zero() {
+            0.0
+        } else {
+            100.0 * self.overlap.as_secs_f64() / self.window.as_secs_f64()
+        }
+    }
+}
+
 /// Everything a serve run reports.
 ///
 /// The per-session traces are carried verbatim (they are what the golden
@@ -56,6 +101,10 @@ pub struct ServeReport {
     pub model_cache: ModelCacheStats,
     /// Wall-clock duration of the serve loop (excludes workload build).
     pub wall: Duration,
+    /// Per-phase wall-clock breakdown of the tick engine (zeroed for
+    /// reports reassembled from remote workers — per-phase accounting is
+    /// per-engine observability, not part of the merged outcome).
+    pub phases: PhaseTimings,
 }
 
 /// What can make a set of per-session results unassemblable into one
@@ -197,6 +246,7 @@ impl ServeReport {
             batches,
             model_cache,
             wall,
+            phases: PhaseTimings::default(),
         })
     }
 

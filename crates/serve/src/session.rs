@@ -100,6 +100,45 @@ impl FrameSource for SetFrames<'_> {
     }
 }
 
+/// The estimator-independent DSP products of one packet: its regenerated
+/// received waveform and preamble LS fit.
+///
+/// These are pure functions of the `Arc`-shared immutable campaign and the
+/// packet index — no estimator state involved — which is what lets the
+/// tick pipeline synthesize them for tick T+1 on scope threads while tick
+/// T's batch infers: whenever they are computed, the bits are the same.
+pub(crate) struct SynthesizedPacket {
+    /// The packet (cursor) index the products belong to.
+    pub packet_index: usize,
+    /// The regenerated transmitted frame.
+    pub tx: ModulatedFrame,
+    /// The regenerated received waveform.
+    pub received: CVec,
+    /// The preamble LS channel fit (when the solve succeeded).
+    pub preamble_est: Option<FirFilter>,
+}
+
+/// Regenerates packet DSP products from campaign data — the single
+/// synthesis routine shared by the inline [`LinkSession::prepare`] path
+/// and the pipelined prefetch path, so both produce identical bits by
+/// construction.
+pub(crate) fn synthesize_packet(
+    campaign: &Campaign,
+    set: usize,
+    record_index: usize,
+    taps: usize,
+    packet_index: usize,
+) -> SynthesizedPacket {
+    let (tx, received) = campaign.received_waveform(set, record_index);
+    let preamble_est = preamble_estimate(&tx, received.as_slice(), taps).ok();
+    SynthesizedPacket {
+        packet_index,
+        tx,
+        received,
+        preamble_est,
+    }
+}
+
 /// Everything [`LinkSession::prepare`] computed for the due packet, handed
 /// through the planner to [`LinkSession::complete`].
 struct PendingPacket {
@@ -130,6 +169,10 @@ pub struct LinkSession {
     next_due: u64,
     cursor: usize,
     pending: Option<PendingPacket>,
+    /// DSP products the tick pipeline synthesized ahead of time for the
+    /// next due packet.  Transient and recomputable: never checkpointed,
+    /// consumed (or dropped) by the next [`prepare`](Self::prepare).
+    prefetched: Option<SynthesizedPacket>,
     trace: EstimatorTrace,
 }
 
@@ -166,6 +209,7 @@ impl LinkSession {
             next_due: offset,
             cursor: 0,
             pending: None,
+            prefetched: None,
             trace: EstimatorTrace {
                 label,
                 scored: Vec::new(),
@@ -216,6 +260,51 @@ impl LinkSession {
     /// [`complete`](Self::complete) has not yet consumed its output.
     pub fn has_pending(&self) -> bool {
         self.pending.is_some()
+    }
+
+    /// The streaming position `(cursor, next_due)` the session will hold
+    /// *after* its pending packet (if any) commits.
+    ///
+    /// [`complete`](Self::complete) advances the cursor by exactly one and
+    /// the due tick by exactly one interval, so mid-tick — after the
+    /// prepare phase has set every due session's pending flag — the next
+    /// tick's due set is fully determined by this projection.  That is the
+    /// lookahead the tick pipeline plans its prefetch from.
+    pub(crate) fn position_after_commit(&self) -> (usize, u64) {
+        if self.pending.is_some() {
+            (self.cursor + 1, self.next_due + self.interval)
+        } else {
+            (self.cursor, self.next_due)
+        }
+    }
+
+    /// `true` when packet `k` needs its waveform regenerated (it is scored
+    /// or the estimator consumes preamble observations) — the exact
+    /// condition [`prepare`](Self::prepare) regenerates under, exposed so
+    /// the pipeline only synthesizes products that will be consumed.
+    pub(crate) fn needs_regen(&self, k: usize) -> bool {
+        k >= self.score_from || self.wants_preamble
+    }
+
+    /// The plain-data inputs a prefetch job needs to synthesize packet `k`
+    /// off-thread: `(campaign, test-set index, frame-record index, LS
+    /// taps)`.  All `Arc`-shared or `Copy`, so jobs never borrow the
+    /// session while the engine mutates it.
+    pub(crate) fn synth_inputs(&self, k: usize) -> (Arc<Campaign>, usize, usize, usize) {
+        let test_set = self.campaign.set(self.combination.test);
+        (
+            Arc::clone(&self.campaign),
+            self.combination.test,
+            test_set.packets[k].index,
+            self.campaign.config.equalizer.channel_taps,
+        )
+    }
+
+    /// Hands the session a pipeline-synthesized product for its next due
+    /// packet; the next [`prepare`](Self::prepare) consumes it instead of
+    /// recomputing (or drops it if the index does not match).
+    pub(crate) fn stash_synthesized(&mut self, product: SynthesizedPacket) {
+        self.prefetched = Some(product);
     }
 
     /// The accumulated trace (borrowed; see
@@ -322,13 +411,20 @@ impl LinkSession {
         let record = &test_set.packets[k];
 
         let regen = if score || self.wants_preamble {
-            let (tx, received) = self
-                .campaign
-                .received_waveform(self.combination.test, record.index);
-            let taps = self.campaign.config.equalizer.channel_taps;
-            let preamble_est = preamble_estimate(&tx, received.as_slice(), taps).ok();
-            Some((tx, received, preamble_est))
+            // Consume the pipeline-synthesized product when it matches;
+            // synthesize inline otherwise.  Both paths run the same
+            // routine on the same immutable inputs, so the bits are
+            // identical either way — prefetching is pure scheduling.
+            let product = match self.prefetched.take() {
+                Some(p) if p.packet_index == k => p,
+                _ => {
+                    let taps = self.campaign.config.equalizer.channel_taps;
+                    synthesize_packet(&self.campaign, self.combination.test, record.index, taps, k)
+                }
+            };
+            Some((product.tx, product.received, product.preamble_est))
         } else {
+            self.prefetched = None;
             None
         };
 

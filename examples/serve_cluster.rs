@@ -78,6 +78,7 @@ fn main() {
                 cache_dir: Some(cache_dir.clone()),
                 backend: WorkerBackend::SelfExec,
                 checkpoints: false,
+                pipeline: vvd::dsp::pipeline_enabled(),
                 fault: None,
             },
         )

@@ -66,7 +66,13 @@ fn run_digest(heads: &[usize], schedule: &[(u64, u64)], shards: usize) -> (u64, 
         .with_campaign("paper", shared_campaign())
         .build(&build_specs(heads, schedule))
         .unwrap();
-    let report = serve(workload, &ServeOptions { shards });
+    let report = serve(
+        workload,
+        &ServeOptions {
+            shards,
+            ..ServeOptions::default()
+        },
+    );
     (report.digest(), report.packets_streamed)
 }
 
@@ -138,6 +144,7 @@ proptest! {
                 cache_dir: None,
                 backend: WorkerBackend::Loopback,
                 checkpoints: false,
+                pipeline: vvd::dsp::pipeline_enabled(),
                 fault: None,
             },
         )
